@@ -1,0 +1,264 @@
+package milret
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"milret/internal/core"
+	"milret/internal/experiments"
+	"milret/internal/feature"
+	"milret/internal/gray"
+	"milret/internal/mil"
+	"milret/internal/retrieval"
+	"milret/internal/synth"
+)
+
+// benchConfig is the scaled-down configuration all experiment benches run
+// at: every protocol step is exercised, corpus sizes are shrunk (see
+// experiments.BenchScale).
+func benchConfig() experiments.Config {
+	return experiments.Config{Seed: 1998, Scale: experiments.BenchScale()}
+}
+
+// benchExperiment runs one registered experiment per iteration. These
+// benches measure the end-to-end cost of regenerating a paper artifact:
+// corpus featurization is cached after the first iteration, so steady-state
+// numbers reflect training plus ranking plus scoring.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One bench per paper table/figure (DESIGN.md per-experiment index).
+
+func BenchmarkTable31(b *testing.B)    { benchExperiment(b, "Table31") }
+func BenchmarkFig33_34(b *testing.B)   { benchExperiment(b, "Fig33_34") }
+func BenchmarkFig37_39(b *testing.B)   { benchExperiment(b, "Fig37_39") }
+func BenchmarkFig43(b *testing.B)      { benchExperiment(b, "Fig43") }
+func BenchmarkFig44(b *testing.B)      { benchExperiment(b, "Fig44") }
+func BenchmarkFig45_46(b *testing.B)   { benchExperiment(b, "Fig45_46") }
+func BenchmarkFig47(b *testing.B)      { benchExperiment(b, "Fig47") }
+func BenchmarkFig48(b *testing.B)      { benchExperiment(b, "Fig48") }
+func BenchmarkFig49(b *testing.B)      { benchExperiment(b, "Fig49") }
+func BenchmarkFig410(b *testing.B)     { benchExperiment(b, "Fig410") }
+func BenchmarkFig411(b *testing.B)     { benchExperiment(b, "Fig411") }
+func BenchmarkFig412(b *testing.B)     { benchExperiment(b, "Fig412") }
+func BenchmarkFig413(b *testing.B)     { benchExperiment(b, "Fig413") }
+func BenchmarkFig414(b *testing.B)     { benchExperiment(b, "Fig414") }
+func BenchmarkFig415_417(b *testing.B) { benchExperiment(b, "Fig415_417") }
+func BenchmarkFig418(b *testing.B)     { benchExperiment(b, "Fig418") }
+func BenchmarkFig419(b *testing.B)     { benchExperiment(b, "Fig419") }
+func BenchmarkFig420_421(b *testing.B) { benchExperiment(b, "Fig420_421") }
+func BenchmarkFig422(b *testing.B)     { benchExperiment(b, "Fig422") }
+
+// --- Component benchmarks and ablations (DESIGN.md extensions) ---
+
+func benchImage(seed int64) *gray.Image {
+	items := synth.ScenesN(seed, 1)
+	return gray.FromImage(items[0].Image)
+}
+
+// BenchmarkSmoothSample measures the §3.1.2 reduction with the integral
+// image in place.
+func BenchmarkSmoothSample(b *testing.B) {
+	im := benchImage(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := gray.SmoothSample(im, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSmoothSampleNaive is the ablation: per-block pixel loops instead
+// of the integral image, at the same 50%-overlap geometry.
+func BenchmarkSmoothSampleNaive(b *testing.B) {
+	im := benchImage(1)
+	h := 10
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := make([]float64, h*h)
+		fy := float64(im.H) / float64(h)
+		fx := float64(im.W) / float64(h)
+		for r := 0; r < h; r++ {
+			r0, r1 := int(float64(r)*fy), int(float64(r+2)*fy)
+			if r1 > im.H {
+				r1 = im.H
+			}
+			for c := 0; c < h; c++ {
+				c0, c1 := int(float64(c)*fx), int(float64(c+2)*fx)
+				if c1 > im.W {
+					c1 = im.W
+				}
+				var sum float64
+				for y := r0; y < r1; y++ {
+					for x := c0; x < c1; x++ {
+						sum += im.At(x, y)
+					}
+				}
+				out[r*h+c] = sum / float64((r1-r0)*(c1-c0))
+			}
+		}
+	}
+}
+
+// BenchmarkBagGeneration measures the full §3.5 preprocessing of one image.
+func BenchmarkBagGeneration(b *testing.B) {
+	im := benchImage(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := feature.BagFromImage("bench", im, feature.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTrainingSet builds a deterministic MIL dataset at paper-like
+// dimensions (100-d instances, 40 per bag).
+func benchTrainingSet(nPos, nNeg int) *mil.Dataset {
+	r := rand.New(rand.NewSource(3))
+	mk := func(id string) *mil.Bag {
+		bag := &mil.Bag{ID: id}
+		for j := 0; j < 40; j++ {
+			v := make([]float64, 100)
+			for k := range v {
+				v[k] = r.NormFloat64()
+			}
+			bag.Instances = append(bag.Instances, v)
+		}
+		return bag
+	}
+	ds := &mil.Dataset{}
+	for i := 0; i < nPos; i++ {
+		ds.Positive = append(ds.Positive, mk(fmt.Sprintf("p%d", i)))
+	}
+	for i := 0; i < nNeg; i++ {
+		ds.Negative = append(ds.Negative, mk(fmt.Sprintf("n%d", i)))
+	}
+	return ds
+}
+
+// BenchmarkTrainOriginal / Identical / Constrained measure one DD training
+// with a single start bag under each weight scheme.
+func benchTrain(b *testing.B, mode core.WeightMode, beta float64) {
+	b.Helper()
+	ds := benchTrainingSet(5, 5)
+	cfg := core.Config{Mode: mode, Beta: beta, StartBags: 1}
+	cfg.Opt.MaxIter = 15
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Train(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainOriginal(b *testing.B)    { benchTrain(b, core.Original, 0) }
+func BenchmarkTrainIdentical(b *testing.B)   { benchTrain(b, core.Identical, 0) }
+func BenchmarkTrainConstrained(b *testing.B) { benchTrain(b, core.SumConstraint, 0.5) }
+
+// BenchmarkRankDatabase measures a full ranking scan of 500 bags (the
+// paper's scene-database size) and BenchmarkTopK the heap-based head-only
+// variant — the retrieval ablation.
+func benchRankDB() (*retrieval.Database, *core.Concept) {
+	r := rand.New(rand.NewSource(4))
+	db := retrieval.NewDatabase()
+	for i := 0; i < 500; i++ {
+		bag := &mil.Bag{ID: fmt.Sprintf("img-%03d", i)}
+		for j := 0; j < 40; j++ {
+			v := make([]float64, 100)
+			for k := range v {
+				v[k] = r.NormFloat64()
+			}
+			bag.Instances = append(bag.Instances, v)
+		}
+		if err := db.Add(retrieval.Item{ID: bag.ID, Label: "l", Bag: bag}); err != nil {
+			panic(err)
+		}
+	}
+	point := make([]float64, 100)
+	weights := make([]float64, 100)
+	for k := range weights {
+		weights[k] = 1
+	}
+	return db, &core.Concept{Point: point, Weights: weights}
+}
+
+func BenchmarkRankDatabase(b *testing.B) {
+	db, concept := benchRankDB()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		retrieval.Rank(db, concept, retrieval.Options{})
+	}
+}
+
+func BenchmarkTopK20(b *testing.B) {
+	db, concept := benchRankDB()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		retrieval.TopK(db, concept, 20, retrieval.Options{})
+	}
+}
+
+// BenchmarkCorpusGeneration measures synthetic corpus drawing throughput.
+func BenchmarkCorpusGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		synth.ScenesN(int64(i+1), 1)
+	}
+}
+
+// BenchmarkPublicAPIQuery measures a public-API train+retrieve cycle.
+func BenchmarkPublicAPIQuery(b *testing.B) {
+	db, err := NewDatabase(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, it := range synth.ObjectsN(5, 4) {
+		if err := db.AddImage(it.ID, it.Label, it.Image); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pos := []string{"object-car-00", "object-car-01"}
+	neg := []string{"object-lamp-00"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		concept, err := db.Train(pos, neg, TrainOptions{
+			Mode: ConstrainedWeights, Beta: 0.5, MaxIters: 15, StartBags: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		db.Retrieve(concept, 10)
+	}
+}
+
+// Extension benches (paper §5 future work + EM-DD follow-up).
+
+func BenchmarkExtColor(b *testing.B)     { benchExperiment(b, "ExtColor") }
+func BenchmarkExtRotations(b *testing.B) { benchExperiment(b, "ExtRotations") }
+func BenchmarkExtEMDD(b *testing.B)      { benchExperiment(b, "ExtEMDD") }
+
+// BenchmarkTrainEMDD mirrors BenchmarkTrainIdentical for the EM-DD
+// refinement, the cost ablation of ExtEMDD.
+func BenchmarkTrainEMDD(b *testing.B) {
+	ds := benchTrainingSet(5, 5)
+	cfg := core.Config{Mode: core.Identical, StartBags: 1}
+	cfg.Opt.MaxIter = 15
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.TrainEMDD(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+// Command milret is the end-to-end CLI for the retrieval system:
+//
+//	milret gen   -kind scenes -dir corpus/         # generate a synthetic corpus as PNGs
+//	milret build -dir corpus/ -db scenes.milret    # featurize into a binary store
+//	milret query -db scenes.milret -pos id1,id2 -neg id3 -k 12
+//	milret eval  -db scenes.milret -target waterfall
+//
+// gen writes <dir>/<id>.png plus a labels.csv mapping IDs to categories;
+// build runs the §3.5 preprocessing pipeline over every PNG; query trains
+// Diverse Density on the named examples and prints the top matches; eval
+// runs the paper's automated feedback protocol and prints ranking metrics.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"image/png"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"milret"
+	"milret/internal/server"
+	"milret/internal/synth"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "milret: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: milret <gen|build|query|eval|serve> [flags]")
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	dbPath := fs.String("db", "db.milret", "database path")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	fs.Parse(args)
+
+	db, err := milret.LoadDatabase(*dbPath, milret.Options{})
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(db),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("serving %d images on http://%s (POST /v1/query)\n", db.Len(), *addr)
+	return srv.ListenAndServe()
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("kind", "scenes", "corpus kind: scenes or objects")
+	dir := fs.String("dir", "corpus", "output directory")
+	seed := fs.Int64("seed", 1998, "generation seed")
+	perCat := fs.Int("per-category", 0, "images per category (0 = paper size)")
+	fs.Parse(args)
+
+	var items []synth.Item
+	switch *kind {
+	case "scenes":
+		n := *perCat
+		if n == 0 {
+			n = synth.ScenesPerCategory
+		}
+		items = synth.ScenesN(*seed, n)
+	case "objects":
+		n := *perCat
+		if n == 0 {
+			n = synth.ObjectsPerCategory
+		}
+		items = synth.ObjectsN(*seed, n)
+	default:
+		return fmt.Errorf("unknown corpus kind %q", *kind)
+	}
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	labels, err := os.Create(filepath.Join(*dir, "labels.csv"))
+	if err != nil {
+		return err
+	}
+	defer labels.Close()
+	w := bufio.NewWriter(labels)
+	fmt.Fprintln(w, "id,label")
+	for _, it := range items {
+		f, err := os.Create(filepath.Join(*dir, it.ID+".png"))
+		if err != nil {
+			return err
+		}
+		if err := png.Encode(f, it.Image); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s,%s\n", it.ID, it.Label)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d images to %s\n", len(items), *dir)
+	return nil
+}
+
+func readLabels(dir string) (map[string]string, error) {
+	labels := map[string]string{}
+	f, err := os.Open(filepath.Join(dir, "labels.csv"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return labels, nil // labels are optional
+		}
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if first {
+			first = false
+			continue
+		}
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, ",", 2)
+		if len(parts) == 2 {
+			labels[parts[0]] = parts[1]
+		}
+	}
+	return labels, sc.Err()
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	dir := fs.String("dir", "corpus", "input directory of PNG images")
+	dbPath := fs.String("db", "db.milret", "output database path")
+	resolution := fs.Int("resolution", 10, "sampling resolution h")
+	regions := fs.Int("regions", 20, "region family size: 9, 20 or 42")
+	fs.Parse(args)
+
+	db, err := milret.NewDatabase(milret.Options{Resolution: *resolution, Regions: *regions})
+	if err != nil {
+		return err
+	}
+	labels, err := readLabels(*dir)
+	if err != nil {
+		return err
+	}
+	entries, err := filepath.Glob(filepath.Join(*dir, "*.png"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(entries)
+	if len(entries) == 0 {
+		return fmt.Errorf("no PNG images in %s", *dir)
+	}
+	for _, path := range entries {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		img, err := png.Decode(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		id := strings.TrimSuffix(filepath.Base(path), ".png")
+		if err := db.AddImage(id, labels[id], img); err != nil {
+			return err
+		}
+	}
+	if err := db.Save(*dbPath); err != nil {
+		return err
+	}
+	fmt.Printf("featurized %d images into %s\n", db.Len(), *dbPath)
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	dbPath := fs.String("db", "db.milret", "database path")
+	pos := fs.String("pos", "", "comma-separated positive example IDs")
+	neg := fs.String("neg", "", "comma-separated negative example IDs")
+	k := fs.Int("k", 12, "number of results")
+	mode := fs.String("mode", "constrained", "weight mode: original, identical, alpha-hack, constrained")
+	beta := fs.Float64("beta", 0.5, "sum-constraint level for constrained mode")
+	fs.Parse(args)
+
+	db, err := milret.LoadDatabase(*dbPath, milret.Options{})
+	if err != nil {
+		return err
+	}
+	posIDs := splitIDs(*pos)
+	negIDs := splitIDs(*neg)
+	if len(posIDs) == 0 {
+		return fmt.Errorf("at least one -pos example is required")
+	}
+	wm, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	concept, err := db.Train(posIDs, negIDs, milret.TrainOptions{Mode: wm, Beta: *beta})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("concept trained: -logDD = %.4f\n", concept.NegLogDD())
+	exclude := append(append([]string{}, posIDs...), negIDs...)
+	for i, r := range db.RetrieveExcluding(concept, *k, exclude) {
+		label := r.Label
+		if label == "" {
+			label = "-"
+		}
+		fmt.Printf("%3d. %-28s %-12s dist=%.4f\n", i+1, r.ID, label, r.Distance)
+	}
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	dbPath := fs.String("db", "db.milret", "database path")
+	target := fs.String("target", "", "target category (must exist in labels)")
+	mode := fs.String("mode", "constrained", "weight mode")
+	beta := fs.Float64("beta", 0.5, "sum-constraint level")
+	rounds := fs.Int("rounds", 3, "training rounds")
+	seed := fs.Int64("seed", 1, "example-selection seed")
+	fs.Parse(args)
+
+	db, err := milret.LoadDatabase(*dbPath, milret.Options{})
+	if err != nil {
+		return err
+	}
+	if *target == "" {
+		return fmt.Errorf("-target is required; labels present: %v", db.Labels())
+	}
+	wm, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+
+	// Simple protocol over the whole database: pick positive and negative
+	// examples, train, mine false positives, repeat; report metrics over
+	// the remaining images. Cap positives so at least half of the target
+	// images stay retrievable — otherwise the metrics are vacuous.
+	nTarget := 0
+	for _, id := range db.IDs() {
+		if lb, _ := db.Label(id); lb == *target {
+			nTarget++
+		}
+	}
+	if nTarget == 0 {
+		return fmt.Errorf("no images labelled %q; labels present: %v", *target, db.Labels())
+	}
+	nPos := 5
+	if nTarget/2 < nPos {
+		nPos = nTarget / 2
+	}
+	if nPos < 1 {
+		nPos = 1
+	}
+	var posIDs, negIDs []string
+	for _, id := range shuffledIDs(db, *seed) {
+		lb, _ := db.Label(id)
+		if lb == *target && len(posIDs) < nPos {
+			posIDs = append(posIDs, id)
+		}
+		if lb != *target && len(negIDs) < 5 {
+			negIDs = append(negIDs, id)
+		}
+	}
+	fmt.Printf("using %d positive and %d negative examples; %d %s images remain retrievable\n",
+		len(posIDs), len(negIDs), nTarget-len(posIDs), *target)
+	var concept *milret.Concept
+	for round := 1; round <= *rounds; round++ {
+		concept, err = db.Train(posIDs, negIDs, milret.TrainOptions{Mode: wm, Beta: *beta})
+		if err != nil {
+			return err
+		}
+		if round == *rounds {
+			break
+		}
+		exclude := append(append([]string{}, posIDs...), negIDs...)
+		added := 0
+		for _, r := range db.RetrieveExcluding(concept, db.Len(), exclude) {
+			if added == 5 {
+				break
+			}
+			if r.Label != *target {
+				negIDs = append(negIDs, r.ID)
+				added++
+			}
+		}
+		fmt.Printf("round %d: added %d false positives as negatives\n", round, added)
+	}
+	exclude := append(append([]string{}, posIDs...), negIDs...)
+	results := db.RetrieveExcluding(concept, db.Len(), exclude)
+	ap := milret.AveragePrecision(results, *target)
+	pr := milret.PrecisionRecallCurve(results, *target)
+	fmt.Printf("target %q: %d candidates, AP = %.3f\n", *target, len(results), ap)
+	for _, g := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+		for _, pt := range pr {
+			if pt.Recall >= g {
+				fmt.Printf("  precision at recall %.2f: %.3f\n", g, pt.Precision)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+func splitIDs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseMode(s string) (milret.WeightMode, error) {
+	switch s {
+	case "original":
+		return milret.Original, nil
+	case "identical":
+		return milret.IdenticalWeights, nil
+	case "alpha-hack":
+		return milret.AlphaHackWeights, nil
+	case "constrained":
+		return milret.ConstrainedWeights, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+// shuffledIDs returns the database IDs in a seed-determined order without
+// pulling in math/rand's global state.
+func shuffledIDs(db *milret.Database, seed int64) []string {
+	ids := db.IDs()
+	// xorshift-based Fisher-Yates for a stable, dependency-free shuffle.
+	state := uint64(seed)*2685821657736338717 + 1
+	next := func(n int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(n))
+	}
+	for i := len(ids) - 1; i > 0; i-- {
+		j := next(i + 1)
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	return ids
+}

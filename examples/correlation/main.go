@@ -1,0 +1,53 @@
+// Correlation similarity: the measure underneath the whole system (§3.1,
+// Table 3.1). Similar object images correlate strongly after smoothing and
+// sampling; dissimilar ones do not. The demo also shows the resolution
+// trade-off of §4.2.3 on one pair.
+//
+//	go run ./examples/correlation
+package main
+
+import (
+	"fmt"
+	"image"
+	"log"
+
+	"milret"
+	"milret/internal/synth"
+)
+
+func main() {
+	objects := map[string]image.Image{}
+	for _, it := range synth.ObjectsN(5, 2) {
+		objects[it.ID] = it.Image
+	}
+	pairs := []struct {
+		a, b string
+		kind string
+	}{
+		{"object-car-00", "object-car-01", "similar (two cars)"},
+		{"object-camera-00", "object-camera-01", "similar (two cameras)"},
+		{"object-pants-00", "object-pants-01", "similar (two pants)"},
+		{"object-car-00", "object-pants-00", "dissimilar (car vs pants)"},
+		{"object-camera-00", "object-hammer-00", "dissimilar (camera vs hammer)"},
+	}
+
+	fmt.Println("correlation coefficients of sample image pairs (h=10, cf. Table 3.1):")
+	for _, p := range pairs {
+		c, err := milret.Similarity(objects[p.a], objects[p.b], 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s  r = %+.3f\n", p.kind, c)
+	}
+
+	fmt.Println("\nresolution sweep on the two cars (§4.2.3):")
+	for _, h := range []int{3, 6, 10, 15, 24} {
+		c, err := milret.Similarity(objects["object-car-00"], objects["object-car-01"], h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2dx%-2d  r = %+.3f\n", h, h, c)
+	}
+	fmt.Println("\nvery low resolutions blur everything together; very high ones")
+	fmt.Println("punish small misalignments — the paper settles on 10x10.")
+}

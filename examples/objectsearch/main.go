@@ -1,0 +1,61 @@
+// Object search: compares the paper's weight-control schemes (§3.6) on an
+// object-database query, reproducing the flavor of Figures 4-11/4-14 —
+// including β's role in the inequality constraint.
+//
+//	go run ./examples/objectsearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"milret"
+	"milret/internal/synth"
+)
+
+func main() {
+	db, err := milret.NewDatabase(milret.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, it := range synth.ObjectsN(31, 10) { // 190 object images
+		if err := db.AddImage(it.ID, it.Label, it.Image); err != nil {
+			log.Fatal(err)
+		}
+	}
+	const target = "airplane"
+	positives := []string{"object-airplane-00", "object-airplane-01", "object-airplane-02"}
+	negatives := []string{"object-car-00", "object-couch-00", "object-watch-00"}
+	exclude := append(append([]string{}, positives...), negatives...)
+
+	schemes := []struct {
+		name string
+		opts milret.TrainOptions
+	}{
+		{"original DD", milret.TrainOptions{Mode: milret.Original}},
+		{"identical weights", milret.TrainOptions{Mode: milret.IdenticalWeights}},
+		{"alpha-hack α=50", milret.TrainOptions{Mode: milret.AlphaHackWeights, Alpha: 50}},
+		{"inequality β=0.50", milret.TrainOptions{Mode: milret.ConstrainedWeights, Beta: 0.5}},
+		{"inequality β=0.25", milret.TrainOptions{Mode: milret.ConstrainedWeights, Beta: 0.25}},
+	}
+
+	fmt.Printf("searching %d object images for %q with %d weight schemes:\n\n",
+		db.Len(), target, len(schemes))
+	for _, s := range schemes {
+		concept, err := db.Train(positives, negatives, s.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results := db.RetrieveExcluding(concept, db.Len()-len(exclude), exclude)
+		hits := 0
+		for _, r := range results[:10] {
+			if r.Label == target {
+				hits++
+			}
+		}
+		ap := milret.AveragePrecision(results, target)
+		fmt.Printf("%-20s precision@10 = %.1f   AP = %.3f\n", s.name, float64(hits)/10, ap)
+	}
+	fmt.Println("\nthe paper found identical weights competitive on object databases")
+	fmt.Println("(uniform backgrounds, little variation) and β sensitive — Fig 4-14.")
+}

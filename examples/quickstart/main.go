@@ -1,0 +1,62 @@
+// Quickstart: build an image database, train a concept from a handful of
+// positive and negative examples, and retrieve the best matches.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"milret"
+	"milret/internal/synth"
+)
+
+func main() {
+	// A small synthetic object catalogue: 6 images each of 19 categories.
+	// In a real deployment these would be decoded photos.
+	db, err := milret.NewDatabase(milret.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, it := range synth.ObjectsN(2024, 6) {
+		if err := db.AddImage(it.ID, it.Label, it.Image); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("database holds %d images across %d categories\n\n", db.Len(), len(db.Labels()))
+
+	// The "user" wants cars: two positive examples, two negatives.
+	positives := []string{"object-car-00", "object-car-01"}
+	negatives := []string{"object-lamp-00", "object-shirt-00"}
+	concept, err := db.Train(positives, negatives, milret.TrainOptions{
+		Mode: milret.ConstrainedWeights,
+		Beta: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained concept: -log(DD) = %.3f\n\n", concept.NegLogDD())
+
+	exclude := append(positives, negatives...)
+	top := db.RetrieveExcluding(concept, 8, exclude)
+	fmt.Println("top 8 matches (training examples excluded):")
+	for i, r := range top {
+		marker := " "
+		if r.Label == "car" {
+			marker = "✓"
+		}
+		fmt.Printf("%2d. %s %-22s %-10s dist=%.3f\n", i+1, marker, r.ID, r.Label, r.Distance)
+	}
+
+	// The multiple-instance framing also says WHERE each image matched:
+	// the sub-region whose feature vector sits closest to the concept.
+	fmt.Println("\nwhy the top hits matched:")
+	for _, r := range top[:3] {
+		ex, err := db.Explain(concept, r.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s best region %q (dist %.3f)\n", r.ID, ex.Region, ex.Distance)
+	}
+}

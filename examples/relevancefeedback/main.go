@@ -1,0 +1,81 @@
+// Relevance feedback: the paper's §3.5 loop. After each retrieval round the
+// user (here simulated with ground-truth labels, exactly as in §4.1) marks
+// the top false positives; they become negative examples and the system is
+// trained again. Precision improves — or at least should — round over round.
+//
+//	go run ./examples/relevancefeedback
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"milret"
+	"milret/internal/synth"
+)
+
+func main() {
+	db, err := milret.NewDatabase(milret.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, it := range synth.ScenesN(7, 20) { // 100 scenes, 20 per category
+		if err := db.AddImage(it.ID, it.Label, it.Image); err != nil {
+			log.Fatal(err)
+		}
+	}
+	const target = "waterfall"
+	positives := []string{
+		"scene-waterfall-000", "scene-waterfall-001", "scene-waterfall-002",
+	}
+	negatives := []string{"scene-field-000", "scene-sunset-000"}
+
+	fmt.Printf("retrieving %ss from %d images, 3 rounds of feedback\n\n", target, db.Len())
+	var concept *milret.Concept
+	for round := 1; round <= 3; round++ {
+		concept, err = db.Train(positives, negatives, milret.TrainOptions{
+			Mode: milret.ConstrainedWeights,
+			Beta: 0.5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		exclude := append(append([]string{}, positives...), negatives...)
+		results := db.RetrieveExcluding(concept, db.Len()-len(exclude), exclude)
+
+		correctIn10 := 0
+		for _, r := range results[:10] {
+			if r.Label == target {
+				correctIn10++
+			}
+		}
+		ap := milret.AveragePrecision(results, target)
+		fmt.Printf("round %d: precision@10 = %.1f  average precision = %.3f\n",
+			round, float64(correctIn10)/10, ap)
+
+		if round == 3 {
+			fmt.Println("\nfinal top 10:")
+			for i, r := range results[:10] {
+				marker := "✗"
+				if r.Label == target {
+					marker = "✓"
+				}
+				fmt.Printf("%2d. %s %-26s dist=%.3f\n", i+1, marker, r.ID, r.Distance)
+			}
+			break
+		}
+		// Simulated user feedback: the top 5 non-waterfalls become
+		// negative examples for the next round.
+		added := 0
+		for _, r := range results {
+			if added == 5 {
+				break
+			}
+			if r.Label != target {
+				negatives = append(negatives, r.ID)
+				added++
+			}
+		}
+		fmt.Printf("         added %d false positives as negatives\n", added)
+	}
+}

@@ -1,0 +1,330 @@
+// Package core implements the paper's primary contribution: the Diverse
+// Density (DD) multiple-instance learning algorithm (chapter 2) with the
+// weight-factor control schemes of §3.6. Training maximizes, over a concept
+// point t and per-dimension weights w, the noisy-or likelihood
+//
+//	DD(t, w) = Π_i Pr(t|B⁺_i) · Π_i Pr(t|B⁻_i)
+//	Pr(t|B⁺_i) = 1 − Π_j (1 − exp(−‖B⁺_ij − t‖²_w))
+//	Pr(t|B⁻_i) = Π_j (1 − exp(−‖B⁻_ij − t‖²_w))
+//
+// by minimizing −log DD with multi-start gradient optimization: one start
+// per instance of (a subset of) the positive bags (§2.2.2, §4.3).
+package core
+
+import (
+	"math"
+
+	"milret/internal/mat"
+	"milret/internal/mil"
+)
+
+// WeightMode selects how the feature weights w are treated during DD
+// maximization (§3.6). The modes differ in the distance parametrization and
+// in the optimizer they require.
+type WeightMode int
+
+const (
+	// Original is the unmodified DD algorithm: distance Σ w_k²(t_k−x_k)²,
+	// both t and w free (§2.2.1). With few negatives it tends to push most
+	// weights to zero — the overfitting the paper sets out to fix.
+	Original WeightMode = iota
+	// Identical forces every weight to one and maximizes over t only
+	// (§3.6.1).
+	Identical
+	// AlphaHack keeps the Original parametrization but scales the w-part
+	// of the gradient by 1/α, making the ascent reluctant to move weights
+	// (§3.6.2). α=1 reproduces Original; α→∞ approaches Identical.
+	AlphaHack
+	// SumConstraint optimizes w directly under 0 ≤ w_k ≤ 1 and
+	// Σ w_k ≥ β·n (§3.6.3), replacing the paper's CFSQP with projected
+	// gradient descent. β=0 is unconstrained (like Original but with the
+	// box); β=1 forces all weights to one.
+	SumConstraint
+)
+
+func (m WeightMode) String() string {
+	switch m {
+	case Original:
+		return "original"
+	case Identical:
+		return "identical"
+	case AlphaHack:
+		return "alpha-hack"
+	case SumConstraint:
+		return "sum-constraint"
+	}
+	return "unknown"
+}
+
+// pMax keeps instance probabilities strictly below one so that negative-bag
+// terms −log(1 − p) stay finite even when the concept point lands exactly on
+// a negative instance.
+const pMax = 1 - 1e-10
+
+// logTiny is the log-probability below which the noisy-or for a positive
+// bag is computed in log space (all instance probabilities so small that
+// 1 − p rounds to 1 in float64).
+const logTiny = -30.0
+
+// objective captures one DD training problem: the bags, the weight mode and
+// the layout of the optimization variable θ.
+//
+// Layouts: Identical packs θ = t (dim n); all other modes pack θ = [t; w]
+// (dim 2n). Original and AlphaHack interpret w through w² in the distance;
+// SumConstraint uses w directly (its projection keeps w ∈ [0,1]).
+type objective struct {
+	pos, neg []*mil.Bag
+	dim      int
+	mode     WeightMode
+	alpha    float64
+
+	// scratch buffers, sized at construction; objective is not safe for
+	// concurrent use — each optimization start owns its own copy.
+	dists [][]float64 // per bag (pos then neg), per instance: d_ij
+	coefs []float64   // per instance of the current bag: ∂f/∂d_ij
+}
+
+func newObjective(ds *mil.Dataset, mode WeightMode, alpha float64) *objective {
+	o := &objective{
+		pos:   ds.Positive,
+		neg:   ds.Negative,
+		dim:   ds.Dim(),
+		mode:  mode,
+		alpha: alpha,
+	}
+	maxInst := 0
+	for _, b := range ds.Positive {
+		o.dists = append(o.dists, make([]float64, len(b.Instances)))
+		if len(b.Instances) > maxInst {
+			maxInst = len(b.Instances)
+		}
+	}
+	for _, b := range ds.Negative {
+		o.dists = append(o.dists, make([]float64, len(b.Instances)))
+		if len(b.Instances) > maxInst {
+			maxInst = len(b.Instances)
+		}
+	}
+	o.coefs = make([]float64, maxInst)
+	return o
+}
+
+// thetaDim returns the optimization-variable dimension for the mode.
+func (o *objective) thetaDim() int {
+	if o.mode == Identical {
+		return o.dim
+	}
+	return 2 * o.dim
+}
+
+// split returns the t and w views of θ. For Identical, w is nil (all-ones
+// semantics).
+func (o *objective) split(theta mat.Vector) (t, w mat.Vector) {
+	if o.mode == Identical {
+		return theta, nil
+	}
+	return theta[:o.dim], theta[o.dim:]
+}
+
+// distWeights returns the effective distance weights W_k for the packed w
+// (W = w² for Original/AlphaHack, W = w for SumConstraint, all-ones for
+// Identical). The result aliases buf.
+func (o *objective) distWeights(w, buf mat.Vector) mat.Vector {
+	switch o.mode {
+	case Identical:
+		return buf.Fill(1)
+	case SumConstraint:
+		copy(buf, w)
+		return buf
+	default: // Original, AlphaHack
+		for k, v := range w {
+			buf[k] = v * v
+		}
+		return buf
+	}
+}
+
+// Eval computes f(θ) = −log DD and, when grad is non-nil, its gradient.
+// This is the optimize.Func the minimizers consume.
+func (o *objective) Eval(theta, grad mat.Vector) float64 {
+	t, w := o.split(theta)
+	wbuf := mat.NewVector(o.dim)
+	W := o.distWeights(w, wbuf)
+
+	if grad != nil {
+		grad.Fill(0)
+	}
+	var f float64
+	bagIdx := 0
+	for _, b := range o.pos {
+		f += o.evalBag(b, true, t, w, W, o.dists[bagIdx], grad)
+		bagIdx++
+	}
+	for _, b := range o.neg {
+		f += o.evalBag(b, false, t, w, W, o.dists[bagIdx], grad)
+		bagIdx++
+	}
+	if grad != nil && o.mode == AlphaHack && o.alpha > 0 {
+		// §3.6.2: scale the w-part of the gradient by 1/α, making the
+		// ascent reluctant to move weights. This is a quasi-gradient — no
+		// objective has these partial derivatives — which is why AlphaHack
+		// runs under plain gradient descent.
+		gw := grad[o.dim:]
+		gw.Scale(1 / o.alpha)
+	}
+	return f
+}
+
+// evalBag adds one bag's −log probability to the objective and, when grad is
+// non-nil, accumulates its gradient contribution.
+func (o *objective) evalBag(b *mil.Bag, positive bool, t, w, W mat.Vector, dists []float64, grad mat.Vector) float64 {
+	n := len(b.Instances)
+	// Pass 1: distances d_ij = Σ_k W_k (t_k − x_k)².
+	for j, inst := range b.Instances {
+		var d float64
+		for k, tk := range t {
+			diff := tk - inst[k]
+			d += W[k] * diff * diff
+		}
+		dists[j] = d
+	}
+
+	coefs := o.coefs[:n]
+	var f float64
+	if positive {
+		f = posBagNLL(dists, coefs)
+	} else {
+		f = negBagNLL(dists, coefs)
+	}
+	if grad == nil {
+		return f
+	}
+
+	// Pass 2: chain rule. ∂d_ij/∂t_k = 2 W_k (t_k − x_k);
+	// Original/AlphaHack: ∂d/∂w_k = 2 w_k (t_k − x_k)²;
+	// SumConstraint:      ∂d/∂w_k = (t_k − x_k)².
+	gt := grad[:o.dim]
+	var gw mat.Vector
+	if o.mode != Identical {
+		gw = grad[o.dim:]
+	}
+	for j, inst := range b.Instances {
+		c := coefs[j]
+		if c == 0 {
+			continue
+		}
+		switch o.mode {
+		case Identical:
+			for k, tk := range t {
+				diff := tk - inst[k]
+				gt[k] += c * 2 * diff // W_k == 1
+			}
+		case SumConstraint:
+			for k, tk := range t {
+				diff := tk - inst[k]
+				gt[k] += c * 2 * W[k] * diff
+				gw[k] += c * diff * diff
+			}
+		default: // Original, AlphaHack
+			for k, tk := range t {
+				diff := tk - inst[k]
+				gt[k] += c * 2 * W[k] * diff
+				gw[k] += c * 2 * w[k] * diff * diff
+			}
+		}
+	}
+	return f
+}
+
+// posBagNLL returns −log Pr(t|B⁺) = −log(1 − Π_j (1 − p_j)) for p_j =
+// exp(−d_j) and fills coefs[j] = ∂(−log P)/∂d_j = p_j·Π_{l≠j}(1−p_l)/P.
+//
+// Two regimes keep the computation stable. When every p_j is tiny
+// (max −d_j < logTiny), 1 − p_j rounds to 1 in float64, so P is computed as
+// Σ p_j via log-sum-exp and the coefficients reduce to a softmax over −d_j.
+// Otherwise the noisy-or is computed directly with p clamped below one and
+// leave-one-out products handled through zero counting.
+func posBagNLL(dists, coefs []float64) float64 {
+	maxA := math.Inf(-1)
+	for _, d := range dists {
+		if a := -d; a > maxA {
+			maxA = a
+		}
+	}
+	if maxA < logTiny {
+		// log P ≈ logΣexp(−d_j); coef_j = exp(−d_j − logP) (softmax).
+		var s float64
+		for _, d := range dists {
+			s += math.Exp(-d - maxA)
+		}
+		logP := maxA + math.Log(s)
+		for j, d := range dists {
+			coefs[j] = math.Exp(-d - logP)
+		}
+		return -logP
+	}
+
+	// Direct evaluation with clamping.
+	zeroCount := 0
+	zeroAt := -1
+	prod := 1.0 // product of non-zero q_j
+	for j, d := range dists {
+		p := math.Exp(-d)
+		if p > pMax {
+			p = pMax
+		}
+		q := 1 - p
+		if q == 0 { // cannot happen with pMax clamp, kept for safety
+			zeroCount++
+			zeroAt = j
+			continue
+		}
+		prod *= q
+	}
+	var P float64
+	switch zeroCount {
+	case 0:
+		P = 1 - prod
+	default:
+		P = 1 // some q == 0 ⇒ Π q == 0
+	}
+	if P < 1e-300 {
+		P = 1e-300
+	}
+	for j, d := range dists {
+		p := math.Exp(-d)
+		if p > pMax {
+			p = pMax
+		}
+		q := 1 - p
+		var loo float64 // Π_{l≠j} q_l
+		switch {
+		case zeroCount == 0:
+			loo = prod / q
+		case zeroCount == 1 && j == zeroAt:
+			loo = prod
+		default:
+			loo = 0
+		}
+		coefs[j] = p * loo / P
+	}
+	return -math.Log(P)
+}
+
+// negBagNLL returns −log Pr(t|B⁻) = −Σ_j log(1 − p_j) and fills
+// coefs[j] = ∂/∂d_j = −p_j/(1 − p_j). Probabilities are clamped below one
+// so a concept point sitting exactly on a negative instance yields a large
+// but finite penalty.
+func negBagNLL(dists, coefs []float64) float64 {
+	var f float64
+	for j, d := range dists {
+		p := math.Exp(-d)
+		if p > pMax {
+			p = pMax
+		}
+		q := 1 - p
+		f -= math.Log(q)
+		coefs[j] = -p / q
+	}
+	return f
+}

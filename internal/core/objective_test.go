@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"milret/internal/mat"
+	"milret/internal/mil"
+)
+
+// randDataset builds a small random MIL dataset with instance values in a
+// moderate range so DD probabilities stay away from the clamping kinks.
+func randDataset(r *rand.Rand, dim, nPos, nNeg, instPerBag int) *mil.Dataset {
+	mk := func(id string) *mil.Bag {
+		b := &mil.Bag{ID: id}
+		for j := 0; j < instPerBag; j++ {
+			v := mat.NewVector(dim)
+			for k := range v {
+				v[k] = r.NormFloat64() * 0.7
+			}
+			b.Instances = append(b.Instances, v)
+		}
+		return b
+	}
+	ds := &mil.Dataset{}
+	for i := 0; i < nPos; i++ {
+		ds.Positive = append(ds.Positive, mk("p"))
+	}
+	for i := 0; i < nNeg; i++ {
+		ds.Negative = append(ds.Negative, mk("n"))
+	}
+	return ds
+}
+
+func fdCheck(t *testing.T, obj *objective, theta mat.Vector, tol float64) {
+	t.Helper()
+	g := mat.NewVector(len(theta))
+	obj.Eval(theta, g)
+	const h = 1e-6
+	for i := range theta {
+		tp, tm := theta.Clone(), theta.Clone()
+		tp[i] += h
+		tm[i] -= h
+		fd := (obj.Eval(tp, nil) - obj.Eval(tm, nil)) / (2 * h)
+		if math.Abs(fd-g[i]) > tol*(1+math.Abs(fd)) {
+			t.Fatalf("gradient mismatch at dim %d: analytic %v, finite-diff %v", i, g[i], fd)
+		}
+	}
+}
+
+func TestGradientFiniteDiffOriginal(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		ds := randDataset(r, 3, 2, 2, 3)
+		obj := newObjective(ds, Original, 0)
+		theta := mat.NewVector(obj.thetaDim())
+		for i := range theta {
+			theta[i] = r.NormFloat64() * 0.5
+		}
+		// Keep weights near one so the w² parametrization is well scaled.
+		for i := 3; i < 6; i++ {
+			theta[i] = 0.7 + r.Float64()*0.6
+		}
+		fdCheck(t, obj, theta, 1e-4)
+	}
+}
+
+func TestGradientFiniteDiffIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		ds := randDataset(r, 4, 2, 2, 3)
+		obj := newObjective(ds, Identical, 0)
+		theta := mat.NewVector(obj.thetaDim())
+		for i := range theta {
+			theta[i] = r.NormFloat64() * 0.5
+		}
+		fdCheck(t, obj, theta, 1e-4)
+	}
+}
+
+func TestGradientFiniteDiffSumConstraint(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		ds := randDataset(r, 3, 2, 2, 3)
+		obj := newObjective(ds, SumConstraint, 0)
+		theta := mat.NewVector(obj.thetaDim())
+		for i := 0; i < 3; i++ {
+			theta[i] = r.NormFloat64() * 0.5
+		}
+		for i := 3; i < 6; i++ {
+			theta[i] = 0.2 + r.Float64()*0.6 // interior of the box
+		}
+		fdCheck(t, obj, theta, 1e-4)
+	}
+}
+
+func TestGradientFiniteDiffTinyBranch(t *testing.T) {
+	// Push the concept far from all instances so every p underflows the
+	// direct branch; the log-sum-exp branch must still produce a gradient
+	// matching finite differences.
+	r := rand.New(rand.NewSource(4))
+	ds := randDataset(r, 3, 2, 1, 3)
+	obj := newObjective(ds, Identical, 0)
+	theta := mat.Vector{9, -9, 9} // distance² >> 30 from all instances
+	fdCheck(t, obj, theta, 1e-3)
+}
+
+func TestAlphaHackScalesOnlyWeightGradient(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ds := randDataset(r, 3, 2, 2, 3)
+	alpha := 50.0
+	orig := newObjective(ds, Original, 0)
+	hack := newObjective(ds, AlphaHack, alpha)
+	theta := mat.NewVector(orig.thetaDim())
+	for i := range theta {
+		theta[i] = r.NormFloat64()*0.3 + 0.5
+	}
+	gOrig := mat.NewVector(len(theta))
+	gHack := mat.NewVector(len(theta))
+	fo := orig.Eval(theta, gOrig)
+	fh := hack.Eval(theta, gHack)
+	if math.Abs(fo-fh) > 1e-12 {
+		t.Fatalf("objective value must not change under the hack: %v vs %v", fo, fh)
+	}
+	for i := 0; i < 3; i++ {
+		if math.Abs(gOrig[i]-gHack[i]) > 1e-12 {
+			t.Fatalf("t-gradient changed at %d: %v vs %v", i, gOrig[i], gHack[i])
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if math.Abs(gOrig[i]/alpha-gHack[i]) > 1e-12 {
+			t.Fatalf("w-gradient not scaled by 1/α at %d: %v vs %v", i, gOrig[i]/alpha, gHack[i])
+		}
+	}
+}
+
+func TestPosBagNLLSoftmaxBranch(t *testing.T) {
+	dists := []float64{500, 510, 505}
+	coefs := make([]float64, 3)
+	f := posBagNLL(dists, coefs)
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		t.Fatalf("far positive bag NLL not finite: %v", f)
+	}
+	var sum float64
+	for _, c := range coefs {
+		if c < 0 {
+			t.Fatalf("negative softmax coefficient %v", c)
+		}
+		sum += c
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("softmax coefficients sum to %v, want 1", sum)
+	}
+	// The nearest instance must dominate.
+	if !(coefs[0] > coefs[2] && coefs[2] > coefs[1]) {
+		t.Fatalf("coefficient ordering wrong: %v", coefs)
+	}
+}
+
+func TestPosBagNLLExactHit(t *testing.T) {
+	dists := []float64{0, 5}
+	coefs := make([]float64, 2)
+	f := posBagNLL(dists, coefs)
+	// p₀ ≈ 1 ⇒ P ≈ 1 ⇒ −log P ≈ 0.
+	if f > 1e-6 {
+		t.Fatalf("exact hit should give ~0 NLL, got %v", f)
+	}
+	for _, c := range coefs {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatalf("non-finite coefficient %v", coefs)
+		}
+	}
+}
+
+func TestNegBagNLLExactHitFinite(t *testing.T) {
+	dists := []float64{0}
+	coefs := make([]float64, 1)
+	f := negBagNLL(dists, coefs)
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		t.Fatalf("negative bag on concept point must be finite, got %v", f)
+	}
+	if f < 10 {
+		t.Fatalf("exact negative hit should be strongly penalized, got %v", f)
+	}
+	if coefs[0] >= 0 {
+		t.Fatalf("negative-bag coefficient should push away (negative), got %v", coefs[0])
+	}
+}
+
+func TestNegBagNLLFarIsCheap(t *testing.T) {
+	dists := []float64{200}
+	coefs := make([]float64, 1)
+	if f := negBagNLL(dists, coefs); f > 1e-10 {
+		t.Fatalf("far negative instance should cost ~0, got %v", f)
+	}
+}
+
+// Property: the objective decreases when the concept moves onto a shared
+// positive instance location.
+func TestQuickObjectiveFavorsSharedPositives(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 2
+		target := mat.Vector{1, -1}
+		ds := &mil.Dataset{}
+		for i := 0; i < 3; i++ {
+			noise := mat.NewVector(dim)
+			for k := range noise {
+				noise[k] = r.NormFloat64() * 3
+			}
+			near := target.Clone()
+			near[0] += r.NormFloat64() * 0.05
+			near[1] += r.NormFloat64() * 0.05
+			ds.Positive = append(ds.Positive, &mil.Bag{ID: "p", Instances: []mat.Vector{near, noise}})
+		}
+		obj := newObjective(ds, Identical, 0)
+		far := mat.Vector{-4, 4}
+		return obj.Eval(target, nil) < obj.Eval(far, nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"milret/internal/mat"
+	"milret/internal/mil"
+	"milret/internal/optimize"
+)
+
+// Config controls a Diverse Density training run.
+type Config struct {
+	// Mode selects the weight-control scheme (§3.6). Default Original.
+	Mode WeightMode
+	// Alpha is the gradient divisor for AlphaHack (§3.6.2); the paper
+	// found values around 50 occasionally better than both extremes.
+	// Ignored by other modes. Default 50.
+	Alpha float64
+	// Beta is the sum-constraint level for SumConstraint (§3.6.3):
+	// Σ w_k ≥ Beta·dim with w_k ∈ [0,1]. Beta 0 leaves only the box;
+	// Beta 1 forces all weights to one. Ignored by other modes.
+	Beta float64
+	// StartBags bounds how many positive bags contribute starting points
+	// (§4.3): 0 or ≥ len(positive) means all of them. The paper found 3 of
+	// 5 indistinguishable from all 5, and 2 of 5 about 95% as good.
+	StartBags int
+	// Opt configures the inner minimizer. The zero value uses the
+	// package defaults.
+	Opt optimize.Options
+	// Parallelism bounds concurrent optimization starts; 0 means
+	// runtime.NumCPU().
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha <= 0 {
+		c.Alpha = 50
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	if c.Opt.MaxIter <= 0 {
+		c.Opt.MaxIter = 120
+	}
+	if c.Opt.GradTol <= 0 {
+		c.Opt.GradTol = 1e-5
+	}
+	return c
+}
+
+// Concept is a trained Diverse Density concept: the "ideal" point t in
+// feature space plus the effective distance weights, ready to rank a
+// database (§3.5).
+type Concept struct {
+	// Point is the concept location t.
+	Point mat.Vector
+	// Weights are the effective distance weights W_k such that
+	// dist(x) = Σ_k W_k (t_k − x_k)². For Original/AlphaHack these are the
+	// squared raw weights; for Identical, all ones; for SumConstraint, the
+	// constrained weights themselves.
+	Weights mat.Vector
+	// NegLogDD is the objective −log DD at the solution (lower is better).
+	NegLogDD float64
+	// Mode records the weight scheme that produced the concept.
+	Mode WeightMode
+	// Starts is the number of optimization starts performed.
+	Starts int
+	// Evals is the total number of objective evaluations across starts.
+	Evals int
+}
+
+// SqDistTo returns the weighted squared distance from the concept point to
+// the instance x.
+func (c *Concept) SqDistTo(x mat.Vector) float64 {
+	return mat.WeightedSqDist(c.Point, x, c.Weights)
+}
+
+// BagDist returns the distance from an image (bag) to the concept: the
+// minimum over the bag's instances of the weighted distance to t (§3.5).
+func (c *Concept) BagDist(b *mil.Bag) float64 {
+	d, _ := c.BestInstance(b)
+	return d
+}
+
+// BestInstance returns the bag's distance to the concept together with the
+// index of the instance achieving it — the region that "represents the
+// user's concept" for this image, which is the interpretability hook the
+// whole multiple-instance framing buys (§1.2). The index is -1 for an
+// empty bag.
+func (c *Concept) BestInstance(b *mil.Bag) (dist float64, index int) {
+	index = -1
+	for j, inst := range b.Instances {
+		d := c.SqDistTo(inst)
+		if index < 0 || d < dist {
+			dist, index = d, j
+		}
+	}
+	return dist, index
+}
+
+// Train maximizes Diverse Density over the dataset and returns the best
+// concept found. Following §2.2.2, one minimization of −log DD starts from
+// every instance of every selected positive bag (initial weights all one);
+// starts run concurrently and the lowest final objective wins, with ties
+// broken by start order for determinism.
+func Train(ds *mil.Dataset, cfg Config) (*Concept, error) {
+	cfg = cfg.withDefaults()
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	dim := ds.Dim()
+	if cfg.Mode == SumConstraint {
+		con := optimize.BoxSum{Lo: 0, Hi: 1, MinSum: cfg.Beta * float64(dim)}
+		if err := con.Validate(dim); err != nil {
+			return nil, fmt.Errorf("core: invalid beta %v: %w", cfg.Beta, err)
+		}
+		if cfg.Beta < 0 {
+			return nil, fmt.Errorf("core: negative beta %v", cfg.Beta)
+		}
+	}
+
+	// Collect starting instances from the selected subset of positive bags
+	// (§4.3). Bags are taken in dataset order for determinism.
+	nBags := len(ds.Positive)
+	useBags := cfg.StartBags
+	if useBags <= 0 || useBags > nBags {
+		useBags = nBags
+	}
+	var starts []mat.Vector
+	for _, b := range ds.Positive[:useBags] {
+		starts = append(starts, b.Instances...)
+	}
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("core: no starting instances in first %d positive bags", useBags)
+	}
+
+	type outcome struct {
+		res optimize.Result
+		idx int
+	}
+	results := make([]outcome, len(starts))
+	sem := make(chan struct{}, cfg.Parallelism)
+	var wg sync.WaitGroup
+	for i, inst := range starts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, inst mat.Vector) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			// Each start owns its objective: the scratch buffers inside are
+			// not safe to share.
+			obj := newObjective(ds, cfg.Mode, cfg.Alpha)
+			theta := mat.NewVector(obj.thetaDim())
+			copy(theta[:dim], inst)
+			if cfg.Mode != Identical {
+				theta[dim:].Fill(1)
+			}
+			var res optimize.Result
+			switch cfg.Mode {
+			case SumConstraint:
+				con := optimize.BoxSum{Lo: 0, Hi: 1, MinSum: cfg.Beta * float64(dim)}
+				project := func(th mat.Vector) { con.Project(th[dim:]) }
+				res = optimize.ProjectedGradient(obj.Eval, project, theta, cfg.Opt)
+			case AlphaHack:
+				res = optimize.GradientDescent(obj.Eval, theta, cfg.Opt)
+			default: // Original, Identical
+				res = optimize.LBFGS(obj.Eval, theta, cfg.Opt)
+			}
+			results[i] = outcome{res: res, idx: i}
+		}(i, inst)
+	}
+	wg.Wait()
+
+	best := -1
+	totalEvals := 0
+	for i, oc := range results {
+		totalEvals += oc.res.Evals
+		if best < 0 || oc.res.F < results[best].res.F {
+			best = i
+		}
+	}
+	win := results[best].res
+
+	concept := &Concept{
+		NegLogDD: win.F,
+		Mode:     cfg.Mode,
+		Starts:   len(starts),
+		Evals:    totalEvals,
+	}
+	concept.Point = win.X[:dim].Clone()
+	switch cfg.Mode {
+	case Identical:
+		concept.Weights = mat.Ones(dim)
+	case SumConstraint:
+		concept.Weights = win.X[dim:].Clone()
+	default: // Original, AlphaHack: effective weights are w²
+		w := win.X[dim:]
+		eff := mat.NewVector(dim)
+		for k, v := range w {
+			eff[k] = v * v
+		}
+		concept.Weights = eff
+	}
+	return concept, nil
+}
+
+// NegLogDDAt evaluates −log DD at an arbitrary (t, W) pair, where W are
+// effective distance weights. It is exported for diagnostics and tests; the
+// weight parametrization differences between modes are bypassed by treating
+// W as SumConstraint-style direct weights.
+func NegLogDDAt(ds *mil.Dataset, t, weights mat.Vector) float64 {
+	obj := newObjective(ds, SumConstraint, 0)
+	theta := mat.NewVector(2 * len(t))
+	copy(theta[:len(t)], t)
+	copy(theta[len(t):], weights)
+	return obj.Eval(theta, nil)
+}

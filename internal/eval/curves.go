@@ -1,0 +1,197 @@
+// Package eval implements the paper's evaluation machinery (§4.1): recall
+// curves and precision-recall curves over rankings, the windowed
+// average-precision summary used in Figure 4-22, stratified train/test
+// splits, and the automated relevance-feedback protocol that simulates a
+// user picking out false positives across training rounds.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"milret/internal/retrieval"
+)
+
+// PRPoint is one point of a precision-recall curve.
+type PRPoint struct {
+	Recall    float64
+	Precision float64
+}
+
+// CountLabel returns how many results carry the target label.
+func CountLabel(results []retrieval.Result, target string) int {
+	n := 0
+	for _, r := range results {
+		if r.Label == target {
+			n++
+		}
+	}
+	return n
+}
+
+// RecallCurve returns recall after each retrieved image: out[i] is the
+// fraction of all target-labelled images found within the first i+1 results.
+// A random ranking yields the diagonal; better systems are more convex
+// (Figure 4-5). The total relevant count is taken from the ranking itself,
+// which covers the whole test set in the paper's protocol.
+func RecallCurve(results []retrieval.Result, target string) []float64 {
+	total := CountLabel(results, target)
+	out := make([]float64, len(results))
+	found := 0
+	for i, r := range results {
+		if r.Label == target {
+			found++
+		}
+		if total > 0 {
+			out[i] = float64(found) / float64(total)
+		}
+	}
+	return out
+}
+
+// PrecisionRecall returns the precision-recall curve (Figure 4-6): one
+// point per retrieved image, precision = correct-so-far / retrieved-so-far,
+// recall = correct-so-far / total-correct.
+func PrecisionRecall(results []retrieval.Result, target string) []PRPoint {
+	total := CountLabel(results, target)
+	out := make([]PRPoint, len(results))
+	found := 0
+	for i, r := range results {
+		if r.Label == target {
+			found++
+		}
+		p := PRPoint{Precision: float64(found) / float64(i+1)}
+		if total > 0 {
+			p.Recall = float64(found) / float64(total)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// AvgPrecisionWindow returns the mean precision over curve points whose
+// recall lies in [lo, hi] — the summary measure of Figure 4-22 ("average
+// precision value for recall between 0.3 and 0.4"). If the curve jumps over
+// the window entirely, the precision at the first point with recall ≥ lo is
+// used; an empty curve scores 0.
+func AvgPrecisionWindow(pr []PRPoint, lo, hi float64) float64 {
+	var sum float64
+	var n int
+	for _, p := range pr {
+		if p.Recall >= lo && p.Recall <= hi {
+			sum += p.Precision
+			n++
+		}
+	}
+	if n > 0 {
+		return sum / float64(n)
+	}
+	for _, p := range pr {
+		if p.Recall >= lo {
+			return p.Precision
+		}
+	}
+	return 0
+}
+
+// AveragePrecision returns the standard average precision: the mean of the
+// precision values at each rank where a relevant image appears. It
+// summarizes a whole PR curve in one number and equals 1.0 only for a
+// perfect ranking.
+func AveragePrecision(results []retrieval.Result, target string) float64 {
+	total := CountLabel(results, target)
+	if total == 0 {
+		return 0
+	}
+	var sum float64
+	found := 0
+	for i, r := range results {
+		if r.Label == target {
+			found++
+			sum += float64(found) / float64(i+1)
+		}
+	}
+	return sum / float64(total)
+}
+
+// PrecisionAt returns precision within the first k results (0 if k <= 0).
+func PrecisionAt(results []retrieval.Result, target string, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > len(results) {
+		k = len(results)
+	}
+	found := 0
+	for _, r := range results[:k] {
+		if r.Label == target {
+			found++
+		}
+	}
+	return float64(found) / float64(k)
+}
+
+// RecallAt returns recall within the first k results.
+func RecallAt(results []retrieval.Result, target string, k int) float64 {
+	total := CountLabel(results, target)
+	if total == 0 || k <= 0 {
+		return 0
+	}
+	if k > len(results) {
+		k = len(results)
+	}
+	found := 0
+	for _, r := range results[:k] {
+		if r.Label == target {
+			found++
+		}
+	}
+	return float64(found) / float64(total)
+}
+
+// Split partitions database indices into a small "potential training set"
+// whose labels the simulated user may inspect, and the large held-out test
+// set (§4.1).
+type Split struct {
+	Train []int
+	Test  []int
+}
+
+// StratifiedSplit places trainFrac of each label's items (rounded, at least
+// one when the label has any items) into the training pool, choosing
+// uniformly at random with the given seed; the paper uses 20% per category.
+// The split is deterministic for a fixed (labels, trainFrac, seed).
+func StratifiedSplit(labels []string, trainFrac float64, seed int64) (Split, error) {
+	if trainFrac < 0 || trainFrac > 1 {
+		return Split{}, fmt.Errorf("eval: train fraction %v outside [0,1]", trainFrac)
+	}
+	byLabel := map[string][]int{}
+	for i, lb := range labels {
+		byLabel[lb] = append(byLabel[lb], i)
+	}
+	keys := make([]string, 0, len(byLabel))
+	for k := range byLabel {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	rng := rand.New(rand.NewSource(seed))
+	var sp Split
+	for _, k := range keys {
+		idx := byLabel[k]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		nTrain := int(trainFrac*float64(len(idx)) + 0.5)
+		if nTrain == 0 && trainFrac > 0 && len(idx) > 0 {
+			nTrain = 1
+		}
+		if nTrain > len(idx) {
+			nTrain = len(idx)
+		}
+		sp.Train = append(sp.Train, idx[:nTrain]...)
+		sp.Test = append(sp.Test, idx[nTrain:]...)
+	}
+	sort.Ints(sp.Train)
+	sort.Ints(sp.Test)
+	return sp, nil
+}

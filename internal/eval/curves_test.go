@@ -1,0 +1,253 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"milret/internal/retrieval"
+)
+
+func res(labels ...string) []retrieval.Result {
+	out := make([]retrieval.Result, len(labels))
+	for i, lb := range labels {
+		out[i] = retrieval.Result{ID: string(rune('a' + i)), Label: lb, Dist: float64(i)}
+	}
+	return out
+}
+
+func TestRecallCurvePerfect(t *testing.T) {
+	r := res("x", "x", "y", "y")
+	c := RecallCurve(r, "x")
+	want := []float64{0.5, 1, 1, 1}
+	for i := range want {
+		if math.Abs(c[i]-want[i]) > 1e-12 {
+			t.Fatalf("recall[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestRecallCurveNoTargets(t *testing.T) {
+	c := RecallCurve(res("y", "y"), "x")
+	for _, v := range c {
+		if v != 0 {
+			t.Fatalf("recall with no targets = %v", c)
+		}
+	}
+}
+
+func TestPrecisionRecallPerfectPrefix(t *testing.T) {
+	pr := PrecisionRecall(res("x", "x", "y"), "x")
+	if pr[0].Precision != 1 || pr[1].Precision != 1 {
+		t.Fatalf("perfect prefix precision: %+v", pr)
+	}
+	if math.Abs(pr[2].Precision-2.0/3) > 1e-12 {
+		t.Fatalf("precision after miss: %v", pr[2].Precision)
+	}
+	if pr[1].Recall != 1 {
+		t.Fatalf("recall after all found: %v", pr[1].Recall)
+	}
+}
+
+func TestPrecisionRecallMisleadingFirstMiss(t *testing.T) {
+	// Figure 4-7: first image wrong, next seven right.
+	labels := []string{"y", "x", "x", "x", "x", "x", "x", "x"}
+	pr := PrecisionRecall(res(labels...), "x")
+	if pr[0].Precision != 0 {
+		t.Fatalf("first precision should be 0: %+v", pr[0])
+	}
+	if math.Abs(pr[7].Precision-7.0/8) > 1e-12 {
+		t.Fatalf("final precision: %v", pr[7].Precision)
+	}
+}
+
+// Property: recall curves are monotone non-decreasing and end at 1 when any
+// target exists; precision stays within (0, 1].
+func TestQuickCurveInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
+		labels := make([]string, n)
+		hasTarget := false
+		for i := range labels {
+			if r.Float64() < 0.3 {
+				labels[i] = "t"
+				hasTarget = true
+			} else {
+				labels[i] = "o"
+			}
+		}
+		rs := res(labels...)
+		rec := RecallCurve(rs, "t")
+		pr := PrecisionRecall(rs, "t")
+		for i := range rec {
+			if i > 0 && rec[i] < rec[i-1] {
+				return false
+			}
+			if pr[i].Precision < 0 || pr[i].Precision > 1 {
+				return false
+			}
+			if math.Abs(pr[i].Recall-rec[i]) > 1e-12 {
+				return false
+			}
+		}
+		if hasTarget && math.Abs(rec[n-1]-1) > 1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvgPrecisionWindow(t *testing.T) {
+	pr := []PRPoint{
+		{Recall: 0.1, Precision: 1.0},
+		{Recall: 0.35, Precision: 0.8},
+		{Recall: 0.38, Precision: 0.6},
+		{Recall: 0.9, Precision: 0.2},
+	}
+	if got := AvgPrecisionWindow(pr, 0.3, 0.4); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("window avg = %v, want 0.7", got)
+	}
+	// Window jumped over: fall back to first point with recall ≥ lo.
+	if got := AvgPrecisionWindow(pr, 0.5, 0.6); got != 0.2 {
+		t.Fatalf("jumped window = %v, want 0.2", got)
+	}
+	if got := AvgPrecisionWindow(nil, 0.3, 0.4); got != 0 {
+		t.Fatalf("empty curve = %v, want 0", got)
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	if got := AveragePrecision(res("x", "x", "y", "y"), "x"); got != 1 {
+		t.Fatalf("perfect AP = %v", got)
+	}
+	// Targets at ranks 2 and 4: AP = (1/2 + 2/4)/2 = 0.5.
+	if got := AveragePrecision(res("y", "x", "y", "x"), "x"); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("AP = %v, want 0.5", got)
+	}
+	if got := AveragePrecision(res("y", "y"), "x"); got != 0 {
+		t.Fatalf("no-target AP = %v", got)
+	}
+}
+
+func TestPrecisionRecallAt(t *testing.T) {
+	rs := res("x", "y", "x", "y")
+	if got := PrecisionAt(rs, "x", 2); got != 0.5 {
+		t.Fatalf("P@2 = %v", got)
+	}
+	if got := PrecisionAt(rs, "x", 100); got != 0.5 {
+		t.Fatalf("P@clamped = %v", got)
+	}
+	if got := PrecisionAt(rs, "x", 0); got != 0 {
+		t.Fatalf("P@0 = %v", got)
+	}
+	if got := RecallAt(rs, "x", 1); got != 0.5 {
+		t.Fatalf("R@1 = %v", got)
+	}
+	if got := RecallAt(rs, "x", 4); got != 1 {
+		t.Fatalf("R@4 = %v", got)
+	}
+}
+
+func TestStratifiedSplitFractions(t *testing.T) {
+	labels := make([]string, 100)
+	for i := range labels {
+		if i < 60 {
+			labels[i] = "a"
+		} else {
+			labels[i] = "b"
+		}
+	}
+	sp, err := StratifiedSplit(labels, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, i := range sp.Train {
+		counts[labels[i]]++
+	}
+	if counts["a"] != 12 || counts["b"] != 8 {
+		t.Fatalf("train counts %v, want a:12 b:8", counts)
+	}
+	if len(sp.Train)+len(sp.Test) != 100 {
+		t.Fatalf("split loses items: %d + %d", len(sp.Train), len(sp.Test))
+	}
+}
+
+func TestStratifiedSplitDisjointComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		labels := make([]string, n)
+		for i := range labels {
+			labels[i] = string(rune('a' + r.Intn(3)))
+		}
+		sp, err := StratifiedSplit(labels, r.Float64(), seed)
+		if err != nil {
+			return false
+		}
+		seen := map[int]int{}
+		for _, i := range sp.Train {
+			seen[i]++
+		}
+		for _, i := range sp.Test {
+			seen[i]++
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStratifiedSplitDeterministic(t *testing.T) {
+	labels := []string{"a", "a", "b", "b", "a", "b", "a", "b"}
+	s1, _ := StratifiedSplit(labels, 0.5, 42)
+	s2, _ := StratifiedSplit(labels, 0.5, 42)
+	if len(s1.Train) != len(s2.Train) {
+		t.Fatalf("non-deterministic split size")
+	}
+	for i := range s1.Train {
+		if s1.Train[i] != s2.Train[i] {
+			t.Fatalf("non-deterministic split")
+		}
+	}
+}
+
+func TestStratifiedSplitAtLeastOne(t *testing.T) {
+	labels := []string{"a", "a", "a", "b"} // 20% of 1 rounds to 0
+	sp, err := StratifiedSplit(labels, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundB := false
+	for _, i := range sp.Train {
+		if labels[i] == "b" {
+			foundB = true
+		}
+	}
+	if !foundB {
+		t.Fatalf("label with few items got no training representation")
+	}
+}
+
+func TestStratifiedSplitBadFraction(t *testing.T) {
+	if _, err := StratifiedSplit([]string{"a"}, -0.1, 1); err == nil {
+		t.Fatalf("negative fraction accepted")
+	}
+	if _, err := StratifiedSplit([]string{"a"}, 1.1, 1); err == nil {
+		t.Fatalf("fraction > 1 accepted")
+	}
+}

@@ -1,0 +1,185 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"milret/internal/core"
+	"milret/internal/mil"
+	"milret/internal/retrieval"
+)
+
+// ProtocolConfig describes one simulated retrieval session following §4.1:
+// initial positive and negative examples are drawn from the potential
+// training set, the system trains, ranks the training pool, promotes the
+// top false positives to negative examples, and repeats; the final concept
+// ranks the held-out test set.
+type ProtocolConfig struct {
+	// Target is the category the simulated user wants (e.g. "waterfall").
+	Target string
+	// NumPos / NumNeg are the initial example counts (default 5 each,
+	// matching the sample runs of Figures 4-3/4-4).
+	NumPos, NumNeg int
+	// Rounds is the number of training rounds (default 3: initial training
+	// plus two feedback rounds, §4.1).
+	Rounds int
+	// FalsePositivesPerRound is how many top-ranked wrong images become new
+	// negatives after each round (default 5).
+	FalsePositivesPerRound int
+	// Train configures the Diverse Density runs.
+	Train core.Config
+	// Seed drives the choice of initial examples.
+	Seed int64
+}
+
+func (c ProtocolConfig) withDefaults() ProtocolConfig {
+	if c.NumPos <= 0 {
+		c.NumPos = 5
+	}
+	if c.NumNeg <= 0 {
+		c.NumNeg = 5
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 3
+	}
+	if c.FalsePositivesPerRound <= 0 {
+		c.FalsePositivesPerRound = 5
+	}
+	return c
+}
+
+// ProtocolResult is the outcome of one simulated session.
+type ProtocolResult struct {
+	// Concept is the final trained concept.
+	Concept *core.Concept
+	// TestRanking is the final ranking of the test database.
+	TestRanking []retrieval.Result
+	// PoolRankings records the training-pool ranking after each round
+	// (before new negatives were added), for Figure 4-3-style inspection.
+	PoolRankings [][]retrieval.Result
+	// PositiveIDs and NegativeIDs are the example images used, in the
+	// order they were added (negatives grow across rounds).
+	PositiveIDs, NegativeIDs []string
+}
+
+// RunProtocol executes the simulated session against a training pool and a
+// held-out test set. Both databases must already contain preprocessed bags;
+// pool labels are consulted (the simulated user "knows" them, §4.1), test
+// labels are used only for scoring by the caller.
+func RunProtocol(pool, test *retrieval.Database, cfg ProtocolConfig) (*ProtocolResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("eval: protocol target category is empty")
+	}
+
+	// Initial examples: NumPos target images and NumNeg non-target images,
+	// drawn without replacement from the pool with a seeded shuffle.
+	items := pool.Items()
+	var posIdx, negIdx []int
+	for i, it := range items {
+		if it.Label == cfg.Target {
+			posIdx = append(posIdx, i)
+		} else {
+			negIdx = append(negIdx, i)
+		}
+	}
+	if len(posIdx) < cfg.NumPos {
+		return nil, fmt.Errorf("eval: pool has %d %q images, need %d positives", len(posIdx), cfg.Target, cfg.NumPos)
+	}
+	if len(negIdx) < cfg.NumNeg {
+		return nil, fmt.Errorf("eval: pool has %d non-%q images, need %d negatives", len(negIdx), cfg.Target, cfg.NumNeg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng.Shuffle(len(posIdx), func(i, j int) { posIdx[i], posIdx[j] = posIdx[j], posIdx[i] })
+	rng.Shuffle(len(negIdx), func(i, j int) { negIdx[i], negIdx[j] = negIdx[j], negIdx[i] })
+
+	ds := &mil.Dataset{}
+	res := &ProtocolResult{}
+	used := map[string]bool{}
+	for _, i := range posIdx[:cfg.NumPos] {
+		ds.Positive = append(ds.Positive, items[i].Bag)
+		res.PositiveIDs = append(res.PositiveIDs, items[i].ID)
+		used[items[i].ID] = true
+	}
+	for _, i := range negIdx[:cfg.NumNeg] {
+		ds.Negative = append(ds.Negative, items[i].Bag)
+		res.NegativeIDs = append(res.NegativeIDs, items[i].ID)
+		used[items[i].ID] = true
+	}
+
+	var concept *core.Concept
+	for round := 0; round < cfg.Rounds; round++ {
+		var err error
+		concept, err = core.Train(ds, cfg.Train)
+		if err != nil {
+			return nil, fmt.Errorf("eval: round %d training: %w", round+1, err)
+		}
+		// Rank the pool excluding current examples; the simulated user
+		// inspects the head of the ranking (§4.1).
+		exclude := make(map[string]bool, len(used))
+		for id := range used {
+			exclude[id] = true
+		}
+		ranking := retrieval.Rank(pool, concept, retrieval.Options{
+			Exclude:     exclude,
+			Parallelism: cfg.Train.Parallelism,
+		})
+		res.PoolRankings = append(res.PoolRankings, ranking)
+		if round == cfg.Rounds-1 {
+			break // final round: no more feedback
+		}
+		// Promote the top false positives to negative examples.
+		added := 0
+		for _, r := range ranking {
+			if added == cfg.FalsePositivesPerRound {
+				break
+			}
+			if r.Label == cfg.Target {
+				continue
+			}
+			it, ok := pool.ByID(r.ID)
+			if !ok {
+				return nil, fmt.Errorf("eval: ranked ID %q vanished from pool", r.ID)
+			}
+			ds.Negative = append(ds.Negative, it.Bag)
+			res.NegativeIDs = append(res.NegativeIDs, it.ID)
+			used[it.ID] = true
+			added++
+		}
+		if added == 0 {
+			// The entire remaining pool head is correct: nothing to learn
+			// from; stop the feedback early with the current concept.
+			break
+		}
+	}
+
+	res.Concept = concept
+	res.TestRanking = retrieval.Rank(test, concept, retrieval.Options{
+		Parallelism: cfg.Train.Parallelism,
+	})
+	return res, nil
+}
+
+// SplitDatabases materializes a Split over a record list into pool and test
+// databases; items is indexed by the split's indices.
+func SplitDatabases(items []retrieval.Item, sp Split) (pool, test *retrieval.Database, err error) {
+	pool = retrieval.NewDatabase()
+	test = retrieval.NewDatabase()
+	for _, i := range sp.Train {
+		if i < 0 || i >= len(items) {
+			return nil, nil, fmt.Errorf("eval: split train index %d out of range", i)
+		}
+		if err := pool.Add(items[i]); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, i := range sp.Test {
+		if i < 0 || i >= len(items) {
+			return nil, nil, fmt.Errorf("eval: split test index %d out of range", i)
+		}
+		if err := test.Add(items[i]); err != nil {
+			return nil, nil, err
+		}
+	}
+	return pool, test, nil
+}

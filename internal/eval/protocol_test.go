@@ -1,0 +1,185 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"milret/internal/core"
+	"milret/internal/mat"
+	"milret/internal/mil"
+	"milret/internal/retrieval"
+)
+
+// clusteredItem builds an image-like bag: one instance near its category's
+// cluster center plus distractor instances.
+func clusteredItem(r *rand.Rand, id, label string, center mat.Vector, distractors int) retrieval.Item {
+	b := &mil.Bag{ID: id}
+	near := center.Clone()
+	for k := range near {
+		near[k] += r.NormFloat64() * 0.3
+	}
+	b.Instances = append(b.Instances, near)
+	for j := 0; j < distractors; j++ {
+		v := mat.NewVector(len(center))
+		for k := range v {
+			v[k] = r.NormFloat64() * 6
+		}
+		b.Instances = append(b.Instances, v)
+	}
+	return retrieval.Item{ID: id, Label: label, Bag: b}
+}
+
+var clusterCenters = map[string]mat.Vector{
+	"alpha": {5, 0},
+	"beta":  {0, 5},
+	"gamma": {-5, -5},
+}
+
+func clusteredDBs(t *testing.T, seed int64, poolPer, testPer int) (pool, test *retrieval.Database) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	pool = retrieval.NewDatabase()
+	test = retrieval.NewDatabase()
+	for _, label := range []string{"alpha", "beta", "gamma"} {
+		for i := 0; i < poolPer; i++ {
+			it := clusteredItem(r, fmt.Sprintf("pool-%s-%d", label, i), label, clusterCenters[label], 2)
+			if err := pool.Add(it); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < testPer; i++ {
+			it := clusteredItem(r, fmt.Sprintf("test-%s-%d", label, i), label, clusterCenters[label], 2)
+			if err := test.Add(it); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return pool, test
+}
+
+func TestRunProtocolRetrievesTarget(t *testing.T) {
+	pool, test := clusteredDBs(t, 1, 12, 20)
+	cfg := ProtocolConfig{
+		Target: "alpha",
+		Train:  core.Config{Mode: core.Identical},
+		Seed:   7,
+	}
+	res, err := RunProtocol(pool, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Concept == nil {
+		t.Fatalf("nil concept")
+	}
+	if len(res.TestRanking) != test.Len() {
+		t.Fatalf("test ranking covers %d of %d", len(res.TestRanking), test.Len())
+	}
+	ap := AveragePrecision(res.TestRanking, "alpha")
+	if ap < 0.7 {
+		t.Fatalf("average precision %v too low for planted clusters", ap)
+	}
+	// All positives must really be alphas from the pool.
+	for _, id := range res.PositiveIDs {
+		it, ok := pool.ByID(id)
+		if !ok || it.Label != "alpha" {
+			t.Fatalf("positive example %q is not an alpha pool item", id)
+		}
+	}
+}
+
+func TestRunProtocolFeedbackGrowsNegatives(t *testing.T) {
+	pool, test := clusteredDBs(t, 2, 12, 5)
+	cfg := ProtocolConfig{
+		Target: "alpha",
+		Rounds: 3,
+		Train:  core.Config{Mode: core.Identical},
+		Seed:   3,
+	}
+	res, err := RunProtocol(pool, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PoolRankings) == 0 || len(res.PoolRankings) > 3 {
+		t.Fatalf("pool rankings per round: %d", len(res.PoolRankings))
+	}
+	if len(res.NegativeIDs) <= 5 {
+		t.Fatalf("feedback added no negatives: %d", len(res.NegativeIDs))
+	}
+	// No example may be duplicated.
+	seen := map[string]bool{}
+	for _, id := range append(append([]string{}, res.PositiveIDs...), res.NegativeIDs...) {
+		if seen[id] {
+			t.Fatalf("example %q used twice", id)
+		}
+		seen[id] = true
+	}
+	// Pool rankings must exclude the examples in use at their round.
+	for _, id := range res.PositiveIDs {
+		for _, r := range res.PoolRankings[0] {
+			if r.ID == id {
+				t.Fatalf("initial example %q appears in round-1 ranking", id)
+			}
+		}
+	}
+}
+
+func TestRunProtocolDeterministic(t *testing.T) {
+	run := func() *ProtocolResult {
+		pool, test := clusteredDBs(t, 3, 10, 8)
+		res, err := RunProtocol(pool, test, ProtocolConfig{
+			Target: "beta",
+			Train:  core.Config{Mode: core.Identical},
+			Seed:   11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.TestRanking) != len(b.TestRanking) {
+		t.Fatalf("ranking lengths differ")
+	}
+	for i := range a.TestRanking {
+		if a.TestRanking[i] != b.TestRanking[i] {
+			t.Fatalf("protocol is not deterministic at rank %d", i)
+		}
+	}
+}
+
+func TestRunProtocolErrors(t *testing.T) {
+	pool, test := clusteredDBs(t, 4, 6, 3)
+	if _, err := RunProtocol(pool, test, ProtocolConfig{}); err == nil {
+		t.Fatalf("empty target accepted")
+	}
+	if _, err := RunProtocol(pool, test, ProtocolConfig{Target: "alpha", NumPos: 100}); err == nil {
+		t.Fatalf("too many positives accepted")
+	}
+	if _, err := RunProtocol(pool, test, ProtocolConfig{Target: "alpha", NumNeg: 100}); err == nil {
+		t.Fatalf("too many negatives accepted")
+	}
+	if _, err := RunProtocol(pool, test, ProtocolConfig{Target: "nosuch"}); err == nil {
+		t.Fatalf("unknown target accepted")
+	}
+}
+
+func TestSplitDatabases(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var items []retrieval.Item
+	labels := []string{"a", "a", "b", "b", "b", "a"}
+	for i, lb := range labels {
+		items = append(items, clusteredItem(r, fmt.Sprintf("i%d", i), lb, mat.Vector{0, 0}, 1))
+	}
+	sp := Split{Train: []int{0, 2}, Test: []int{1, 3, 4, 5}}
+	pool, test, err := SplitDatabases(items, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Len() != 2 || test.Len() != 4 {
+		t.Fatalf("sizes %d/%d", pool.Len(), test.Len())
+	}
+	if _, _, err := SplitDatabases(items, Split{Train: []int{99}}); err == nil {
+		t.Fatalf("out-of-range index accepted")
+	}
+}

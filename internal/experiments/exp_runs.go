@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"milret/internal/core"
+	"milret/internal/eval"
+	"milret/internal/feature"
+	"milret/internal/retrieval"
+)
+
+// sampleRun renders a Figure 4-3/4-4-style session: the per-round head of
+// the training-pool ranking with correctness marks, then the head of the
+// final test ranking.
+func sampleRun(cfg Config, id, kind, target string, topN int) ([]Table, error) {
+	cfg = cfg.withDefaults()
+	res, err := runProtocol(cfg, kind, target, feature.Options{},
+		cfg.trainConfig(core.SumConstraint, 0.5))
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:     id,
+		Title:  fmt.Sprintf("Sample run with %d rounds of training: retrieving %ss", cfg.Scale.Rounds, target),
+		Header: []string{"stage", "top results (✓ = correct)", "correct"},
+		Notes:  "paper shows image grids; this table lists the ranked IDs instead",
+	}
+	mark := func(rs []retrieval.Result) (string, int) {
+		line := ""
+		correct := 0
+		for i, r := range rs {
+			if i == topN {
+				break
+			}
+			tick := "✗"
+			if r.Label == target {
+				tick = "✓"
+				correct++
+			}
+			if i > 0 {
+				line += " "
+			}
+			line += fmt.Sprintf("%s%s", r.ID, tick)
+		}
+		return line, correct
+	}
+	for i, ranking := range res.PoolRankings {
+		line, correct := mark(ranking)
+		t.AddRow(fmt.Sprintf("round %d pool top-%d", i+1, topN), line, correct)
+	}
+	line, correct := mark(res.TestRanking)
+	t.AddRow(fmt.Sprintf("final test top-%d", topN), line, correct)
+	return []Table{t}, nil
+}
+
+// Fig43 reproduces the Figure 4-3 waterfall session on the natural-scene
+// database.
+func Fig43(cfg Config) ([]Table, error) {
+	return sampleRun(cfg, "Fig43", "scenes", "waterfall", 12)
+}
+
+// Fig44 reproduces the Figure 4-4 car session on the object database.
+func Fig44(cfg Config) ([]Table, error) {
+	return sampleRun(cfg, "Fig44", "objects", "car", 12)
+}
+
+// Fig45_46 reproduces Figures 4-5 and 4-6: the recall curve and
+// precision-recall curve of the Fig43 session's final test ranking.
+func Fig45_46(cfg Config) ([]Table, error) {
+	cfg = cfg.withDefaults()
+	res, err := runProtocol(cfg, "scenes", "waterfall", feature.Options{},
+		cfg.trainConfig(core.SumConstraint, 0.5))
+	if err != nil {
+		return nil, err
+	}
+	recall := eval.RecallCurve(res.TestRanking, "waterfall")
+	tr := Table{
+		ID:     "Fig45_46",
+		Title:  "Recall curve for the Fig43 session (paper Fig 4-5)",
+		Header: []string{"retrieved", "recall"},
+		Notes:  "a random ranking follows the diagonal; convex is better",
+	}
+	n := len(recall)
+	for _, frac := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.75, 1.0} {
+		k := int(frac * float64(n))
+		if k < 1 {
+			k = 1
+		}
+		tr.AddRow(k, recall[k-1])
+	}
+	pr := eval.PrecisionRecall(res.TestRanking, "waterfall")
+	tp := Table{
+		ID:     "Fig45_46",
+		Title:  "Precision-recall curve for the Fig43 session (paper Fig 4-6)",
+		Header: []string{"recall", "precision"},
+		Notes:  "random retrieval is flat at the category frequency (0.2 for scenes)",
+	}
+	for _, pt := range prSeries(pr) {
+		tp.AddRow(pt[0], pt[1])
+	}
+	return []Table{tr, tp}, nil
+}
+
+// Fig47 reproduces the Figure 4-7 demonstration: when the very first
+// retrieved image is wrong and the next several are right, the
+// precision-recall curve starts at 0 and looks misleadingly bad. The table
+// is computed from exactly the paper's scenario (1 miss, then 7 hits).
+func Fig47(cfg Config) ([]Table, error) {
+	results := make([]retrieval.Result, 0, 8)
+	results = append(results, retrieval.Result{ID: "wrong-0", Label: "other", Dist: 0.1})
+	for i := 0; i < 7; i++ {
+		results = append(results, retrieval.Result{
+			ID: fmt.Sprintf("right-%d", i), Label: "target", Dist: 0.2 + float64(i)*0.1,
+		})
+	}
+	pr := eval.PrecisionRecall(results, "target")
+	t := Table{
+		ID:     "Fig47",
+		Title:  "A somewhat misleading precision-recall curve (paper Fig 4-7)",
+		Header: []string{"rank", "recall", "precision"},
+		Notes:  "first image incorrect, following 7 correct — precision recovers to 7/8",
+	}
+	for i, pt := range pr {
+		t.AddRow(i+1, pt.Recall, pt.Precision)
+	}
+	return []Table{t}, nil
+}

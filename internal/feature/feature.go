@@ -1,0 +1,208 @@
+// Package feature implements the image-to-bag preprocessing pipeline of
+// §3.5:
+//
+//  1. convert to gray scale (callers hand in a gray.Image, converting with
+//     gray.FromImage when the source is color);
+//  2. select regions from the configured family (§3.2) and drop those whose
+//     pixel variance falls below a threshold;
+//  3. extract two sub-pictures per surviving region — the region itself and
+//     its left-right mirror — and smooth-and-sample each to an h×h matrix
+//     (§3.1.2);
+//  4. standardize every h²-vector by subtracting its mean and dividing by
+//     its standard deviation, so weighted Euclidean distance reproduces the
+//     weighted-correlation ranking (§3.4; at preprocessing time all weights
+//     are one);
+//  5. collect the vectors into the image's bag.
+package feature
+
+import (
+	"fmt"
+
+	"milret/internal/gray"
+	"milret/internal/mil"
+	"milret/internal/region"
+)
+
+// Options configures bag generation. The zero value reproduces the paper's
+// default setup: 20 regions with mirrors (40 instances), 10×10 sampling
+// (100-dimensional features) and the default variance threshold.
+type Options struct {
+	// Resolution is the sampling size h (default gray.DefaultResolution,
+	// i.e. 10). Figure 4-19 sweeps {6, 10, 15}.
+	Resolution int
+	// Regions selects the region family (default region.Default, 20
+	// regions). Figure 4-18 sweeps {Small, Default, Large}.
+	Regions region.SetSize
+	// VarianceThreshold drops regions whose pixel variance falls below it
+	// (§3.2). Negative disables the filter; 0 uses
+	// region.DefaultVarianceThreshold.
+	VarianceThreshold float64
+	// NoMirror disables the left-right mirror instances, halving bag
+	// size. The paper always uses mirrors; this knob exists for ablation.
+	NoMirror bool
+	// Rotations adds the 90°/180°/270° rotations of every kept instance
+	// (paper §5 future work: extra instances representing different
+	// viewing angles, at the cost of a 4× larger bag). Each rotation is
+	// sampled from the rotated picture so the instances are exact.
+	Rotations bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Resolution <= 0 {
+		o.Resolution = gray.DefaultResolution
+	}
+	if o.Regions == 0 {
+		o.Regions = region.Default
+	}
+	if o.VarianceThreshold == 0 {
+		o.VarianceThreshold = region.DefaultVarianceThreshold
+	}
+	return o
+}
+
+// Dim returns the feature dimensionality the options produce (h²).
+func (o Options) Dim() int {
+	o = o.withDefaults()
+	return o.Resolution * o.Resolution
+}
+
+// MaxInstances returns the largest possible bag size under o.
+func (o Options) MaxInstances() int {
+	o = o.withDefaults()
+	n := int(o.Regions)
+	if !o.NoMirror {
+		n *= 2
+	}
+	if o.Rotations {
+		n *= 4
+	}
+	return n
+}
+
+// BagFromImage runs the full §3.5 pipeline on one image. The returned bag
+// always contains at least one instance: if every region fails the variance
+// filter (a nearly blank image), the whole-image region is kept as a
+// fallback so the image still participates in ranking.
+func BagFromImage(id string, im *gray.Image, opts Options) (*mil.Bag, error) {
+	opts = opts.withDefaults()
+	if im == nil || im.W < 1 || im.H < 1 {
+		return nil, fmt.Errorf("feature: bag %q: empty image", id)
+	}
+	regions, err := region.Set(opts.Regions)
+	if err != nil {
+		return nil, fmt.Errorf("feature: bag %q: %w", id, err)
+	}
+
+	// One integral image per picture serves every region (block means), and
+	// one over the squared picture serves the variance filter:
+	// Var = E[x²] − E[x]².
+	it := gray.NewIntegral(im)
+	sq := gray.New(im.W, im.H)
+	for i, v := range im.Pix {
+		sq.Pix[i] = v * v
+	}
+	itSq := gray.NewIntegral(sq)
+
+	// Every geometric variant (mirror, rotations, their compositions) is
+	// realized by one integral image over the transformed picture plus a
+	// pixel-rect transform, so each variant instance is the exact smoothing
+	// and sampling of the transformed sub-picture — rotating or mirroring
+	// the sampled matrix instead would be off by half a kernel block,
+	// because the 50%-overlap grid does not commute with the transforms.
+	variants := buildVariants(im, opts)
+
+	bag := &mil.Bag{ID: id}
+	sampleRegion := func(r region.Rect) error {
+		x0, y0, x1, y1 := r.Pixels(im.W, im.H)
+		for _, v := range variants {
+			vx0, vy0, vx1, vy1 := v.rect(x0, y0, x1, y1)
+			s, err := gray.SmoothSampleRect(v.it, vx0, vy0, vx1, vy1, opts.Resolution)
+			if err != nil {
+				return err
+			}
+			bag.Instances = append(bag.Instances, s.Flatten().Standardize())
+			bag.Names = append(bag.Names, r.Name+v.suffix)
+		}
+		return nil
+	}
+
+	for _, r := range regions {
+		x0, y0, x1, y1 := r.Pixels(im.W, im.H)
+		if opts.VarianceThreshold >= 0 {
+			n := float64((x1 - x0) * (y1 - y0))
+			mean := it.Sum(x0, y0, x1, y1) / n
+			variance := itSq.Sum(x0, y0, x1, y1)/n - mean*mean
+			if variance < opts.VarianceThreshold {
+				continue
+			}
+		}
+		if err := sampleRegion(r); err != nil {
+			return nil, fmt.Errorf("feature: bag %q region %s: %w", id, r.Name, err)
+		}
+	}
+
+	if len(bag.Instances) == 0 {
+		// Blank-image fallback: keep the whole picture so the bag is valid
+		// and the image remains rankable (it will simply match poorly).
+		whole := region.Rect{X0: 0, Y0: 0, X1: 1, Y1: 1, Name: "a-whole"}
+		if err := sampleRegion(whole); err != nil {
+			return nil, fmt.Errorf("feature: bag %q fallback: %w", id, err)
+		}
+	}
+	if err := bag.Validate(); err != nil {
+		return nil, err
+	}
+	return bag, nil
+}
+
+// variant couples an integral image over a transformed copy of the picture
+// with the matching pixel-rect transform.
+type variant struct {
+	it     *gray.Integral
+	rect   func(x0, y0, x1, y1 int) (int, int, int, int)
+	suffix string
+}
+
+// buildVariants prepares the geometric instance variants: the identity,
+// optionally the left-right mirror (§3.2), and optionally the three
+// quarter-turn rotations of each (paper §5 future work). W and H refer to
+// the original picture.
+func buildVariants(im *gray.Image, opts Options) []variant {
+	w, h := im.W, im.H
+	ident := func(x0, y0, x1, y1 int) (int, int, int, int) { return x0, y0, x1, y1 }
+	mirror := func(x0, y0, x1, y1 int) (int, int, int, int) { return w - x1, y0, w - x0, y1 }
+	// Rect images under clockwise rotation (pixel (x,y) → (H−1−y, x)):
+	// the region [x0,x1)×[y0,y1) becomes [H−y1,H−y0)×[x0,x1).
+	rot90 := func(x0, y0, x1, y1 int) (int, int, int, int) { return h - y1, x0, h - y0, x1 }
+	rot180 := func(x0, y0, x1, y1 int) (int, int, int, int) { return w - x1, h - y1, w - x0, h - y0 }
+	rot270 := func(x0, y0, x1, y1 int) (int, int, int, int) { return y0, w - x1, y1, w - x0 }
+	compose := func(f, g func(int, int, int, int) (int, int, int, int)) func(int, int, int, int) (int, int, int, int) {
+		return func(x0, y0, x1, y1 int) (int, int, int, int) {
+			return g(f(x0, y0, x1, y1))
+		}
+	}
+
+	variants := []variant{{gray.NewIntegral(im), ident, ""}}
+	var mirrored *gray.Image
+	if !opts.NoMirror {
+		mirrored = im.MirrorLR()
+		variants = append(variants, variant{gray.NewIntegral(mirrored), mirror, "-lr"})
+	}
+	if opts.Rotations {
+		variants = append(variants,
+			variant{gray.NewIntegral(im.Rotate90()), rot90, "-r90"},
+			variant{gray.NewIntegral(im.Rotate180()), rot180, "-r180"},
+			variant{gray.NewIntegral(im.Rotate270()), rot270, "-r270"},
+		)
+		if mirrored != nil {
+			// The mirrored picture has the same dimensions, so the same
+			// rotation transforms apply after the mirror transform.
+			variants = append(variants,
+				variant{gray.NewIntegral(mirrored.Rotate90()), compose(mirror, rot90), "-lr-r90"},
+				variant{gray.NewIntegral(mirrored.Rotate180()), compose(mirror, rot180), "-lr-r180"},
+				variant{gray.NewIntegral(mirrored.Rotate270()), compose(mirror, rot270), "-lr-r270"},
+			)
+		}
+	}
+	return variants
+}

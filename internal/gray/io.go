@@ -1,0 +1,131 @@
+package gray
+
+import (
+	"bufio"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+)
+
+// ToGray8 converts im to a stdlib 8-bit gray image, clamping samples to
+// [0, 255] and rounding to nearest.
+func (im *Image) ToGray8() *image.Gray {
+	out := image.NewGray(image.Rect(0, 0, im.W, im.H))
+	for y := 0; y < im.H; y++ {
+		row := im.Row(y)
+		for x := 0; x < im.W; x++ {
+			out.SetGray(x, y, color.Gray{Y: uint8(clamp255(row[x]) + 0.5)})
+		}
+	}
+	return out
+}
+
+// EncodePNG writes im as an 8-bit gray PNG.
+func (im *Image) EncodePNG(w io.Writer) error {
+	return png.Encode(w, im.ToGray8())
+}
+
+// DecodePNG reads a PNG (any color model) and converts it to gray scale.
+func DecodePNG(r io.Reader) (*Image, error) {
+	src, err := png.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("gray: decode png: %w", err)
+	}
+	return FromImage(src), nil
+}
+
+// EncodePGM writes im in binary PGM (P5) format with maxval 255. PGM is the
+// interchange format contemporary image-retrieval systems used for
+// gray-scale corpora and remains convenient for quick inspection.
+func (im *Image) EncodePGM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	for y := 0; y < im.H; y++ {
+		row := im.Row(y)
+		for x := 0; x < im.W; x++ {
+			if err := bw.WriteByte(uint8(clamp255(row[x]) + 0.5)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodePGM reads a binary (P5) PGM image with maxval ≤ 255.
+func DecodePGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, fmt.Errorf("gray: decode pgm: %w", err)
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("gray: decode pgm: unsupported magic %q (want P5)", magic)
+	}
+	w, err := pgmInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("gray: decode pgm width: %w", err)
+	}
+	h, err := pgmInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("gray: decode pgm height: %w", err)
+	}
+	maxval, err := pgmInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("gray: decode pgm maxval: %w", err)
+	}
+	if w <= 0 || h <= 0 || maxval <= 0 || maxval > 255 {
+		return nil, fmt.Errorf("gray: decode pgm: bad header %dx%d maxval %d", w, h, maxval)
+	}
+	buf := make([]byte, w*h)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("gray: decode pgm pixels: %w", err)
+	}
+	im := New(w, h)
+	scale := 255.0 / float64(maxval)
+	for i, b := range buf {
+		im.Pix[i] = float64(b) * scale
+	}
+	return im, nil
+}
+
+// pgmToken reads one whitespace-delimited token, skipping '#' comments.
+func pgmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(tok) > 0 {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case b == '#':
+			if _, err := br.ReadString('\n'); err != nil {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+func pgmInt(br *bufio.Reader) (int, error) {
+	tok, err := pgmToken(br)
+	if err != nil {
+		return 0, err
+	}
+	var v int
+	if _, err := fmt.Sscanf(tok, "%d", &v); err != nil {
+		return 0, fmt.Errorf("bad integer %q", tok)
+	}
+	return v, nil
+}

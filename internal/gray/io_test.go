@@ -1,0 +1,116 @@
+package gray
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPNGRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	im := randImage(r, 17, 9)
+	var buf bytes.Buffer
+	if err := im.EncodePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodePNG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != im.W || back.H != im.H {
+		t.Fatalf("round-trip shape %dx%d, want %dx%d", back.W, back.H, im.W, im.H)
+	}
+	for i := range im.Pix {
+		if math.Abs(im.Pix[i]-back.Pix[i]) > 1.0 { // 8-bit quantization
+			t.Fatalf("pixel %d drifted: %v -> %v", i, im.Pix[i], back.Pix[i])
+		}
+	}
+}
+
+func TestDecodePNGGarbage(t *testing.T) {
+	if _, err := DecodePNG(strings.NewReader("not a png")); err == nil {
+		t.Fatalf("expected error decoding garbage")
+	}
+}
+
+func TestPGMRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	im := randImage(r, 13, 7)
+	var buf bytes.Buffer
+	if err := im.EncodePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodePGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != im.W || back.H != im.H {
+		t.Fatalf("round-trip shape %dx%d, want %dx%d", back.W, back.H, im.W, im.H)
+	}
+	for i := range im.Pix {
+		if math.Abs(im.Pix[i]-back.Pix[i]) > 1.0 {
+			t.Fatalf("pixel %d drifted: %v -> %v", i, im.Pix[i], back.Pix[i])
+		}
+	}
+}
+
+func TestPGMComments(t *testing.T) {
+	data := "P5\n# a comment line\n2 1\n# another\n255\nAB"
+	im, err := DecodePGM(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.W != 2 || im.H != 1 {
+		t.Fatalf("shape %dx%d", im.W, im.H)
+	}
+	if im.At(0, 0) != float64('A') || im.At(1, 0) != float64('B') {
+		t.Fatalf("pixels %v", im.Pix)
+	}
+}
+
+func TestPGMMaxvalScaling(t *testing.T) {
+	data := "P5\n1 1\n100\n" + string([]byte{100})
+	im, err := DecodePGM(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(im.At(0, 0)-255) > 1e-9 {
+		t.Fatalf("maxval scaling wrong: %v", im.At(0, 0))
+	}
+}
+
+func TestPGMFailureInjection(t *testing.T) {
+	cases := map[string]string{
+		"bad magic":   "P6\n2 2\n255\nAAAA",
+		"no header":   "P5",
+		"zero width":  "P5\n0 2\n255\n",
+		"big maxval":  "P5\n1 1\n70000\nA",
+		"short body":  "P5\n4 4\n255\nAB",
+		"neg height":  "P5\n2 -2\n255\nAAAA",
+		"text garble": "P5\nxx yy\n255\nAAAA",
+	}
+	for name, data := range cases {
+		if _, err := DecodePGM(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: expected decode error", name)
+		}
+	}
+}
+
+func TestToGray8Clamps(t *testing.T) {
+	im := New(3, 1)
+	im.Set(0, 0, -50)
+	im.Set(1, 0, 300)
+	im.Set(2, 0, math.NaN())
+	g := im.ToGray8()
+	if g.GrayAt(0, 0).Y != 0 {
+		t.Fatalf("negative sample not clamped to 0")
+	}
+	if g.GrayAt(1, 0).Y != 255 {
+		t.Fatalf("overflow sample not clamped to 255")
+	}
+	if g.GrayAt(2, 0).Y != 0 {
+		t.Fatalf("NaN sample not mapped to 0")
+	}
+}

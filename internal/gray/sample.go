@@ -1,0 +1,87 @@
+package gray
+
+import (
+	"fmt"
+	"math"
+
+	"milret/internal/mat"
+)
+
+// DefaultResolution is the sampling resolution h used in most of the
+// paper's experiments (§3.1.2): regions are reduced to 10×10 matrices,
+// i.e. 100-dimensional feature vectors.
+const DefaultResolution = 10
+
+// SmoothSample reduces im to an h×h matrix by smoothing with a
+// (2·H/h × 2·W/h) averaging kernel and sub-sampling (§3.1.2, Figure 3-2).
+// Output cell (i, j) is the mean gray level of the fractional pixel block
+//
+//	rows [i·H/h, (i+2)·H/h) × cols [j·W/h, (j+2)·W/h)
+//
+// clipped to the image, so every block overlaps each of its neighbours by
+// 50%, which is what makes the downstream correlation measure tolerant to
+// small shifts. Block means are read from an integral image in O(1), so the
+// whole reduction is O(W·H + h²).
+//
+// It panics if h <= 0; it returns an error if the image is smaller than 1×1.
+func SmoothSample(im *Image, h int) (*mat.Matrix, error) {
+	if h <= 0 {
+		panic(fmt.Sprintf("gray: non-positive sampling resolution %d", h))
+	}
+	if im.W < 1 || im.H < 1 {
+		return nil, fmt.Errorf("gray: cannot sample empty %dx%d image to %dx%d", im.W, im.H, h, h)
+	}
+	return SmoothSampleIntegral(NewIntegral(im), im.W, im.H, h), nil
+}
+
+// SmoothSampleIntegral is SmoothSample for callers that already hold an
+// integral image of the full picture and want to sample a sub-rectangle of
+// it without re-accumulating (the bag generator samples ~20 overlapping
+// regions of the same image). Width w and height hh describe the sampled
+// rectangle anchored at the origin of the integral image.
+func SmoothSampleIntegral(it *Integral, w, hh, h int) *mat.Matrix {
+	return smoothSampleRect(it, 0, 0, w, hh, h)
+}
+
+// SmoothSampleRect samples the sub-rectangle [x0, x1) × [y0, y1) of the
+// image underlying it down to an h×h matrix, using the same 50%-overlap
+// averaging kernel. This is the hot path of bag generation: one integral
+// image per picture serves all regions.
+func SmoothSampleRect(it *Integral, x0, y0, x1, y1, h int) (*mat.Matrix, error) {
+	if h <= 0 {
+		panic(fmt.Sprintf("gray: non-positive sampling resolution %d", h))
+	}
+	if x1 <= x0 || y1 <= y0 {
+		return nil, fmt.Errorf("gray: empty sampling rectangle [%d,%d)x[%d,%d)", x0, x1, y0, y1)
+	}
+	return smoothSampleRect(it, x0, y0, x1-x0, y1-y0, h), nil
+}
+
+func smoothSampleRect(it *Integral, x0, y0, w, hh, h int) *mat.Matrix {
+	out := mat.NewMatrix(h, h)
+	fy := float64(hh) / float64(h)
+	fx := float64(w) / float64(h)
+	for i := 0; i < h; i++ {
+		r0 := y0 + int(math.Floor(float64(i)*fy))
+		r1 := y0 + int(math.Ceil(float64(i+2)*fy))
+		if r1 > y0+hh {
+			r1 = y0 + hh
+		}
+		if r1 <= r0 { // degenerate when source smaller than target
+			r1 = r0 + 1
+		}
+		row := out.Row(i)
+		for j := 0; j < h; j++ {
+			c0 := x0 + int(math.Floor(float64(j)*fx))
+			c1 := x0 + int(math.Ceil(float64(j+2)*fx))
+			if c1 > x0+w {
+				c1 = x0 + w
+			}
+			if c1 <= c0 {
+				c1 = c0 + 1
+			}
+			row[j] = it.Mean(c0, r0, c1, r1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"milret/internal/mat"
+)
+
+// BoxSum describes the feasible set of the §3.6.3 weight constraint:
+//
+//	{ x ∈ ℝⁿ : Lo ≤ x_i ≤ Hi for all i, Σ_i x_i ≥ MinSum }
+//
+// For the paper's constraint the box is [0, 1] and MinSum = β·h².
+type BoxSum struct {
+	Lo, Hi float64
+	MinSum float64
+}
+
+// Feasible reports whether x satisfies the constraints up to tol.
+func (c BoxSum) Feasible(x mat.Vector, tol float64) bool {
+	var sum float64
+	for _, v := range x {
+		if v < c.Lo-tol || v > c.Hi+tol {
+			return false
+		}
+		sum += v
+	}
+	return sum >= c.MinSum-tol
+}
+
+// Validate returns an error if the constraint set is empty or malformed for
+// dimension n.
+func (c BoxSum) Validate(n int) error {
+	if c.Hi < c.Lo {
+		return fmt.Errorf("optimize: empty box [%v, %v]", c.Lo, c.Hi)
+	}
+	if c.MinSum > c.Hi*float64(n) {
+		return fmt.Errorf("optimize: sum constraint %v infeasible for %d dims in [%v, %v]",
+			c.MinSum, n, c.Lo, c.Hi)
+	}
+	return nil
+}
+
+// Project replaces x with its Euclidean projection onto the constraint set,
+// in place. The projection is exact:
+//
+//  1. clip x to the box; if the clipped point already satisfies the sum
+//     constraint it is the projection (the box is separable);
+//  2. otherwise the constraint is active, so the projection solves
+//     min ‖z − x‖² s.t. z ∈ box, Σz = MinSum, whose KKT solution is
+//     z_i = clip(x_i + λ) for the unique λ ≥ 0 with Σz(λ) = MinSum —
+//     found by bisection (Σz(λ) is continuous and non-decreasing).
+//
+// Project panics if the set is infeasible for len(x); callers validate the
+// constraint once at configuration time with Validate.
+func (c BoxSum) Project(x mat.Vector) {
+	n := len(x)
+	if err := c.Validate(n); err != nil {
+		panic(err)
+	}
+	clip := func(v float64) float64 {
+		if v < c.Lo {
+			return c.Lo
+		}
+		if v > c.Hi {
+			return c.Hi
+		}
+		return v
+	}
+	var sum float64
+	minX := math.Inf(1)
+	for _, v := range x {
+		sum += clip(v)
+		if v < minX {
+			minX = v
+		}
+	}
+	if sum >= c.MinSum {
+		for i, v := range x {
+			x[i] = clip(v)
+		}
+		return
+	}
+	// The sum constraint is active; the KKT solution shifts the ORIGINAL
+	// coordinates by a common multiplier before clipping:
+	// z_i = clip(x_i + λ). Bisect on λ ∈ [0, Hi − min_i x_i]; at the upper
+	// bound every coordinate reaches Hi, where Σ = n·Hi ≥ MinSum by
+	// Validate, and Σz(λ) is continuous and non-decreasing.
+	sumAt := func(lambda float64) float64 {
+		var s float64
+		for _, v := range x {
+			s += clip(v + lambda)
+		}
+		return s
+	}
+	lo, hi := 0.0, c.Hi-minX
+	for iter := 0; iter < 200 && hi-lo > 1e-14*(1+math.Abs(hi)); iter++ {
+		mid := (lo + hi) / 2
+		if sumAt(mid) < c.MinSum {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	lambda := hi
+	for i, v := range x {
+		x[i] = clip(v + lambda)
+	}
+}
+
+// ProjectedGradient minimizes f over the set obtained by applying project to
+// candidate points. Each iteration takes a gradient step and projects back;
+// the step length backtracks until the projected point achieves sufficient
+// decrease (projected-gradient Armijo rule). project must be an exact
+// Euclidean projector, such as BoxSum.Project.
+func ProjectedGradient(f Func, project func(mat.Vector), x0 mat.Vector, opt Options) Result {
+	opt = opt.withDefaults()
+	n := len(x0)
+	x := x0.Clone()
+	project(x)
+	g := mat.NewVector(n)
+	xt := mat.NewVector(n)
+
+	res := Result{}
+	fx := f(x, g)
+	res.Evals++
+	step := opt.InitStep
+
+	for it := 0; it < opt.MaxIter; it++ {
+		res.Iters = it + 1
+		accepted := false
+		t := step
+		for t > opt.StepTol {
+			copy(xt, x)
+			xt.AddScaled(-t, g)
+			project(xt)
+			ft := f(xt, nil)
+			res.Evals++
+			// Sufficient decrease relative to the projected displacement.
+			var moved float64
+			for i := range x {
+				d := xt[i] - x[i]
+				moved += d * d
+			}
+			if moved <= opt.StepTol*opt.StepTol {
+				break // projection pinned us: stationary
+			}
+			if ft <= fx-1e-4*moved/t {
+				copy(x, xt)
+				fx = f(x, g)
+				res.Evals++
+				step = t * 2
+				if step > opt.InitStep {
+					step = opt.InitStep
+				}
+				accepted = true
+				break
+			}
+			t *= 0.5
+		}
+		if !accepted {
+			res.Converged = true
+			break
+		}
+	}
+	res.X = x
+	res.F = fx
+	return res
+}

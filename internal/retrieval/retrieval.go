@@ -1,0 +1,252 @@
+// Package retrieval ranks an image database against a trained concept
+// (§3.5): each image's distance is the minimum over its bag's instances of
+// the weighted Euclidean distance to the concept point, and images are
+// retrieved in ascending distance order. The scan parallelizes across
+// goroutines and a heap-based top-k path avoids sorting the whole database
+// when only the head of the ranking is needed.
+package retrieval
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"milret/internal/mil"
+)
+
+// Scorer measures how far a bag is from a learned concept; lower is a
+// better match. core.Concept implements it.
+type Scorer interface {
+	BagDist(b *mil.Bag) float64
+}
+
+// Item is one database entry: a preprocessed image bag plus its evaluation
+// label.
+type Item struct {
+	ID    string
+	Label string
+	Bag   *mil.Bag
+}
+
+// Database is an in-memory collection of items, safe for concurrent reads
+// and serialized writes.
+type Database struct {
+	mu    sync.RWMutex
+	items []Item
+	byID  map[string]int
+	dim   int
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{byID: make(map[string]int)}
+}
+
+// Add appends an item. The first item fixes the feature dimensionality;
+// later items must match it, and IDs must be unique.
+func (db *Database) Add(item Item) error {
+	if item.Bag == nil {
+		return fmt.Errorf("retrieval: item %q has nil bag", item.ID)
+	}
+	if err := item.Bag.Validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.byID[item.ID]; dup {
+		return fmt.Errorf("retrieval: duplicate item ID %q", item.ID)
+	}
+	if db.dim == 0 {
+		db.dim = item.Bag.Dim()
+	} else if item.Bag.Dim() != db.dim {
+		return fmt.Errorf("retrieval: item %q dim %d, database dim %d", item.ID, item.Bag.Dim(), db.dim)
+	}
+	db.byID[item.ID] = len(db.items)
+	db.items = append(db.items, item)
+	return nil
+}
+
+// Len returns the number of items.
+func (db *Database) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.items)
+}
+
+// Dim returns the feature dimensionality (0 while empty).
+func (db *Database) Dim() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.dim
+}
+
+// Get returns the i-th item.
+func (db *Database) Get(i int) Item {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.items[i]
+}
+
+// ByID returns the item with the given ID.
+func (db *Database) ByID(id string) (Item, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	i, ok := db.byID[id]
+	if !ok {
+		return Item{}, false
+	}
+	return db.items[i], true
+}
+
+// Items returns a snapshot copy of the item slice.
+func (db *Database) Items() []Item {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]Item, len(db.items))
+	copy(out, db.items)
+	return out
+}
+
+// Result is one ranked database entry.
+type Result struct {
+	ID    string
+	Label string
+	// Dist is the bag-to-concept distance (weighted, squared).
+	Dist float64
+}
+
+// Options tunes a ranking scan.
+type Options struct {
+	// Exclude drops the listed image IDs from the ranking (the training
+	// examples are excluded when mining false positives, §4.1).
+	Exclude map[string]bool
+	// Parallelism bounds scan goroutines; 0 means runtime.NumCPU().
+	Parallelism int
+}
+
+// Rank scores every non-excluded item and returns the full ascending
+// ranking. Ties are broken by ID so rankings are deterministic.
+func Rank(db *Database, s Scorer, opts Options) []Result {
+	results := scan(db, s, opts)
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Dist != results[j].Dist {
+			return results[i].Dist < results[j].Dist
+		}
+		return results[i].ID < results[j].ID
+	})
+	return results
+}
+
+// TopK returns the k best matches in ascending distance order without
+// sorting the whole database: a size-k max-heap tracks the current best
+// set during the scan. For k ≥ database size it equals Rank.
+func TopK(db *Database, s Scorer, k int, opts Options) []Result {
+	if k <= 0 {
+		return nil
+	}
+	results := scan(db, s, opts)
+	if k >= len(results) {
+		sort.Slice(results, func(i, j int) bool {
+			if results[i].Dist != results[j].Dist {
+				return results[i].Dist < results[j].Dist
+			}
+			return results[i].ID < results[j].ID
+		})
+		return results
+	}
+	h := &resultMaxHeap{}
+	heap.Init(h)
+	for _, r := range results {
+		if h.Len() < k {
+			heap.Push(h, r)
+			continue
+		}
+		if worse(r, (*h)[0]) {
+			continue
+		}
+		(*h)[0] = r
+		heap.Fix(h, 0)
+	}
+	out := make([]Result, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Result)
+	}
+	return out
+}
+
+// scan computes distances for all non-excluded items, splitting the
+// database across workers.
+func scan(db *Database, s Scorer, opts Options) []Result {
+	items := db.Items()
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	if par > len(items) {
+		par = len(items)
+	}
+	if par < 1 {
+		par = 1
+	}
+	dists := make([]float64, len(items))
+	var wg sync.WaitGroup
+	chunk := (len(items) + par - 1) / par
+	for w := 0; w < par; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if opts.Exclude[items[i].ID] {
+					dists[i] = math.Inf(1)
+					continue
+				}
+				dists[i] = s.BagDist(items[i].Bag)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	results := make([]Result, 0, len(items))
+	for i, item := range items {
+		if opts.Exclude[item.ID] {
+			continue
+		}
+		results = append(results, Result{ID: item.ID, Label: item.Label, Dist: dists[i]})
+	}
+	return results
+}
+
+// worse reports whether a ranks strictly after b (greater distance, ID tie
+// break).
+func worse(a, b Result) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.ID > b.ID
+}
+
+// resultMaxHeap keeps the worst of the current best-k at the root.
+type resultMaxHeap []Result
+
+func (h resultMaxHeap) Len() int            { return len(h) }
+func (h resultMaxHeap) Less(i, j int) bool  { return worse(h[i], h[j]) }
+func (h resultMaxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultMaxHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultMaxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,239 @@
+package retrieval
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"milret/internal/mat"
+	"milret/internal/mil"
+)
+
+// pointScorer scores a bag by the plain min distance to a point.
+type pointScorer struct{ p mat.Vector }
+
+func (s pointScorer) BagDist(b *mil.Bag) float64 {
+	best := 0.0
+	for j, inst := range b.Instances {
+		d := mat.SqDist(s.p, inst)
+		if j == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func item(id, label string, vecs ...mat.Vector) Item {
+	return Item{ID: id, Label: label, Bag: &mil.Bag{ID: id, Instances: vecs}}
+}
+
+func buildDB(t *testing.T, items ...Item) *Database {
+	t.Helper()
+	db := NewDatabase()
+	for _, it := range items {
+		if err := db.Add(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func randDB(t *testing.T, r *rand.Rand, n, dim, inst int) *Database {
+	t.Helper()
+	db := NewDatabase()
+	for i := 0; i < n; i++ {
+		var vecs []mat.Vector
+		for j := 0; j < inst; j++ {
+			v := mat.NewVector(dim)
+			for k := range v {
+				v[k] = r.NormFloat64()
+			}
+			vecs = append(vecs, v)
+		}
+		if err := db.Add(item(fmt.Sprintf("img-%03d", i), fmt.Sprintf("cat%d", i%3), vecs...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestAddValidation(t *testing.T) {
+	db := NewDatabase()
+	if err := db.Add(Item{ID: "x"}); err == nil {
+		t.Fatalf("nil bag accepted")
+	}
+	if err := db.Add(item("a", "l", mat.Vector{1, 2})); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(item("a", "l", mat.Vector{3, 4})); err == nil {
+		t.Fatalf("duplicate ID accepted")
+	}
+	if err := db.Add(item("b", "l", mat.Vector{1})); err == nil {
+		t.Fatalf("dimension mismatch accepted")
+	}
+	if db.Len() != 1 || db.Dim() != 2 {
+		t.Fatalf("Len=%d Dim=%d", db.Len(), db.Dim())
+	}
+}
+
+func TestByID(t *testing.T) {
+	db := buildDB(t, item("a", "x", mat.Vector{1}), item("b", "y", mat.Vector{2}))
+	it, ok := db.ByID("b")
+	if !ok || it.Label != "y" {
+		t.Fatalf("ByID failed: %+v %v", it, ok)
+	}
+	if _, ok := db.ByID("zzz"); ok {
+		t.Fatalf("missing ID found")
+	}
+}
+
+func TestRankOrdering(t *testing.T) {
+	db := buildDB(t,
+		item("far", "l", mat.Vector{10, 0}),
+		item("near", "l", mat.Vector{1, 0}),
+		item("mid", "l", mat.Vector{5, 0}),
+	)
+	res := Rank(db, pointScorer{mat.Vector{0, 0}}, Options{})
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].ID != "near" || res[1].ID != "mid" || res[2].ID != "far" {
+		t.Fatalf("wrong order: %+v", res)
+	}
+}
+
+func TestRankMinOverInstances(t *testing.T) {
+	db := buildDB(t,
+		item("multi", "l", mat.Vector{100, 0}, mat.Vector{1, 0}),
+		item("single", "l", mat.Vector{2, 0}),
+	)
+	res := Rank(db, pointScorer{mat.Vector{0, 0}}, Options{})
+	if res[0].ID != "multi" {
+		t.Fatalf("bag distance must be min over instances: %+v", res)
+	}
+}
+
+func TestRankDeterministicTies(t *testing.T) {
+	db := buildDB(t,
+		item("b", "l", mat.Vector{1, 0}),
+		item("a", "l", mat.Vector{1, 0}),
+		item("c", "l", mat.Vector{1, 0}),
+	)
+	res := Rank(db, pointScorer{mat.Vector{0, 0}}, Options{})
+	if res[0].ID != "a" || res[1].ID != "b" || res[2].ID != "c" {
+		t.Fatalf("ties must break by ID: %+v", res)
+	}
+}
+
+func TestRankExcludes(t *testing.T) {
+	db := buildDB(t,
+		item("keep", "l", mat.Vector{1}),
+		item("drop", "l", mat.Vector{0}),
+	)
+	res := Rank(db, pointScorer{mat.Vector{0}}, Options{Exclude: map[string]bool{"drop": true}})
+	if len(res) != 1 || res[0].ID != "keep" {
+		t.Fatalf("exclusion failed: %+v", res)
+	}
+}
+
+func TestTopKMatchesRank(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	db := randDB(t, r, 50, 4, 3)
+	s := pointScorer{mat.NewVector(4)}
+	full := Rank(db, s, Options{})
+	for _, k := range []int{1, 3, 10, 49, 50, 100} {
+		top := TopK(db, s, k, Options{})
+		want := k
+		if want > len(full) {
+			want = len(full)
+		}
+		if len(top) != want {
+			t.Fatalf("TopK(%d) returned %d results", k, len(top))
+		}
+		for i := range top {
+			if top[i] != full[i] {
+				t.Fatalf("TopK(%d)[%d] = %+v, Rank[%d] = %+v", k, i, top[i], i, full[i])
+			}
+		}
+	}
+}
+
+func TestTopKZero(t *testing.T) {
+	db := buildDB(t, item("a", "l", mat.Vector{1}))
+	if res := TopK(db, pointScorer{mat.Vector{0}}, 0, Options{}); res != nil {
+		t.Fatalf("TopK(0) = %+v", res)
+	}
+}
+
+func TestRankEmptyDatabase(t *testing.T) {
+	db := NewDatabase()
+	if res := Rank(db, pointScorer{mat.Vector{0}}, Options{}); len(res) != 0 {
+		t.Fatalf("empty DB ranked: %+v", res)
+	}
+}
+
+// Property: parallel and serial scans produce identical rankings.
+func TestQuickParallelMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randDB(t, r, 1+r.Intn(40), 3, 2)
+		s := pointScorer{mat.Vector{0.5, -0.5, 0}}
+		serial := Rank(db, s, Options{Parallelism: 1})
+		parallel := Rank(db, s, Options{Parallelism: 8})
+		return reflect.DeepEqual(serial, parallel)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every result distance is non-negative and ascending.
+func TestQuickRankMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randDB(t, r, 1+r.Intn(30), 2, 3)
+		res := Rank(db, pointScorer{mat.Vector{0, 0}}, Options{})
+		for i := range res {
+			if res[i].Dist < 0 {
+				return false
+			}
+			if i > 0 && res[i].Dist < res[i-1].Dist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReadsDuringAdds(t *testing.T) {
+	db := NewDatabase()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = db.Add(item(fmt.Sprintf("w%d-%d", w, i), "l", mat.Vector{float64(i)}))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = db.Len()
+			_ = db.Items()
+			_, _ = db.ByID("w0-1")
+		}
+	}()
+	wg.Wait()
+	if db.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", db.Len())
+	}
+}

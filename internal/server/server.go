@@ -1,0 +1,199 @@
+// Package server exposes the retrieval system over HTTP with a small JSON
+// API, turning the library into the interactive image-database service the
+// paper describes (a user iteratively queries with examples and refines
+// with feedback):
+//
+//	GET  /v1/images            → list of {id, label}
+//	GET  /v1/images/{id}       → one image's metadata
+//	POST /v1/query             → train on examples and rank
+//	GET  /v1/healthz           → liveness probe
+//
+// The query request body:
+//
+//	{
+//	  "positives": ["img-1", "img-2"],
+//	  "negatives": ["img-9"],
+//	  "k": 20,
+//	  "mode": "constrained",       // original | identical | alpha-hack | constrained
+//	  "beta": 0.5,
+//	  "exclude_examples": true
+//	}
+//
+// Training is CPU-bound (typically tens to hundreds of milliseconds at the
+// paper's scale), so queries run synchronously; concurrent queries are safe
+// because the database is immutable after construction.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"milret"
+)
+
+// Server serves a fixed database.
+type Server struct {
+	db  *milret.Database
+	mux *http.ServeMux
+	// MaxK bounds a single query's result size (default 1000).
+	MaxK int
+}
+
+// New builds a server around the database.
+func New(db *milret.Database) *Server {
+	s := &Server{db: db, mux: http.NewServeMux(), MaxK: 1000}
+	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/images", s.handleImages)
+	s.mux.HandleFunc("/v1/images/", s.handleImage)
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// ImageInfo is the metadata returned for one image.
+type ImageInfo struct {
+	ID    string `json:"id"`
+	Label string `json:"label,omitempty"`
+}
+
+// QueryRequest is the /v1/query body.
+type QueryRequest struct {
+	Positives       []string `json:"positives"`
+	Negatives       []string `json:"negatives"`
+	K               int      `json:"k"`
+	Mode            string   `json:"mode"`
+	Alpha           float64  `json:"alpha"`
+	Beta            float64  `json:"beta"`
+	ExcludeExamples bool     `json:"exclude_examples"`
+}
+
+// QueryResult is one ranked hit.
+type QueryResult struct {
+	ID       string  `json:"id"`
+	Label    string  `json:"label,omitempty"`
+	Distance float64 `json:"distance"`
+}
+
+// QueryResponse is the /v1/query reply.
+type QueryResponse struct {
+	Results  []QueryResult `json:"results"`
+	NegLogDD float64       `json:"neg_log_dd"`
+	TrainMS  int64         `json:"train_ms"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "images": s.db.Len()})
+}
+
+func (s *Server) handleImages(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET only"})
+		return
+	}
+	infos := make([]ImageInfo, 0, s.db.Len())
+	for _, id := range s.db.IDs() {
+		label, _ := s.db.Label(id)
+		infos = append(infos, ImageInfo{ID: id, Label: label})
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleImage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET only"})
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/images/")
+	label, ok := s.db.Label(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{fmt.Sprintf("no image %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, ImageInfo{ID: id, Label: label})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"POST only"})
+		return
+	}
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad request: %v", err)})
+		return
+	}
+	if len(req.Positives) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{"at least one positive example required"})
+		return
+	}
+	k := req.K
+	if k <= 0 {
+		k = 20
+	}
+	if k > s.MaxK {
+		k = s.MaxK
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+
+	start := time.Now()
+	concept, err := s.db.Train(req.Positives, req.Negatives, milret.TrainOptions{
+		Mode:  mode,
+		Alpha: req.Alpha,
+		Beta:  req.Beta,
+	})
+	if err != nil {
+		// Unknown example IDs are client errors; anything else would be a
+		// server bug surfaced as 500 by the JSON encoder below.
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	trainMS := time.Since(start).Milliseconds()
+
+	var exclude []string
+	if req.ExcludeExamples {
+		exclude = append(append([]string{}, req.Positives...), req.Negatives...)
+	}
+	hits := s.db.RetrieveExcluding(concept, k, exclude)
+	resp := QueryResponse{NegLogDD: concept.NegLogDD(), TrainMS: trainMS}
+	for _, h := range hits {
+		resp.Results = append(resp.Results, QueryResult{ID: h.ID, Label: h.Label, Distance: h.Distance})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func parseMode(s string) (milret.WeightMode, error) {
+	switch s {
+	case "", "constrained":
+		return milret.ConstrainedWeights, nil
+	case "original":
+		return milret.Original, nil
+	case "identical":
+		return milret.IdenticalWeights, nil
+	case "alpha-hack":
+		return milret.AlphaHackWeights, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"milret"
+	"milret/internal/synth"
+)
+
+func testServer(t *testing.T) (*Server, *milret.Database) {
+	t.Helper()
+	db, err := milret.NewDatabase(milret.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range synth.ObjectsN(17, 4) {
+		switch it.Label {
+		case "car", "lamp", "pants":
+			if err := db.AddImage(it.ID, it.Label, it.Image); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return New(db), db
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec, rec.Body.Bytes()
+}
+
+func TestHealth(t *testing.T) {
+	s, db := testServer(t)
+	rec, body := doJSON(t, s, http.MethodGet, "/v1/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("health status %d", rec.Code)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if int(got["images"].(float64)) != db.Len() {
+		t.Fatalf("health images = %v, want %d", got["images"], db.Len())
+	}
+}
+
+func TestListImages(t *testing.T) {
+	s, db := testServer(t)
+	rec, body := doJSON(t, s, http.MethodGet, "/v1/images", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var infos []ImageInfo
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != db.Len() {
+		t.Fatalf("listed %d of %d", len(infos), db.Len())
+	}
+	rec, _ = doJSON(t, s, http.MethodPost, "/v1/images", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST images status %d", rec.Code)
+	}
+}
+
+func TestGetImage(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := doJSON(t, s, http.MethodGet, "/v1/images/object-car-00", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var info ImageInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Label != "car" {
+		t.Fatalf("label %q", info.Label)
+	}
+	rec, _ = doJSON(t, s, http.MethodGet, "/v1/images/nope", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("missing image status %d", rec.Code)
+	}
+}
+
+func TestQueryEndToEnd(t *testing.T) {
+	s, _ := testServer(t)
+	req := QueryRequest{
+		Positives:       []string{"object-car-00", "object-car-01"},
+		Negatives:       []string{"object-lamp-00"},
+		K:               3,
+		Mode:            "identical",
+		ExcludeExamples: true,
+	}
+	rec, body := doJSON(t, s, http.MethodPost, "/v1/query", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results", len(resp.Results))
+	}
+	for _, r := range resp.Results {
+		if r.ID == "object-car-00" || r.ID == "object-car-01" || r.ID == "object-lamp-00" {
+			t.Fatalf("example leaked into results: %s", r.ID)
+		}
+	}
+	if resp.Results[0].Label != "car" {
+		t.Fatalf("top hit is %q, want car", resp.Results[0].Label)
+	}
+	if resp.TrainMS < 0 {
+		t.Fatalf("negative training time")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	s, _ := testServer(t)
+	cases := []struct {
+		name string
+		body any
+		want int
+	}{
+		{"no positives", QueryRequest{K: 5}, http.StatusBadRequest},
+		{"unknown id", QueryRequest{Positives: []string{"ghost"}}, http.StatusBadRequest},
+		{"bad mode", QueryRequest{Positives: []string{"object-car-00"}, Mode: "quantum"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		rec, body := doJSON(t, s, http.MethodPost, "/v1/query", tc.body)
+		if rec.Code != tc.want {
+			t.Errorf("%s: status %d (want %d): %s", tc.name, rec.Code, tc.want, body)
+		}
+	}
+	// Malformed JSON.
+	req := httptest.NewRequest(http.MethodPost, "/v1/query", strings.NewReader("{not json"))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed JSON status %d", rec.Code)
+	}
+	// Unknown fields rejected.
+	req = httptest.NewRequest(http.MethodPost, "/v1/query", strings.NewReader(`{"positives":["object-car-00"],"surprise":1}`))
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown field status %d", rec.Code)
+	}
+	// GET on query.
+	rec2, _ := doJSON(t, s, http.MethodGet, "/v1/query", nil)
+	if rec2.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET query status %d", rec2.Code)
+	}
+}
+
+func TestQueryKClamped(t *testing.T) {
+	s, db := testServer(t)
+	s.MaxK = 2
+	req := QueryRequest{Positives: []string{"object-car-00"}, K: 10000, Mode: "identical"}
+	rec, body := doJSON(t, s, http.MethodPost, "/v1/query", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) > 2 {
+		t.Fatalf("MaxK not enforced: %d results (db %d)", len(resp.Results), db.Len())
+	}
+}

@@ -1,0 +1,358 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"milret/internal/mat"
+	"milret/internal/mil"
+)
+
+func randRecord(r *rand.Rand, id, label string, dim, nInst int) Record {
+	b := &mil.Bag{ID: id}
+	for i := 0; i < nInst; i++ {
+		v := mat.NewVector(dim)
+		for k := range v {
+			v[k] = r.NormFloat64()
+		}
+		b.Instances = append(b.Instances, v)
+	}
+	return Record{ID: id, Label: label, Bag: b}
+}
+
+func roundTrip(t *testing.T, recs []Record, dim int) []Record {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dim() != dim {
+		t.Fatalf("reader dim %d, want %d", r.Dim(), dim)
+	}
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func TestRoundTripExact(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	recs := []Record{
+		randRecord(r, "img-0", "waterfall", 5, 3),
+		randRecord(r, "img-1", "field", 5, 1),
+		randRecord(r, "img-2", "", 5, 7),
+	}
+	// Include special float values: they must survive bit-exactly.
+	recs[0].Bag.Instances[0][0] = 0
+	recs[0].Bag.Instances[0][1] = math.Copysign(0, -1)
+	recs[0].Bag.Instances[0][2] = math.SmallestNonzeroFloat64
+	recs[0].Bag.Instances[0][3] = math.MaxFloat64
+
+	got := roundTrip(t, recs, 5)
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i, rec := range recs {
+		if got[i].ID != rec.ID || got[i].Label != rec.Label {
+			t.Fatalf("record %d metadata mismatch: %+v", i, got[i])
+		}
+		if len(got[i].Bag.Instances) != len(rec.Bag.Instances) {
+			t.Fatalf("record %d instance count mismatch", i)
+		}
+		for j := range rec.Bag.Instances {
+			for k := range rec.Bag.Instances[j] {
+				a := math.Float64bits(rec.Bag.Instances[j][k])
+				b := math.Float64bits(got[i].Bag.Instances[j][k])
+				if a != b {
+					t.Fatalf("record %d inst %d dim %d not bit-exact", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	got := roundTrip(t, nil, 4)
+	if len(got) != 0 {
+		t.Fatalf("empty store yielded %d records", len(got))
+	}
+}
+
+func TestWriterRejects(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, 0); err == nil {
+		t.Fatalf("zero dim accepted")
+	}
+	w, err := NewWriter(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{ID: "x"}); err == nil {
+		t.Fatalf("nil bag accepted")
+	}
+	bad := Record{ID: "x", Bag: &mil.Bag{ID: "x", Instances: []mat.Vector{{1, 2}}}}
+	if err := w.Write(bad); err == nil {
+		t.Fatalf("dimension mismatch accepted")
+	}
+	empty := Record{ID: "x", Bag: &mil.Bag{ID: "x"}}
+	if err := w.Write(empty); err == nil {
+		t.Fatalf("empty bag accepted")
+	}
+}
+
+func TestReaderHeaderFailures(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 3)
+	_ = w.Write(randRecord(r, "a", "l", 3, 2))
+	_ = w.Flush()
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"short magic": good[:4],
+		"bad magic":   append([]byte("XXXXXXXX"), good[8:]...),
+		"bad version": func() []byte {
+			b := append([]byte{}, good...)
+			b[8] = 99
+			return b
+		}(),
+		"zero dim": func() []byte {
+			b := append([]byte{}, good...)
+			b[12], b[13], b[14], b[15] = 0, 0, 0, 0
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := NewReader(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: header accepted", name)
+		}
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 4)
+	_ = w.Write(randRecord(r, "img", "lbl", 4, 3))
+	_ = w.Flush()
+	good := buf.Bytes()
+
+	// Flip one byte in every position after the header; every flip must
+	// either be detected as corruption or (for length prefix bytes) as
+	// truncation. No flip may return a clean record with wrong data
+	// silently — we detect that by comparing contents on nil error.
+	headerLen := len(Magic) + 8
+	for pos := headerLen; pos < len(good); pos++ {
+		data := append([]byte{}, good...)
+		data[pos] ^= 0xFF
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			continue // header untouched, cannot fail here
+		}
+		rec, err := rd.Next()
+		if err == nil {
+			t.Errorf("flip at %d: corruption not detected (got record %q)", pos, rec.ID)
+		}
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 4)
+	_ = w.Write(randRecord(r, "img", "lbl", 4, 3))
+	_ = w.Flush()
+	good := buf.Bytes()
+	headerLen := len(Magic) + 8
+
+	for cut := headerLen + 1; cut < len(good); cut += 7 {
+		rd, err := NewReader(bytes.NewReader(good[:cut]))
+		if err != nil {
+			t.Fatalf("header should parse: %v", err)
+		}
+		if _, err := rd.Next(); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		} else if !errors.Is(err, ErrCorrupt) && err != io.EOF {
+			t.Errorf("truncation at %d: unexpected error type %v", cut, err)
+		}
+	}
+}
+
+func TestCorruptErrorsWrapErrCorrupt(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 2)
+	_ = w.Write(randRecord(r, "a", "l", 2, 1))
+	_ = w.Flush()
+	data := buf.Bytes()
+	data[len(data)-1] ^= 0xFF // corrupt the CRC itself
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestFileRoundTripAtomic(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.milret")
+	var recs []Record
+	for i := 0; i < 10; i++ {
+		recs = append(recs, randRecord(r, "img", "cat", 6, 4))
+	}
+	if err := WriteFile(path, 6, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("read %d records, want 10", len(got))
+	}
+	// No temp files may linger.
+	matches, _ := filepath.Glob(filepath.Join(dir, ".milret-store-*"))
+	if len(matches) != 0 {
+		t.Fatalf("temp files left behind: %v", matches)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 2)
+	for i := 0; i < 3; i++ {
+		if err := w.Write(randRecord(r, "x", "", 2, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+}
+
+// Property: any set of finite random records survives a round trip
+// unchanged.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(8)
+		n := 1 + r.Intn(5)
+		var recs []Record
+		for i := 0; i < n; i++ {
+			recs = append(recs, randRecord(r, "id", "lb", dim, 1+r.Intn(4)))
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, dim)
+		if err != nil {
+			return false
+		}
+		for _, rec := range recs {
+			if err := w.Write(rec); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		rd, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for i := 0; ; i++ {
+			rec, err := rd.Next()
+			if err == io.EOF {
+				return i == len(recs)
+			}
+			if err != nil {
+				return false
+			}
+			for j := range rec.Bag.Instances {
+				if !mat.Equal(rec.Bag.Instances[j], recs[i].Bag.Instances[j], 0) {
+					return false
+				}
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripInstanceNames(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	rec := randRecord(r, "img", "cat", 3, 2)
+	rec.Bag.Names = []string{"a-whole", "c-quad-tl-lr"}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 3)
+	if err := w.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Flush()
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Bag.Names) != 2 || got.Bag.Names[0] != "a-whole" || got.Bag.Names[1] != "c-quad-tl-lr" {
+		t.Fatalf("names lost in round trip: %v", got.Bag.Names)
+	}
+}
+
+func TestRoundTripNoNamesStaysNil(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	rec := randRecord(r, "img", "cat", 3, 2)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 3)
+	if err := w.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Flush()
+	rd, _ := NewReader(&buf)
+	got, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bag.Names != nil {
+		t.Fatalf("nameless bag gained names: %v", got.Bag.Names)
+	}
+}

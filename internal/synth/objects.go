@@ -1,0 +1,292 @@
+package synth
+
+import "math/rand"
+
+// Object image dimensions: small square catalogue shots on uniform
+// backgrounds, divisible by 4 so quadrant boundaries are exact.
+const (
+	ObjectW = 64
+	ObjectH = 64
+)
+
+// ObjectCategories lists the 19 object classes (§4.1 mentions cars,
+// airplanes, pants, hammers and cameras among the 19; the rest are typical
+// retail-catalogue items of the same flavor).
+var ObjectCategories = []string{
+	"car", "airplane", "pants", "hammer", "camera",
+	"bicycle", "shirt", "shoe", "watch", "chair",
+	"table", "lamp", "phone", "guitar", "cup",
+	"bottle", "glasses", "hat", "couch",
+}
+
+// ObjectGenerators maps each object category to its generator.
+var ObjectGenerators = map[string]func(r *rand.Rand) *Canvas{
+	"car":      drawCar,
+	"airplane": drawAirplane,
+	"pants":    drawPants,
+	"hammer":   drawHammer,
+	"camera":   drawCamera,
+	"bicycle":  drawBicycle,
+	"shirt":    drawShirt,
+	"shoe":     drawShoe,
+	"watch":    drawWatch,
+	"chair":    drawChair,
+	"table":    drawTable,
+	"lamp":     drawLamp,
+	"phone":    drawPhone,
+	"guitar":   drawGuitar,
+	"cup":      drawCup,
+	"bottle":   drawBottle,
+	"glasses":  drawGlasses,
+	"hat":      drawHat,
+	"couch":    drawCouch,
+}
+
+// frame maps object-local coordinates (≈[-1,1]²) onto a canvas with the
+// per-image position/scale jitter applied, so every drawer composes simple
+// normalized shapes.
+type frame struct {
+	c      *Canvas
+	cx, cy float64
+	sx, sy float64
+	ink    RGB
+}
+
+// newObjectFrame prepares a light near-uniform background and a jittered
+// frame — catalogue images have uniform backgrounds and modest pose
+// variation (§4.2.1 attributes the object-database behaviour to exactly
+// that). Position, per-axis scale, ink tone and lighting all vary so that
+// a category is a family of silhouettes, not a single template.
+func newObjectFrame(r *rand.Rand) frame {
+	bgTop := jitter(r, 236, 12)
+	bgBot := bgTop - jitter(r, 12, 10)
+	c := NewCanvas(ObjectW, ObjectH, RGB{})
+	c.VGradient(0, ObjectH, RGB{bgTop, bgTop, bgTop}, RGB{bgBot, bgBot, bgBot})
+	base := jitter(r, 72, 30)
+	s := jitter(r, 26, 3)
+	return frame{
+		c:   c,
+		cx:  jitter(r, float64(ObjectW)/2, 4),
+		cy:  jitter(r, float64(ObjectH)/2, 4),
+		sx:  s * jitter(r, 1, 0.15),
+		sy:  s * jitter(r, 1, 0.15),
+		ink: RGB{base, base * jitter(r, 1.0, 0.12), base * jitter(r, 1.0, 0.12)},
+	}
+}
+
+// finish adds sensor noise and randomly mirrors the image.
+func (f frame) finish(r *rand.Rand) *Canvas {
+	f.c.AddNoise(r, jitter(r, 7, 2))
+	if r.Float64() < 0.4 {
+		f.c.MirrorLR()
+	}
+	return f.c
+}
+
+func (f frame) x(u float64) float64 { return f.cx + u*f.sx }
+func (f frame) y(v float64) float64 { return f.cy + v*f.sy }
+func (f frame) s() float64          { return (f.sx + f.sy) / 2 }
+
+func (f frame) rect(u0, v0, u1, v1 float64, col RGB) {
+	f.c.FillRect(int(f.x(u0)), int(f.y(v0)), int(f.x(u1)), int(f.y(v1)), col)
+}
+
+func (f frame) circle(u, v, rad float64, col RGB) {
+	f.c.FillCircle(f.x(u), f.y(v), rad*f.s(), col)
+}
+
+func (f frame) ring(u, v, rad, stroke float64, col RGB) {
+	f.c.RingCircle(f.x(u), f.y(v), rad*f.s(), stroke*f.s(), col)
+}
+
+func (f frame) tri(u1, v1, u2, v2, u3, v3 float64, col RGB) {
+	f.c.FillTriangle(f.x(u1), f.y(v1), f.x(u2), f.y(v2), f.x(u3), f.y(v3), col)
+}
+
+func (f frame) line(u0, v0, u1, v1, width float64, col RGB) {
+	f.c.Line(f.x(u0), f.y(v0), f.x(u1), f.y(v1), width*f.s(), col)
+}
+
+func (f frame) shade(factor float64) RGB { return f.ink.Scale(factor) }
+
+func drawCar(r *rand.Rand) *Canvas {
+	f := newObjectFrame(r)
+	f.rect(-1, -0.1, 1, 0.45, f.ink)                      // body
+	f.rect(-0.45, -0.5, 0.45, -0.1, f.shade(1.25))        // cabin
+	f.rect(-0.35, -0.42, 0.35, -0.14, RGB{200, 215, 225}) // windows
+	f.circle(-0.55, 0.45, 0.24, f.shade(0.4))             // wheels
+	f.circle(0.55, 0.45, 0.24, f.shade(0.4))
+	f.circle(-0.55, 0.45, 0.1, RGB{180, 180, 185}) // hubcaps
+	f.circle(0.55, 0.45, 0.1, RGB{180, 180, 185})
+	return f.finish(r)
+}
+
+func drawAirplane(r *rand.Rand) *Canvas {
+	f := newObjectFrame(r)
+	f.rect(-0.95, -0.12, 0.8, 0.12, f.ink)                    // fuselage
+	f.tri(0.8, -0.12, 0.8, 0.12, 1.0, 0, f.ink)               // nose
+	f.tri(-0.15, -0.05, -0.6, 0.75, 0.25, 0.05, f.shade(0.8)) // wing
+	f.tri(-0.95, -0.12, -0.95, 0.12, -0.6, 0, f.shade(0.8))
+	f.tri(-0.95, -0.12, -1.0, -0.6, -0.7, -0.1, f.shade(1.2)) // tail fin
+	return f.finish(r)
+}
+
+func drawPants(r *rand.Rand) *Canvas {
+	f := newObjectFrame(r)
+	f.rect(-0.6, -1, 0.6, -0.65, f.ink)         // waist
+	f.rect(-0.6, -0.65, -0.08, 1, f.shade(0.9)) // left leg
+	f.rect(0.08, -0.65, 0.6, 1, f.shade(0.9))   // right leg
+	return f.finish(r)
+}
+
+func drawHammer(r *rand.Rand) *Canvas {
+	f := newObjectFrame(r)
+	f.rect(-0.09, -0.25, 0.09, 1, RGB{150, 110, 70})      // wooden handle
+	f.rect(-0.6, -0.6, 0.6, -0.2, f.shade(0.6))           // steel head
+	f.tri(0.6, -0.6, 0.6, -0.2, 0.95, -0.4, f.shade(0.6)) // claw hint
+	return f.finish(r)
+}
+
+func drawCamera(r *rand.Rand) *Canvas {
+	f := newObjectFrame(r)
+	f.rect(-0.9, -0.45, 0.9, 0.55, f.ink)               // body
+	f.rect(-0.35, -0.6, 0.1, -0.45, f.shade(0.7))       // viewfinder hump
+	f.ring(0, 0.05, 0.34, 0.1, f.shade(0.5))            // lens barrel
+	f.circle(0, 0.05, 0.2, RGB{40, 45, 60})             // glass
+	f.rect(0.55, -0.38, 0.8, -0.22, RGB{220, 220, 200}) // flash
+	return f.finish(r)
+}
+
+func drawBicycle(r *rand.Rand) *Canvas {
+	f := newObjectFrame(r)
+	f.ring(-0.55, 0.35, 0.4, 0.07, f.ink) // wheels
+	f.ring(0.55, 0.35, 0.4, 0.07, f.ink)
+	f.line(-0.55, 0.35, -0.1, -0.35, 0.06, f.shade(0.8)) // frame
+	f.line(-0.1, -0.35, 0.3, -0.35, 0.06, f.shade(0.8))
+	f.line(0.3, -0.35, 0.55, 0.35, 0.06, f.shade(0.8))
+	f.line(-0.1, -0.35, 0.1, 0.25, 0.06, f.shade(0.8))
+	f.line(0.1, 0.25, -0.55, 0.35, 0.06, f.shade(0.8))
+	f.line(0.3, -0.35, 0.42, -0.52, 0.05, f.shade(0.8)) // handlebar stem
+	return f.finish(r)
+}
+
+func drawShirt(r *rand.Rand) *Canvas {
+	f := newObjectFrame(r)
+	f.rect(-0.5, -0.6, 0.5, 0.85, f.ink)                   // torso
+	f.tri(-0.5, -0.6, -1.0, 0.1, -0.5, 0.15, f.shade(0.9)) // sleeves
+	f.tri(0.5, -0.6, 1.0, 0.1, 0.5, 0.15, f.shade(0.9))
+	f.tri(-0.2, -0.6, 0.2, -0.6, 0, -0.35, RGB{225, 225, 230}) // collar
+	return f.finish(r)
+}
+
+func drawShoe(r *rand.Rand) *Canvas {
+	f := newObjectFrame(r)
+	f.rect(-1, 0.3, 1, 0.55, f.shade(0.5))                  // sole
+	f.rect(0.1, -0.45, 0.95, 0.3, f.ink)                    // heel/ankle
+	f.tri(0.1, -0.45, 0.1, 0.3, -1.0, 0.3, f.ink)           // toe slope
+	f.line(0.25, -0.3, 0.55, 0.0, 0.05, RGB{220, 220, 225}) // laces
+	f.line(0.15, -0.1, 0.45, 0.15, 0.05, RGB{220, 220, 225})
+	return f.finish(r)
+}
+
+func drawWatch(r *rand.Rand) *Canvas {
+	f := newObjectFrame(r)
+	f.rect(-0.22, -1, 0.22, -0.4, f.shade(0.8)) // strap
+	f.rect(-0.22, 0.4, 0.22, 1, f.shade(0.8))
+	f.circle(0, 0, 0.5, f.ink)                 // case
+	f.circle(0, 0, 0.38, RGB{230, 232, 235})   // face
+	f.line(0, 0, 0, -0.28, 0.05, f.shade(0.4)) // hands
+	f.line(0, 0, 0.2, 0.1, 0.05, f.shade(0.4))
+	return f.finish(r)
+}
+
+func drawChair(r *rand.Rand) *Canvas {
+	f := newObjectFrame(r)
+	f.rect(-0.55, -1, -0.33, 0.35, f.ink)       // back post
+	f.rect(-0.55, 0.25, 0.6, 0.45, f.ink)       // seat
+	f.rect(-0.55, 0.45, -0.4, 1, f.shade(0.85)) // legs
+	f.rect(0.45, 0.45, 0.6, 1, f.shade(0.85))
+	f.rect(-0.55, -0.85, -0.1, -0.65, f.shade(1.15)) // back slat
+	return f.finish(r)
+}
+
+func drawTable(r *rand.Rand) *Canvas {
+	f := newObjectFrame(r)
+	f.rect(-1, -0.25, 1, -0.05, f.ink) // top
+	f.rect(-0.9, -0.05, -0.72, 0.95, f.shade(0.85))
+	f.rect(0.72, -0.05, 0.9, 0.95, f.shade(0.85))
+	return f.finish(r)
+}
+
+func drawLamp(r *rand.Rand) *Canvas {
+	f := newObjectFrame(r)
+	f.tri(0, -1, -0.55, -0.3, 0.55, -0.3, f.ink)  // shade
+	f.rect(-0.06, -0.3, 0.06, 0.75, f.shade(0.7)) // pole
+	f.rect(-0.45, 0.75, 0.45, 0.95, f.shade(0.7)) // base
+	return f.finish(r)
+}
+
+func drawPhone(r *rand.Rand) *Canvas {
+	f := newObjectFrame(r)
+	f.rect(-0.45, -0.95, 0.45, 0.95, f.ink)             // body
+	f.rect(-0.35, -0.75, 0.35, 0.6, RGB{190, 205, 215}) // screen
+	f.circle(0, 0.78, 0.09, RGB{210, 210, 215})         // home button
+	return f.finish(r)
+}
+
+func drawGuitar(r *rand.Rand) *Canvas {
+	f := newObjectFrame(r)
+	f.circle(0, 0.5, 0.5, f.ink)                 // lower bout
+	f.circle(0, 0.02, 0.36, f.ink)               // upper bout
+	f.circle(0, 0.3, 0.14, RGB{40, 30, 25})      // sound hole
+	f.rect(-0.07, -1, 0.07, -0.1, f.shade(0.7))  // neck
+	f.rect(-0.14, -1, 0.14, -0.82, f.shade(0.5)) // headstock
+	return f.finish(r)
+}
+
+func drawCup(r *rand.Rand) *Canvas {
+	f := newObjectFrame(r)
+	f.rect(-0.45, -0.45, 0.45, 0.6, f.ink)         // body
+	f.ring(0.58, 0.07, 0.28, 0.1, f.ink)           // handle
+	f.rect(-0.45, -0.45, 0.45, -0.3, f.shade(1.2)) // rim highlight
+	return f.finish(r)
+}
+
+func drawBottle(r *rand.Rand) *Canvas {
+	f := newObjectFrame(r)
+	f.rect(-0.33, -0.15, 0.33, 0.95, f.ink)            // body
+	f.rect(-0.12, -0.7, 0.12, -0.15, f.shade(0.9))     // neck
+	f.rect(-0.16, -0.85, 0.16, -0.7, f.shade(0.6))     // cap
+	f.rect(-0.25, 0.1, 0.25, 0.55, RGB{215, 215, 220}) // label
+	return f.finish(r)
+}
+
+func drawGlasses(r *rand.Rand) *Canvas {
+	f := newObjectFrame(r)
+	f.ring(-0.48, 0, 0.36, 0.09, f.ink) // lenses
+	f.ring(0.48, 0, 0.36, 0.09, f.ink)
+	f.line(-0.14, -0.08, 0.14, -0.08, 0.07, f.ink) // bridge
+	f.line(-0.82, -0.1, -1.0, -0.25, 0.06, f.ink)  // temples
+	f.line(0.82, -0.1, 1.0, -0.25, 0.06, f.ink)
+	return f.finish(r)
+}
+
+func drawHat(r *rand.Rand) *Canvas {
+	f := newObjectFrame(r)
+	f.circle(0, 0.05, 0.5, f.ink)                 // crown
+	f.rect(-0.55, -0.55, 0.55, 0.1, f.ink)        // crown top-off (flatten)
+	f.rect(-1, 0.1, 1, 0.3, f.shade(0.8))         // brim
+	f.rect(-0.55, -0.05, 0.55, 0.1, f.shade(0.5)) // band
+	return f.finish(r)
+}
+
+func drawCouch(r *rand.Rand) *Canvas {
+	f := newObjectFrame(r)
+	f.rect(-1, -0.45, 1, 0.1, f.shade(1.1))     // backrest
+	f.rect(-1, 0.1, 1, 0.6, f.ink)              // seat
+	f.rect(-1, -0.2, -0.75, 0.6, f.shade(0.85)) // armrests
+	f.rect(0.75, -0.2, 1, 0.6, f.shade(0.85))
+	f.rect(-0.75, 0.15, 0, 0.45, f.shade(1.2)) // cushions
+	f.rect(0, 0.15, 0.75, 0.45, f.shade(1.2))
+	return f.finish(r)
+}

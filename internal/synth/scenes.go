@@ -1,0 +1,267 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Scene dimensions: COREL thumbnails of the era were small landscape
+// images; 96×64 keeps the 3:2 aspect and is divisible by 12, so every
+// fractional region boundary of the §3.2 families lands on a pixel edge.
+const (
+	SceneW = 96
+	SceneH = 64
+)
+
+// SceneCategories lists the five natural-scene classes of §4.1 in canonical
+// order.
+var SceneCategories = []string{"waterfall", "mountain", "field", "lake", "sunset"}
+
+// SceneGenerators maps each category to its procedural generator.
+//
+// Difficulty calibration: real COREL categories overlap heavily — lakes
+// have mountains behind them, fields glow at dusk, mountains carry bright
+// snow gullies that read like waterfalls. Each generator therefore mixes in
+// the neighbouring categories' elements with some probability ("confusers")
+// and draws its layout parameters from wide, overlapping ranges, so that
+// retrieval precision lands well below 1.0, as in the paper.
+var SceneGenerators = map[string]func(r *rand.Rand) *Canvas{
+	"waterfall": Waterfall,
+	"mountain":  Mountain,
+	"field":     Field,
+	"lake":      Lake,
+	"sunset":    Sunset,
+}
+
+func jitter(r *rand.Rand, base, spread float64) float64 {
+	return base + (r.Float64()*2-1)*spread
+}
+
+// finishScene applies shared post-processing: per-image brightness and
+// contrast jitter, smooth low-frequency mottle, sensor noise, and a random
+// left-right mirror (mirrored pictures are common in databases, §3.2).
+func finishScene(r *rand.Rand, c *Canvas) *Canvas {
+	gain := jitter(r, 1.0, 0.18)
+	bias := jitter(r, 0, 18)
+	for i := range c.Pix {
+		for k := 0; k < 3; k++ {
+			c.Pix[i][k] = (c.Pix[i][k]-128)*gain + 128 + bias
+		}
+	}
+	c.AddSmoothNoise(r, 10+r.Intn(8), jitter(r, 14, 6))
+	c.AddNoise(r, jitter(r, 11, 4))
+	if r.Float64() < 0.5 {
+		c.MirrorLR()
+	}
+	return c
+}
+
+// skyGradient paints a sky with a randomly warm or cool cast down to the
+// given horizon row.
+func skyGradient(r *rand.Rand, c *Canvas, horizon int) {
+	warm := r.Float64() < 0.3
+	top := RGB{jitter(r, 175, 25), jitter(r, 190, 20), jitter(r, 210, 20)}
+	bottom := RGB{jitter(r, 205, 20), jitter(r, 210, 15), jitter(r, 215, 15)}
+	if warm {
+		top = RGB{jitter(r, 190, 25), jitter(r, 160, 25), jitter(r, 140, 25)}
+		bottom = RGB{jitter(r, 225, 20), jitter(r, 185, 20), jitter(r, 140, 25)}
+	}
+	c.VGradient(0, horizon, top, bottom)
+}
+
+// mountainRange paints dark triangular peaks with optional snow caps onto
+// rows [minY, baseY]; used both by Mountain and as a background confuser.
+func mountainRange(r *rand.Rand, c *Canvas, baseY float64, peaks int, snow bool) {
+	for p := 0; p < peaks; p++ {
+		cx := float64(SceneW) * (0.1 + 0.8*r.Float64())
+		top := jitter(r, baseY*0.35, baseY*0.2)
+		halfW := jitter(r, float64(SceneW)*0.25, float64(SceneW)*0.1)
+		shade := jitter(r, 75, 25)
+		rock := RGB{shade, shade * 0.95, shade * 1.05}
+		c.FillTriangle(cx, top, cx-halfW, baseY, cx+halfW, baseY, rock)
+		if snow && r.Float64() < 0.7 {
+			capT := 0.2 + r.Float64()*0.2
+			c.FillTriangle(cx, top,
+				cx-halfW*capT, top+(baseY-top)*capT,
+				cx+halfW*capT, top+(baseY-top)*capT,
+				RGB{jitter(r, 220, 15), jitter(r, 225, 15), jitter(r, 230, 15)})
+		}
+	}
+}
+
+// cascade paints a bright vertical water band from fallTop to poolY; used
+// by Waterfall and occasionally as a snow-gully confuser in Mountain.
+func cascade(r *rand.Rand, c *Canvas, fallX, topW, botW, fallTop, poolY, brightness float64) {
+	for y := int(fallTop); y < int(poolY); y++ {
+		t := (float64(y) - fallTop) / (poolY - fallTop + 1)
+		half := (topW + (botW-topW)*t) / 2
+		wiggle := math.Sin(float64(y)/6+fallX) * 1.5
+		for x := int(fallX + wiggle - half); x <= int(fallX+wiggle+half); x++ {
+			streak := brightness + 25*math.Sin(float64(x)*2.1+float64(y)*0.6)
+			c.Set(x, y, RGB{streak, streak, streak + 8})
+		}
+	}
+}
+
+// sunGlow paints a bright disk with exponential glow above the horizon;
+// used by Sunset and occasionally by Field and Lake at dusk.
+func sunGlow(r *rand.Rand, c *Canvas, horizon int, strength float64) {
+	sunX := jitter(r, float64(SceneW)*0.5, float64(SceneW)*0.3)
+	sunY := jitter(r, float64(horizon)-10, 7)
+	sunR := jitter(r, 6, 2.5)
+	for y := 0; y < horizon; y++ {
+		for x := 0; x < SceneW; x++ {
+			d := math.Hypot(float64(x)-sunX, float64(y)-sunY)
+			glow := strength * math.Exp(-d/(sunR*2.5))
+			c.Set(x, y, c.At(x, y).Add(RGB{glow, glow * 0.8, glow * 0.45}))
+		}
+	}
+	if strength > 50 {
+		c.FillCircle(sunX, sunY, sunR, RGB{250, 235, 200})
+	}
+}
+
+// Waterfall: dark rocky/vegetated flanks around a bright vertical cascade
+// ending in a foam pool. Confusers: sometimes a mountain ridge behind, a
+// weak or narrow fall, or a dusk cast.
+func Waterfall(r *rand.Rand) *Canvas {
+	base := jitter(r, 70, 20)
+	c := NewCanvas(SceneW, SceneH, RGB{base * 0.9, base, base * 0.8})
+	skyH := int(jitter(r, 10, 8))
+	skyGradient(r, c, skyH)
+	if r.Float64() < 0.3 { // distant ridge behind the gorge
+		mountainRange(r, c, float64(skyH)+jitter(r, 8, 4), 1+r.Intn(2), false)
+	}
+	c.AddSmoothNoise(r, 6+r.Intn(5), jitter(r, 30, 10))
+
+	fallX := jitter(r, float64(SceneW)*0.5, float64(SceneW)*0.22)
+	topW := jitter(r, float64(SceneW)*0.09, float64(SceneW)*0.05)
+	botW := topW * jitter(r, 1.7, 0.5)
+	poolY := jitter(r, float64(SceneH)*0.84, float64(SceneH)*0.08)
+	cascade(r, c, fallX, topW, botW, float64(skyH)-2, poolY, jitter(r, 205, 25))
+	c.FillRect(int(fallX-botW*jitter(r, 1.5, 0.4)), int(poolY),
+		int(fallX+botW*jitter(r, 1.5, 0.4)), SceneH,
+		RGB{jitter(r, 195, 20), jitter(r, 205, 20), jitter(r, 215, 20)})
+	return finishScene(r, c)
+}
+
+// Mountain: pale sky behind dark triangular peaks with snow caps and a dark
+// foreground. Confusers: sometimes a bright snow gully (waterfall-like) or
+// a lake-like flat band at the base.
+func Mountain(r *rand.Rand) *Canvas {
+	c := NewCanvas(SceneW, SceneH, RGB{})
+	baseY := jitter(r, float64(SceneH)*0.72, float64(SceneH)*0.12)
+	skyGradient(r, c, SceneH)
+	mountainRange(r, c, baseY, 2+r.Intn(2), true)
+	if r.Float64() < 0.2 { // snow gully reading like a thin waterfall
+		gx := jitter(r, float64(SceneW)*0.5, float64(SceneW)*0.2)
+		cascade(r, c, gx, 2.5, 4, baseY*0.45, baseY, 215)
+	}
+	fg := RGB{jitter(r, 60, 20), jitter(r, 75, 20), jitter(r, 50, 15)}
+	if r.Float64() < 0.25 { // alpine lake at the foot
+		fg = RGB{jitter(r, 70, 15), jitter(r, 90, 15), jitter(r, 110, 20)}
+	}
+	c.FillRect(0, int(baseY), SceneW, SceneH, fg)
+	return finishScene(r, c)
+}
+
+// Field: sky over a bright textured field with furrow stripes. Confusers:
+// horizon height overlaps lake/sunset ranges; sometimes a dusk glow or a
+// distant ridge.
+func Field(r *rand.Rand) *Canvas {
+	c := NewCanvas(SceneW, SceneH, RGB{})
+	horizon := int(jitter(r, float64(SceneH)*0.42, float64(SceneH)*0.14))
+	skyGradient(r, c, horizon)
+	if r.Float64() < 0.25 {
+		mountainRange(r, c, float64(horizon), 1+r.Intn(2), false)
+	}
+	if r.Float64() < 0.2 { // late-afternoon glow
+		sunGlow(r, c, horizon, jitter(r, 40, 15))
+	}
+	top := RGB{jitter(r, 165, 30), jitter(r, 180, 30), jitter(r, 90, 25)}
+	bottom := top.Scale(jitter(r, 0.65, 0.1))
+	c.VGradient(horizon, SceneH, top, bottom)
+	y := float64(horizon) + 3
+	gap := jitter(r, 2.2, 0.8)
+	for y < SceneH {
+		shade := jitter(r, 0.84, 0.07)
+		for x := 0; x < SceneW; x++ {
+			c.Set(x, int(y), c.At(x, int(y)).Scale(shade))
+		}
+		y += gap
+		gap *= jitter(r, 1.25, 0.08)
+	}
+	return finishScene(r, c)
+}
+
+// Lake: far shore between sky and smooth water carrying a dimmed
+// reflection. Confusers: mountainous shores, dusk casts, variable
+// waterlines overlapping field/sunset horizons.
+func Lake(r *rand.Rand) *Canvas {
+	c := NewCanvas(SceneW, SceneH, RGB{})
+	waterY := int(jitter(r, float64(SceneH)*0.5, float64(SceneH)*0.1))
+	skyGradient(r, c, waterY)
+	if r.Float64() < 0.4 { // mountains across the water
+		mountainRange(r, c, float64(waterY), 1+r.Intn(3), r.Float64() < 0.5)
+	} else { // tree line
+		shoreH := int(jitter(r, 7, 4))
+		for x := 0; x < SceneW; x++ {
+			h := shoreH + int(3*math.Sin(float64(x)/jitter(r, 7, 2))+r.Float64()*2)
+			for y := waterY - h; y < waterY; y++ {
+				c.Set(x, y, RGB{jitter(r, 45, 10), jitter(r, 65, 10), jitter(r, 40, 10)})
+			}
+		}
+	}
+	if r.Float64() < 0.2 { // dusk over the water
+		sunGlow(r, c, waterY, jitter(r, 45, 15))
+	}
+	dim := jitter(r, 0.55, 0.12)
+	tint := RGB{jitter(r, 10, 5), jitter(r, 20, 8), jitter(r, 35, 10)}
+	for y := waterY; y < SceneH; y++ {
+		src := 2*waterY - y
+		if src < 0 {
+			src = 0
+		}
+		for x := 0; x < SceneW; x++ {
+			c.Set(x, y, c.At(x, src).Scale(dim).Add(tint))
+		}
+	}
+	for y := waterY; y < SceneH; y += 3 {
+		shade := 1 + 0.08*math.Sin(float64(y)/2)
+		for x := 0; x < SceneW; x++ {
+			c.Set(x, y, c.At(x, y).Scale(shade))
+		}
+	}
+	return finishScene(r, c)
+}
+
+// Sunset: strong warm gradient, usually a sun disk with glow, dark ground.
+// Confusers: sun sometimes hidden (gradient only), sometimes water below
+// the horizon (lake-like reflection), horizon range overlaps field/lake.
+func Sunset(r *rand.Rand) *Canvas {
+	c := NewCanvas(SceneW, SceneH, RGB{})
+	horizon := int(jitter(r, float64(SceneH)*0.6, float64(SceneH)*0.12))
+	c.VGradient(0, horizon,
+		RGB{jitter(r, 75, 25), jitter(r, 50, 20), jitter(r, 85, 25)},
+		RGB{jitter(r, 230, 20), jitter(r, 140, 30), jitter(r, 60, 25)})
+	if r.Float64() < 0.8 {
+		sunGlow(r, c, horizon, jitter(r, 85, 25))
+	}
+	if r.Float64() < 0.3 { // sunset over water: dim reflection below
+		dim := jitter(r, 0.45, 0.1)
+		for y := horizon; y < SceneH; y++ {
+			src := 2*horizon - y
+			if src < 0 {
+				src = 0
+			}
+			for x := 0; x < SceneW; x++ {
+				c.Set(x, y, c.At(x, src).Scale(dim))
+			}
+		}
+	} else {
+		c.VGradient(horizon, SceneH,
+			RGB{jitter(r, 45, 15), jitter(r, 35, 12), jitter(r, 40, 12)},
+			RGB{jitter(r, 18, 8), jitter(r, 12, 6), jitter(r, 16, 8)})
+	}
+	return finishScene(r, c)
+}

@@ -1,0 +1,443 @@
+// Package milret is a content-based image retrieval library built on
+// multiple-instance learning, reproducing "Image Database Retrieval with
+// Multiple-Instance Learning Techniques" (Yang & Lozano-Pérez, ICDE 2000).
+//
+// Every image added to a Database is decomposed into overlapping regions;
+// each region and its left-right mirror is smoothed and sampled into a
+// standardized feature vector, and the collection forms the image's bag.
+// Training on user-chosen positive and negative example images runs the
+// Diverse Density algorithm, which finds an "ideal" feature point and
+// per-dimension weights; retrieval ranks the database by each image's
+// minimum weighted distance to that point.
+//
+// Basic usage:
+//
+//	db, _ := milret.NewDatabase(milret.Options{})
+//	for _, img := range pictures {
+//		db.AddImage(img.ID, img.Category, img.Image)
+//	}
+//	concept, _ := db.Train([]string{"pos1", "pos2"}, []string{"neg1"}, milret.TrainOptions{})
+//	for _, hit := range db.Retrieve(concept, 20) {
+//		fmt.Println(hit.ID, hit.Distance)
+//	}
+//
+// Unsatisfying results are refined by adding the offending images as
+// negatives (or missed images as positives) and training again — the
+// relevance-feedback loop of the paper's §3.5.
+package milret
+
+import (
+	"fmt"
+	"image"
+	"math"
+	"sort"
+
+	"milret/internal/core"
+	"milret/internal/eval"
+	"milret/internal/feature"
+	"milret/internal/gray"
+	"milret/internal/mil"
+	"milret/internal/optimize"
+	"milret/internal/region"
+	"milret/internal/retrieval"
+	"milret/internal/store"
+)
+
+// WeightMode selects how Diverse Density treats the feature weights during
+// training (§3.6 of the paper).
+type WeightMode int
+
+const (
+	// Original is the unmodified Diverse Density algorithm: weights are
+	// free, which tends to zero most of them when negatives are scarce.
+	Original WeightMode = iota
+	// IdenticalWeights pins every weight to one and learns the concept
+	// point only.
+	IdenticalWeights
+	// AlphaHackWeights dampens weight movement by dividing the weight
+	// gradient by Alpha.
+	AlphaHackWeights
+	// ConstrainedWeights keeps weights in [0,1] with their sum at least
+	// Beta times the dimensionality — the paper's best-performing scheme
+	// on natural scenes.
+	ConstrainedWeights
+)
+
+func (m WeightMode) String() string {
+	switch m {
+	case Original:
+		return "original"
+	case IdenticalWeights:
+		return "identical"
+	case AlphaHackWeights:
+		return "alpha-hack"
+	case ConstrainedWeights:
+		return "constrained"
+	}
+	return "unknown"
+}
+
+func (m WeightMode) toCore() (core.WeightMode, error) {
+	switch m {
+	case Original:
+		return core.Original, nil
+	case IdenticalWeights:
+		return core.Identical, nil
+	case AlphaHackWeights:
+		return core.AlphaHack, nil
+	case ConstrainedWeights:
+		return core.SumConstraint, nil
+	}
+	return 0, fmt.Errorf("milret: unknown weight mode %d", m)
+}
+
+// Options configures image preprocessing. The zero value reproduces the
+// paper's defaults: 20 regions plus mirrors (40 instances per image) sampled
+// at 10×10 (100-dimensional features).
+type Options struct {
+	// Resolution is the sampling size h; features have h² dimensions.
+	// Supported sweep values in the paper: 6, 10, 15. Default 10.
+	Resolution int
+	// Regions selects the region family size: 9, 20 or 42. Default 20.
+	Regions int
+	// VarianceThreshold drops low-variance (blank) regions; negative
+	// disables the filter, 0 uses the default.
+	VarianceThreshold float64
+	// NoMirror disables left-right mirror instances.
+	NoMirror bool
+}
+
+func (o Options) toFeature() feature.Options {
+	fo := feature.Options{
+		Resolution:        o.Resolution,
+		VarianceThreshold: o.VarianceThreshold,
+		NoMirror:          o.NoMirror,
+	}
+	if o.Regions != 0 {
+		fo.Regions = region.SetSize(o.Regions)
+	}
+	return fo
+}
+
+// TrainOptions configures Diverse Density training.
+type TrainOptions struct {
+	// Mode is the weight-control scheme. Default Original.
+	Mode WeightMode
+	// Alpha is the gradient divisor for AlphaHackWeights (default 50).
+	Alpha float64
+	// Beta is the weight-sum constraint level for ConstrainedWeights
+	// (0 ≤ Beta ≤ 1).
+	Beta float64
+	// StartBags caps how many positive bags seed the multi-start
+	// optimization; 0 uses all of them.
+	StartBags int
+	// MaxIters bounds optimizer iterations per start (0 = default).
+	MaxIters int
+	// Parallelism bounds training/ranking goroutines (0 = NumCPU).
+	Parallelism int
+}
+
+// Database is a content-addressable image collection ready for
+// example-based retrieval.
+type Database struct {
+	opts feature.Options
+	db   *retrieval.Database
+}
+
+// NewDatabase returns an empty database with the given preprocessing
+// options. The options are fixed for the database's lifetime: every image
+// must be featurized identically for distances to be meaningful.
+func NewDatabase(opts Options) (*Database, error) {
+	fo := opts.toFeature()
+	if opts.Regions != 0 {
+		if _, err := region.Set(region.SetSize(opts.Regions)); err != nil {
+			return nil, fmt.Errorf("milret: %w", err)
+		}
+	}
+	return &Database{opts: fo, db: retrieval.NewDatabase()}, nil
+}
+
+// AddImage preprocesses img (any stdlib image; color is converted to gray
+// scale) and stores its bag under the unique id. The label is optional
+// metadata carried through to results — evaluation code uses it as the
+// ground-truth category.
+func (d *Database) AddImage(id, label string, img image.Image) error {
+	if id == "" {
+		return fmt.Errorf("milret: empty image ID")
+	}
+	g := gray.FromImage(img)
+	bag, err := feature.BagFromImage(id, g, d.opts)
+	if err != nil {
+		return err
+	}
+	return d.db.Add(retrieval.Item{ID: id, Label: label, Bag: bag})
+}
+
+// Len returns the number of stored images.
+func (d *Database) Len() int { return d.db.Len() }
+
+// IDs returns all image IDs in insertion order.
+func (d *Database) IDs() []string {
+	items := d.db.Items()
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = it.ID
+	}
+	return out
+}
+
+// Labels returns the distinct labels present, sorted.
+func (d *Database) Labels() []string {
+	seen := map[string]bool{}
+	for _, it := range d.db.Items() {
+		if it.Label != "" {
+			seen[it.Label] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for lb := range seen {
+		out = append(out, lb)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Label returns the stored label of an image.
+func (d *Database) Label(id string) (string, bool) {
+	it, ok := d.db.ByID(id)
+	return it.Label, ok
+}
+
+// Concept is a trained retrieval concept: the "ideal" feature point and
+// weights Diverse Density found for the user's examples.
+type Concept struct {
+	c *core.Concept
+}
+
+// NegLogDD is the training objective at the solution; lower means the
+// concept explains the examples better.
+func (c *Concept) NegLogDD() float64 { return c.c.NegLogDD }
+
+// Weights returns a copy of the effective per-dimension distance weights.
+func (c *Concept) Weights() []float64 {
+	return append([]float64(nil), c.c.Weights...)
+}
+
+// Point returns a copy of the concept point in feature space.
+func (c *Concept) Point() []float64 {
+	return append([]float64(nil), c.c.Point...)
+}
+
+// Train runs Diverse Density over the identified example images. Positive
+// examples should contain the concept; negative examples must not. At
+// least one positive is required; negatives may be empty (though retrieval
+// precision benefits greatly from a few).
+func (d *Database) Train(positiveIDs, negativeIDs []string, opts TrainOptions) (*Concept, error) {
+	mode, err := opts.Mode.toCore()
+	if err != nil {
+		return nil, err
+	}
+	ds, err := d.dataset(positiveIDs, negativeIDs)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Mode:        mode,
+		Alpha:       opts.Alpha,
+		Beta:        opts.Beta,
+		StartBags:   opts.StartBags,
+		Parallelism: opts.Parallelism,
+		Opt:         optimize.Options{MaxIter: opts.MaxIters},
+	}
+	concept, err := core.Train(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Concept{c: concept}, nil
+}
+
+func (d *Database) dataset(positiveIDs, negativeIDs []string) (*mil.Dataset, error) {
+	ds := &mil.Dataset{}
+	for _, id := range positiveIDs {
+		it, ok := d.db.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("milret: positive example %q not in database", id)
+		}
+		ds.Positive = append(ds.Positive, it.Bag)
+	}
+	for _, id := range negativeIDs {
+		it, ok := d.db.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("milret: negative example %q not in database", id)
+		}
+		ds.Negative = append(ds.Negative, it.Bag)
+	}
+	return ds, nil
+}
+
+// Result is one retrieved image.
+type Result struct {
+	// ID identifies the image.
+	ID string
+	// Label is the metadata label stored with the image.
+	Label string
+	// Distance is the weighted squared distance from the image's best
+	// instance to the concept point; smaller is a better match.
+	Distance float64
+}
+
+// Retrieve returns the k best matches for the concept, nearest first.
+func (d *Database) Retrieve(c *Concept, k int) []Result {
+	return d.RetrieveExcluding(c, k, nil)
+}
+
+// RetrieveExcluding is Retrieve with some image IDs (typically the training
+// examples) removed from consideration.
+func (d *Database) RetrieveExcluding(c *Concept, k int, exclude []string) []Result {
+	ex := make(map[string]bool, len(exclude))
+	for _, id := range exclude {
+		ex[id] = true
+	}
+	top := retrieval.TopK(d.db, c.c, k, retrieval.Options{Exclude: ex})
+	return convertResults(top)
+}
+
+// RankAll returns the full database ranking for the concept.
+func (d *Database) RankAll(c *Concept) []Result {
+	return convertResults(retrieval.Rank(d.db, c.c, retrieval.Options{}))
+}
+
+func convertResults(rs []retrieval.Result) []Result {
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = Result{ID: r.ID, Label: r.Label, Distance: r.Dist}
+	}
+	return out
+}
+
+// Save writes the database (all bags and labels) to path in the binary
+// store format. The write is atomic.
+func (d *Database) Save(path string) error {
+	items := d.db.Items()
+	recs := make([]store.Record, len(items))
+	for i, it := range items {
+		recs[i] = store.Record{ID: it.ID, Label: it.Label, Bag: it.Bag}
+	}
+	return store.WriteFile(path, d.opts.Dim(), recs)
+}
+
+// LoadDatabase reads a database saved by Save. If opts.Resolution is unset,
+// the sampling resolution is inferred from the stored feature
+// dimensionality (h²), so stores built at any resolution reopen without
+// extra configuration; an explicitly set resolution must match the file, so
+// images added later remain comparable.
+func LoadDatabase(path string, opts Options) (*Database, error) {
+	recs, err := store.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Resolution == 0 && len(recs) > 0 {
+		dim := recs[0].Bag.Dim()
+		h := int(math.Sqrt(float64(dim)))
+		if h*h == dim {
+			opts.Resolution = h
+		}
+	}
+	d, err := NewDatabase(opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		if rec.Bag.Dim() != d.opts.Dim() {
+			return nil, fmt.Errorf("milret: stored dim %d does not match options dim %d",
+				rec.Bag.Dim(), d.opts.Dim())
+		}
+		if err := d.db.Add(retrieval.Item{ID: rec.ID, Label: rec.Label, Bag: rec.Bag}); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Explanation describes why an image matched a concept: the sub-region
+// whose feature vector lies closest to the concept point. Region names
+// follow the §3.2 family ("c-quad-tl", "f-vthird-right", ...) with "-lr"
+// marking mirror instances (and "-r90"/"-r180"/"-r270" rotation instances
+// when enabled).
+type Explanation struct {
+	// Region is the best-matching region's name.
+	Region string
+	// InstanceIndex is the instance's position within the image's bag.
+	InstanceIndex int
+	// Distance is the weighted squared distance of that instance to the
+	// concept point (the image's ranking score).
+	Distance float64
+}
+
+// Explain reports which region of the identified image best matches the
+// concept — the interpretability payoff of the multiple-instance framing:
+// the system can say not just that a picture matches, but where.
+func (d *Database) Explain(c *Concept, id string) (Explanation, error) {
+	it, ok := d.db.ByID(id)
+	if !ok {
+		return Explanation{}, fmt.Errorf("milret: image %q not in database", id)
+	}
+	dist, idx := c.c.BestInstance(it.Bag)
+	if idx < 0 {
+		return Explanation{}, fmt.Errorf("milret: image %q has an empty bag", id)
+	}
+	name := ""
+	if it.Bag.Names != nil && idx < len(it.Bag.Names) {
+		name = it.Bag.Names[idx]
+	}
+	return Explanation{Region: name, InstanceIndex: idx, Distance: dist}, nil
+}
+
+// Similarity returns the paper's correlation similarity measure between two
+// images (§3.1): both are converted to gray scale, smoothed and sampled to
+// resolution×resolution, and compared by correlation coefficient. The
+// result lies in [-1, 1]; 1 means structurally identical. resolution 0 uses
+// the default (10).
+func Similarity(a, b image.Image, resolution int) (float64, error) {
+	if resolution <= 0 {
+		resolution = gray.DefaultResolution
+	}
+	return gray.CorrSampled(gray.FromImage(a), gray.FromImage(b), resolution)
+}
+
+// PRPoint is one point of a precision-recall curve.
+type PRPoint struct {
+	Recall    float64
+	Precision float64
+}
+
+// PrecisionRecallCurve computes the precision-recall curve of a ranking
+// against a target label.
+func PrecisionRecallCurve(results []Result, target string) []PRPoint {
+	pr := eval.PrecisionRecall(toEval(results), target)
+	out := make([]PRPoint, len(pr))
+	for i, p := range pr {
+		out[i] = PRPoint{Recall: p.Recall, Precision: p.Precision}
+	}
+	return out
+}
+
+// RecallAtEachRank computes the recall curve of a ranking against a target
+// label: element i is the recall after i+1 retrieved images.
+func RecallAtEachRank(results []Result, target string) []float64 {
+	return eval.RecallCurve(toEval(results), target)
+}
+
+// AveragePrecision summarizes a ranking against a target label in one
+// number (1.0 = perfect).
+func AveragePrecision(results []Result, target string) float64 {
+	return eval.AveragePrecision(toEval(results), target)
+}
+
+func toEval(results []Result) []retrieval.Result {
+	out := make([]retrieval.Result, len(results))
+	for i, r := range results {
+		out[i] = retrieval.Result{ID: r.ID, Label: r.Label, Dist: r.Distance}
+	}
+	return out
+}

@@ -1,0 +1,310 @@
+package milret
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"milret/internal/synth"
+)
+
+// testDB builds a small labelled database from the synthetic object corpus.
+func testDB(t *testing.T, perCat int, cats ...string) *Database {
+	t.Helper()
+	db, err := NewDatabase(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, c := range cats {
+		want[c] = true
+	}
+	for _, it := range synth.ObjectsN(9, perCat) {
+		if !want[it.Label] {
+			continue
+		}
+		if err := db.AddImage(it.ID, it.Label, it.Image); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func idsOf(db *Database, label string, n int) []string {
+	var out []string
+	for _, id := range db.IDs() {
+		if lb, _ := db.Label(id); lb == label {
+			out = append(out, id)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func idsNot(db *Database, label string, n int) []string {
+	var out []string
+	for _, id := range db.IDs() {
+		if lb, _ := db.Label(id); lb != label {
+			out = append(out, id)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func TestNewDatabaseValidation(t *testing.T) {
+	if _, err := NewDatabase(Options{Regions: 7}); err == nil {
+		t.Fatalf("invalid region family accepted")
+	}
+	db, err := NewDatabase(Options{Regions: 9, Resolution: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 0 {
+		t.Fatalf("new database not empty")
+	}
+}
+
+func TestAddImageAndMetadata(t *testing.T) {
+	db := testDB(t, 3, "car", "pants")
+	if db.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", db.Len())
+	}
+	labels := db.Labels()
+	if len(labels) != 2 || labels[0] != "car" || labels[1] != "pants" {
+		t.Fatalf("Labels = %v", labels)
+	}
+	if _, ok := db.Label("object-car-00"); !ok {
+		t.Fatalf("Label lookup failed")
+	}
+	if err := db.AddImage("", "x", synth.NewCanvas(8, 8, synth.RGB{}).ToRGBA()); err == nil {
+		t.Fatalf("empty ID accepted")
+	}
+	if err := db.AddImage("object-car-00", "x", synth.NewCanvas(8, 8, synth.RGB{}).ToRGBA()); err == nil {
+		t.Fatalf("duplicate ID accepted")
+	}
+}
+
+func TestTrainRetrieveEndToEnd(t *testing.T) {
+	db := testDB(t, 6, "car", "pants", "lamp")
+	for _, mode := range []WeightMode{Original, IdenticalWeights, AlphaHackWeights, ConstrainedWeights} {
+		concept, err := db.Train(
+			idsOf(db, "car", 3),
+			idsNot(db, "car", 3),
+			TrainOptions{Mode: mode, Beta: 0.5, MaxIters: 25, StartBags: 1},
+		)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		got := db.RetrieveExcluding(concept, 3, append(idsOf(db, "car", 3), idsNot(db, "car", 3)...))
+		if len(got) != 3 {
+			t.Fatalf("%v: retrieved %d", mode, len(got))
+		}
+		correct := 0
+		for _, r := range got {
+			if r.Label == "car" {
+				correct++
+			}
+		}
+		if correct < 2 {
+			t.Errorf("%v: only %d/3 of top results are cars: %+v", mode, correct, got)
+		}
+	}
+}
+
+func TestTrainUnknownIDs(t *testing.T) {
+	db := testDB(t, 2, "car")
+	if _, err := db.Train([]string{"nope"}, nil, TrainOptions{}); err == nil {
+		t.Fatalf("unknown positive accepted")
+	}
+	if _, err := db.Train(idsOf(db, "car", 1), []string{"nope"}, TrainOptions{}); err == nil {
+		t.Fatalf("unknown negative accepted")
+	}
+	if _, err := db.Train(nil, nil, TrainOptions{}); err == nil {
+		t.Fatalf("empty positives accepted")
+	}
+	if _, err := db.Train(idsOf(db, "car", 1), nil, TrainOptions{Mode: WeightMode(42)}); err == nil {
+		t.Fatalf("unknown mode accepted")
+	}
+}
+
+func TestConceptAccessors(t *testing.T) {
+	db := testDB(t, 3, "car", "lamp")
+	concept, err := db.Train(idsOf(db, "car", 2), idsOf(db, "lamp", 2),
+		TrainOptions{Mode: IdenticalWeights, MaxIters: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(concept.Point()) != 100 || len(concept.Weights()) != 100 {
+		t.Fatalf("concept dims wrong: %d/%d", len(concept.Point()), len(concept.Weights()))
+	}
+	// Accessors must return copies.
+	w := concept.Weights()
+	w[0] = -99
+	if concept.Weights()[0] == -99 {
+		t.Fatalf("Weights returned aliased storage")
+	}
+	_ = concept.NegLogDD()
+}
+
+func TestRankAllCoversDatabase(t *testing.T) {
+	db := testDB(t, 3, "car", "pants")
+	concept, err := db.Train(idsOf(db, "car", 2), nil,
+		TrainOptions{Mode: IdenticalWeights, MaxIters: 10, StartBags: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := db.RankAll(concept)
+	if len(all) != db.Len() {
+		t.Fatalf("RankAll returned %d of %d", len(all), db.Len())
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Distance < all[i-1].Distance {
+			t.Fatalf("ranking not ascending at %d", i)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := testDB(t, 3, "car", "pants")
+	path := filepath.Join(t.TempDir(), "db.milret")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDatabase(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("loaded %d of %d", back.Len(), db.Len())
+	}
+	if lb, ok := back.Label("object-car-00"); !ok || lb != "car" {
+		t.Fatalf("label lost in round trip")
+	}
+	// A concept trained before saving ranks identically after loading.
+	concept, err := db.Train(idsOf(db, "car", 2), idsOf(db, "pants", 2),
+		TrainOptions{Mode: IdenticalWeights, MaxIters: 15, StartBags: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := db.RankAll(concept)
+	b := back.RankAll(concept)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rankings diverge after reload at %d", i)
+		}
+	}
+}
+
+func TestLoadDatabaseDimMismatch(t *testing.T) {
+	db := testDB(t, 2, "car")
+	path := filepath.Join(t.TempDir(), "db.milret")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDatabase(path, Options{Resolution: 6}); err == nil {
+		t.Fatalf("dim mismatch accepted")
+	}
+}
+
+func TestEvaluationHelpers(t *testing.T) {
+	results := []Result{
+		{ID: "a", Label: "x", Distance: 1},
+		{ID: "b", Label: "y", Distance: 2},
+		{ID: "c", Label: "x", Distance: 3},
+	}
+	pr := PrecisionRecallCurve(results, "x")
+	if len(pr) != 3 || pr[0].Precision != 1 || pr[0].Recall != 0.5 {
+		t.Fatalf("PR curve wrong: %+v", pr)
+	}
+	rec := RecallAtEachRank(results, "x")
+	if rec[2] != 1 {
+		t.Fatalf("recall curve wrong: %v", rec)
+	}
+	ap := AveragePrecision(results, "x")
+	if ap <= 0.5 || ap > 1 {
+		t.Fatalf("AP = %v", ap)
+	}
+}
+
+func TestWeightModeStrings(t *testing.T) {
+	for m, want := range map[WeightMode]string{
+		Original: "original", IdenticalWeights: "identical",
+		AlphaHackWeights: "alpha-hack", ConstrainedWeights: "constrained",
+		WeightMode(9): "unknown",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", m, m.String())
+		}
+	}
+}
+
+func ExampleDatabase_Retrieve() {
+	db, _ := NewDatabase(Options{})
+	for _, it := range synth.ObjectsN(1, 2) {
+		if it.Label == "car" || it.Label == "lamp" {
+			_ = db.AddImage(it.ID, it.Label, it.Image)
+		}
+	}
+	concept, _ := db.Train([]string{"object-car-00"}, []string{"object-lamp-00"},
+		TrainOptions{Mode: IdenticalWeights, MaxIters: 10})
+	top := db.RetrieveExcluding(concept, 1, []string{"object-car-00", "object-lamp-00"})
+	fmt.Println(top[0].Label)
+	// Output: car
+}
+
+func TestExplainNamesRegion(t *testing.T) {
+	db := testDB(t, 3, "car", "lamp")
+	concept, err := db.Train(idsOf(db, "car", 2), idsOf(db, "lamp", 2),
+		TrainOptions{Mode: IdenticalWeights, MaxIters: 15, StartBags: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := db.Explain(concept, "object-car-02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Region == "" {
+		t.Fatalf("explanation has no region name")
+	}
+	if ex.Distance < 0 {
+		t.Fatalf("negative distance %v", ex.Distance)
+	}
+	// The explanation's distance must equal the image's ranking score.
+	for _, r := range db.RankAll(concept) {
+		if r.ID == "object-car-02" && r.Distance != ex.Distance {
+			t.Fatalf("Explain distance %v != ranking distance %v", ex.Distance, r.Distance)
+		}
+	}
+	if _, err := db.Explain(concept, "ghost"); err == nil {
+		t.Fatalf("unknown image accepted")
+	}
+}
+
+func TestExplainSurvivesSaveLoad(t *testing.T) {
+	db := testDB(t, 3, "car", "lamp")
+	path := filepath.Join(t.TempDir(), "db.milret")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDatabase(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	concept, err := back.Train(idsOf(back, "car", 2), idsOf(back, "lamp", 2),
+		TrainOptions{Mode: IdenticalWeights, MaxIters: 15, StartBags: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := back.Explain(concept, "object-car-02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Region == "" {
+		t.Fatalf("region names lost through persistence")
+	}
+}
