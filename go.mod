@@ -1,0 +1,3 @@
+module milret
+
+go 1.24

@@ -77,6 +77,13 @@ func (c *Concept) SqDistTo(x mat.Vector) float64 {
 	return mat.WeightedSqDist(c.Point, x, c.Weights)
 }
 
+// PointWeights exposes the concept geometry for the flat columnar scan
+// (retrieval.PointWeightScorer). The returned slices alias the concept's
+// own vectors and must not be mutated.
+func (c *Concept) PointWeights() (point, weights []float64) {
+	return c.Point, c.Weights
+}
+
 // BagDist returns the distance from an image (bag) to the concept: the
 // minimum over the bag's instances of the weighted distance to t (§3.5).
 func (c *Concept) BagDist(b *mil.Bag) float64 {

@@ -1,0 +1,466 @@
+// Package index is the flat columnar scoring engine behind the retrieval
+// scan. Instead of chasing a pointer per bag and a pointer per instance
+// ([]mat.Vector of separately allocated slices), every instance of every bag
+// lives in one contiguous row-major []float64 block, with parallel
+// bagOffsets/ids/labels slices mapping bags onto row ranges. A query scan is
+// then a single linear walk over cache-resident memory.
+//
+// Two further optimizations are fused into the scan itself:
+//
+//   - Early abandonment: the weighted squared distance of an instance is
+//     accumulated in small blocks of dimensions, and the partial sum is
+//     abandoned as soon as it exceeds both the bag's current best instance
+//     and (for top-k scans) the worker's current k-th best distance. Because
+//     the distance terms are non-negative whenever the weights are, pruning
+//     is exact: rankings and reported distances are bit-identical to the
+//     naive full scan (strict-inequality pruning preserves ties, which are
+//     broken by ID).
+//
+//   - Fused per-worker top-k heaps: each scan worker maintains its own
+//     size-k max-heap while it walks its bag range, so TopK never
+//     materializes the full distance slice before heaping; the worker heaps
+//     are merged at the end.
+//
+// The Index is a plain mutable structure with no internal locking: the owner
+// (retrieval.Database) serializes Append calls and takes Snapshot views under
+// its own lock. A Snapshot is safe to scan concurrently with later Appends
+// because appends only ever write past the snapshot's recorded lengths.
+package index
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"milret/internal/mat"
+)
+
+// abandonBlock is how many dimensions are accumulated between partial-sum
+// checks. Small enough to prune early on high-dimensional features, large
+// enough that the branch is amortized over a vectorizable inner loop.
+const abandonBlock = 8
+
+// Index packs all bag instances into one flat block.
+type Index struct {
+	dim int
+	// data holds all instances row-major: instance r occupies
+	// data[r*dim : (r+1)*dim].
+	data []float64
+	// bagOffsets has one entry per bag plus a sentinel: bag i's instances
+	// are rows bagOffsets[i] up to bagOffsets[i+1].
+	bagOffsets []int
+	ids        []string
+	labels     []string
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{bagOffsets: []int{0}}
+}
+
+// Len returns the number of bags.
+func (x *Index) Len() int { return len(x.ids) }
+
+// Dim returns the instance dimensionality (0 while empty).
+func (x *Index) Dim() int { return x.dim }
+
+// Append adds one bag's instances to the flat block. The first append fixes
+// the dimensionality; the caller is responsible for ID uniqueness and for
+// serializing Append against Snapshot (retrieval.Database holds the lock).
+func (x *Index) Append(id, label string, instances []mat.Vector) error {
+	if len(instances) == 0 {
+		return fmt.Errorf("index: bag %q has no instances", id)
+	}
+	dim := len(instances[0])
+	if dim == 0 {
+		return fmt.Errorf("index: bag %q has zero-dimensional instances", id)
+	}
+	if x.dim != 0 && dim != x.dim {
+		return fmt.Errorf("index: bag %q dim %d, index dim %d", id, dim, x.dim)
+	}
+	// Validate everything before touching the flat block so a rejected bag
+	// leaves no partial rows behind.
+	for i, inst := range instances {
+		if len(inst) != dim {
+			return fmt.Errorf("index: bag %q instance %d dim %d, want %d", id, i, len(inst), dim)
+		}
+	}
+	if x.dim == 0 {
+		x.dim = dim
+	}
+	for _, inst := range instances {
+		x.data = append(x.data, inst...)
+	}
+	x.bagOffsets = append(x.bagOffsets, x.bagOffsets[len(x.bagOffsets)-1]+len(instances))
+	x.ids = append(x.ids, id)
+	x.labels = append(x.labels, label)
+	return nil
+}
+
+// Snapshot returns a scan view of the current contents. The view stays
+// valid and immutable while the owner keeps appending: appends grow the
+// slices past the snapshot's lengths (or reallocate) but never rewrite the
+// elements a snapshot can see.
+func (x *Index) Snapshot() Snapshot {
+	return Snapshot{
+		dim:        x.dim,
+		data:       x.data[:len(x.data):len(x.data)],
+		bagOffsets: x.bagOffsets[:len(x.ids)+1],
+		ids:        x.ids[:len(x.ids)],
+		labels:     x.labels[:len(x.ids)],
+	}
+}
+
+// Bytes returns the size of the flat data block in bytes.
+func (x *Index) Bytes() int64 { return int64(len(x.data)) * 8 }
+
+// Instances returns the total instance count.
+func (x *Index) Instances() int { return x.bagOffsets[len(x.bagOffsets)-1] }
+
+// Snapshot is an immutable scan view of an Index.
+type Snapshot struct {
+	dim        int
+	data       []float64
+	bagOffsets []int
+	ids        []string
+	labels     []string
+}
+
+// Len returns the number of bags in the snapshot.
+func (s Snapshot) Len() int { return len(s.ids) }
+
+// Dim returns the instance dimensionality.
+func (s Snapshot) Dim() int { return s.dim }
+
+// Instances returns the total instance count in the snapshot.
+func (s Snapshot) Instances() int {
+	if len(s.bagOffsets) == 0 {
+		return 0
+	}
+	return s.bagOffsets[len(s.bagOffsets)-1]
+}
+
+// Query is the concept geometry a scan scores against: distance of an
+// instance x is Σ_k Weights_k (Point_k − x_k)².
+type Query struct {
+	Point   []float64
+	Weights []float64
+}
+
+func (q Query) check(dim int) {
+	if len(q.Point) != dim || len(q.Weights) != dim {
+		panic(fmt.Sprintf("index: query dims point=%d weights=%d, index dim %d",
+			len(q.Point), len(q.Weights), dim))
+	}
+}
+
+// prunable reports whether partial distance sums are monotone, i.e. all
+// weights are non-negative. Negative weights disable early abandonment (the
+// scan stays correct, just unpruned).
+func (q Query) prunable() bool {
+	for _, w := range q.Weights {
+		if w < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Result is one scored bag.
+type Result struct {
+	ID    string
+	Label string
+	Dist  float64
+}
+
+// worse reports whether a ranks strictly after b (greater distance, ID tie
+// break) — the same ordering the naive scan uses.
+func worse(a, b Result) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.ID > b.ID
+}
+
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return worse(rs[j], rs[i]) })
+}
+
+// bagDist returns the minimum weighted squared distance from any instance of
+// bag bi to the query point, accumulating each instance's distance in
+// abandonBlock-sized runs of dimensions and abandoning once the partial sum
+// strictly exceeds thr (the min of the bag's best so far and the caller's
+// k-th best cutoff).
+//
+// Exactness contract: when the true bag distance is ≤ cutoff, the returned
+// value is bit-identical to the unpruned scan (same accumulation order, and
+// strict-> pruning can never drop an instance whose full distance ties or
+// beats the threshold). When the true distance exceeds cutoff, the returned
+// value may overshoot but is still > cutoff, so a top-k scan discards the
+// bag either way.
+func (s Snapshot) bagDist(q Query, bi int, cutoff float64, prune bool) float64 {
+	dim := s.dim
+	p, w := q.Point, q.Weights
+	best := math.Inf(1)
+	lo, hi := s.bagOffsets[bi], s.bagOffsets[bi+1]
+	for r := lo; r < hi; r++ {
+		row := s.data[r*dim : (r+1)*dim]
+		thr := best
+		if cutoff < thr {
+			thr = cutoff
+		}
+		var sum float64
+		if prune && !math.IsInf(thr, 1) {
+			k, abandoned := 0, false
+			for k < dim {
+				end := k + abandonBlock
+				if end > dim {
+					end = dim
+				}
+				// Subslicing lets the compiler drop the bounds checks in
+				// the accumulation loop.
+				rb, pb, wb := row[k:end], p[k:end:end], w[k:end:end]
+				for b, x := range rb {
+					d := pb[b] - x
+					sum += wb[b] * d * d
+				}
+				k = end
+				if sum > thr {
+					abandoned = true
+					break
+				}
+			}
+			if abandoned {
+				continue
+			}
+		} else {
+			pb, wb := p[:dim:dim], w[:dim:dim]
+			for k, x := range row {
+				d := pb[k] - x
+				sum += wb[k] * d * d
+			}
+		}
+		if sum < best {
+			best = sum
+		}
+	}
+	return best
+}
+
+// parallelism clamps the requested worker count to [1, nBags].
+func parallelism(requested, nBags int) int {
+	par := requested
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	if par > nBags {
+		par = nBags
+	}
+	if par < 1 {
+		par = 1
+	}
+	return par
+}
+
+// Rank scores every non-excluded bag exactly and returns the full ascending
+// ranking with ties broken by ID. Distances are bit-identical to a naive
+// per-bag scan: within a bag, early abandonment only prunes against the
+// bag's own running best, which cannot change the minimum.
+func (s Snapshot) Rank(q Query, exclude map[string]bool, par int) []Result {
+	n := s.Len()
+	if n == 0 {
+		return nil
+	}
+	q.check(s.dim)
+	prune := q.prunable()
+	par = parallelism(par, n)
+	dists := make([]float64, n)
+	var wg sync.WaitGroup
+	chunk := (n + par - 1) / par
+	for w := 0; w < par; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if exclude[s.ids[i]] {
+					dists[i] = math.Inf(1)
+					continue
+				}
+				dists[i] = s.bagDist(q, i, math.Inf(1), prune)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	results := make([]Result, 0, n)
+	for i := 0; i < n; i++ {
+		if exclude[s.ids[i]] {
+			continue
+		}
+		results = append(results, Result{ID: s.ids[i], Label: s.labels[i], Dist: dists[i]})
+	}
+	sortResults(results)
+	return results
+}
+
+// sharedCutoff is a monotonically tightening distance bound published
+// across top-k scan workers: the minimum of every worker's current k-th
+// best distance. Any worker's current k-th best is the k-th smallest of a
+// subset of the final candidate set, hence an upper bound on the final
+// global k-th best — so pruning a bag whose distance strictly exceeds the
+// shared bound can never drop a true top-k member. Distances are
+// non-negative, so their float64 bit patterns order like the values and a
+// CAS min loop on the raw bits suffices.
+type sharedCutoff struct{ bits atomic.Uint64 }
+
+func newSharedCutoff() *sharedCutoff {
+	c := &sharedCutoff{}
+	c.bits.Store(math.Float64bits(math.Inf(1)))
+	return c
+}
+
+func (c *sharedCutoff) load() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *sharedCutoff) tighten(d float64) {
+	bits := math.Float64bits(d)
+	for {
+		cur := c.bits.Load()
+		if bits >= cur {
+			return
+		}
+		if c.bits.CompareAndSwap(cur, bits) {
+			return
+		}
+	}
+}
+
+// TopK returns the k best non-excluded bags in ascending order without ever
+// materializing the full distance slice: each worker keeps a size-k max-heap
+// while scanning its bag range and prunes instance scans against the
+// tightest k-th best any worker has published so far, and the per-worker
+// heaps are merged at the end. The output is exact and deterministic (see
+// sharedCutoff and bagDist for why pruning cannot disturb the ranking or
+// the reported distances of survivors). For k ≥ the number of candidates it
+// equals Rank.
+func (s Snapshot) TopK(q Query, k int, exclude map[string]bool, par int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	n := s.Len()
+	if n == 0 {
+		return nil
+	}
+	if k >= n {
+		return s.Rank(q, exclude, par)
+	}
+	q.check(s.dim)
+	prune := q.prunable()
+	par = parallelism(par, n)
+	heaps := make([]resultMaxHeap, par)
+	shared := newSharedCutoff()
+	var wg sync.WaitGroup
+	chunk := (n + par - 1) / par
+	for w := 0; w < par; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			h := make(resultMaxHeap, 0, k)
+			for i := lo; i < hi; i++ {
+				if exclude[s.ids[i]] {
+					continue
+				}
+				// Prune against the tightest published k-th best. Equality
+				// is never pruned, preserving ID tie-breaks at the top-k
+				// boundary. A bag pruned here may report an overshot (but
+				// still exact-per-instance) distance > cutoff; such entries
+				// cannot displace a true top-k member in the final merge.
+				cutoff := shared.load()
+				if len(h) == k && h[0].Dist < cutoff {
+					cutoff = h[0].Dist
+				}
+				d := s.bagDist(q, i, cutoff, prune)
+				r := Result{ID: s.ids[i], Label: s.labels[i], Dist: d}
+				if len(h) < k {
+					h.push(r)
+					if len(h) == k {
+						shared.tighten(h[0].Dist)
+					}
+					continue
+				}
+				if worse(r, h[0]) {
+					continue
+				}
+				h[0] = r
+				h.fixRoot()
+				shared.tighten(h[0].Dist)
+			}
+			heaps[w] = h
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	merged := make([]Result, 0, par*k)
+	for _, h := range heaps {
+		merged = append(merged, h...)
+	}
+	sortResults(merged)
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}
+
+// resultMaxHeap keeps the worst of the current best-k at the root. It is a
+// hand-rolled binary heap so the hot scan avoids container/heap's interface
+// dispatch and allocation.
+type resultMaxHeap []Result
+
+func (h *resultMaxHeap) push(r Result) {
+	*h = append(*h, r)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worse((*h)[i], (*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h resultMaxHeap) fixRoot() {
+	n := len(h)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && worse(h[l], h[largest]) {
+			largest = l
+		}
+		if r < n && worse(h[r], h[largest]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
+}

@@ -1,9 +1,15 @@
 // Package retrieval ranks an image database against a trained concept
 // (§3.5): each image's distance is the minimum over its bag's instances of
 // the weighted Euclidean distance to the concept point, and images are
-// retrieved in ascending distance order. The scan parallelizes across
-// goroutines and a heap-based top-k path avoids sorting the whole database
-// when only the head of the ranking is needed.
+// retrieved in ascending distance order.
+//
+// The hot path is the flat columnar engine in internal/index: Add maintains
+// a contiguous row-major block of all bag instances alongside the item
+// slice, and any Scorer that exposes its point/weight geometry (see
+// PointWeightScorer — core.Concept does) is scanned against that block with
+// early abandonment and fused per-worker top-k heaps. Scorers that only
+// implement BagDist fall back to the naive per-bag scan; both paths produce
+// bit-identical rankings (distances and ID tie-breaks).
 package retrieval
 
 import (
@@ -14,6 +20,7 @@ import (
 	"sort"
 	"sync"
 
+	"milret/internal/index"
 	"milret/internal/mil"
 )
 
@@ -21,6 +28,17 @@ import (
 // better match. core.Concept implements it.
 type Scorer interface {
 	BagDist(b *mil.Bag) float64
+}
+
+// PointWeightScorer is a Scorer that can expose the point and weights of the
+// weighted squared distance it computes, unlocking the flat columnar scan.
+// The weights apply per dimension: dist(x) = Σ_k w_k (p_k − x_k)², minimized
+// over a bag's instances.
+type PointWeightScorer interface {
+	Scorer
+	// PointWeights returns the concept point and per-dimension weights.
+	// The returned slices are read-only aliases; callers must not mutate.
+	PointWeights() (point, weights []float64)
 }
 
 // Item is one database entry: a preprocessed image bag plus its evaluation
@@ -32,17 +50,20 @@ type Item struct {
 }
 
 // Database is an in-memory collection of items, safe for concurrent reads
-// and serialized writes.
+// and serialized writes. It maintains the flat scoring index incrementally:
+// Add appends the bag's instances to the columnar block in place, so queries
+// issued after Add returns see the new item without any rebuild.
 type Database struct {
 	mu    sync.RWMutex
 	items []Item
 	byID  map[string]int
 	dim   int
+	idx   *index.Index
 }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database {
-	return &Database{byID: make(map[string]int)}
+	return &Database{byID: make(map[string]int), idx: index.New()}
 }
 
 // Add appends an item. The first item fixes the feature dimensionality;
@@ -63,6 +84,9 @@ func (db *Database) Add(item Item) error {
 		db.dim = item.Bag.Dim()
 	} else if item.Bag.Dim() != db.dim {
 		return fmt.Errorf("retrieval: item %q dim %d, database dim %d", item.ID, item.Bag.Dim(), db.dim)
+	}
+	if err := db.idx.Append(item.ID, item.Label, item.Bag.Instances); err != nil {
+		return err
 	}
 	db.byID[item.ID] = len(db.items)
 	db.items = append(db.items, item)
@@ -110,13 +134,43 @@ func (db *Database) Items() []Item {
 	return out
 }
 
-// Result is one ranked database entry.
-type Result struct {
-	ID    string
-	Label string
-	// Dist is the bag-to-concept distance (weighted, squared).
-	Dist float64
+// snapshot returns a consistent scan view of the flat index. The view stays
+// immutable under concurrent Adds (appends only write past its lengths).
+func (db *Database) snapshot() index.Snapshot {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.idx.Snapshot()
 }
+
+// Stats summarizes the flat scoring index.
+type Stats struct {
+	// Items is the number of bags (images).
+	Items int
+	// Instances is the total instance (region vector) count.
+	Instances int
+	// Dim is the feature dimensionality.
+	Dim int
+	// IndexBytes is the size of the flat instance block in bytes.
+	IndexBytes int64
+}
+
+// Stats reports the size of the flat scoring index.
+func (db *Database) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return Stats{
+		Items:      db.idx.Len(),
+		Instances:  db.idx.Instances(),
+		Dim:        db.idx.Dim(),
+		IndexBytes: db.idx.Bytes(),
+	}
+}
+
+// Result is one ranked database entry: the item's ID and label plus Dist,
+// the bag-to-concept distance (weighted, squared). It is an alias of
+// index.Result so flat-path scans return their results without a per-query
+// O(n) conversion copy.
+type Result = index.Result
 
 // Options tunes a ranking scan.
 type Options struct {
@@ -127,34 +181,45 @@ type Options struct {
 	Parallelism int
 }
 
+// query extracts the flat-scan geometry from a scorer, if it offers one with
+// a dimensionality matching the database.
+func query(db *Database, s Scorer) (index.Query, bool) {
+	pw, ok := s.(PointWeightScorer)
+	if !ok {
+		return index.Query{}, false
+	}
+	p, w := pw.PointWeights()
+	if len(p) != db.Dim() || len(w) != len(p) {
+		return index.Query{}, false
+	}
+	return index.Query{Point: p, Weights: w}, true
+}
+
 // Rank scores every non-excluded item and returns the full ascending
 // ranking. Ties are broken by ID so rankings are deterministic.
 func Rank(db *Database, s Scorer, opts Options) []Result {
+	if q, ok := query(db, s); ok {
+		return db.snapshot().Rank(q, opts.Exclude, opts.Parallelism)
+	}
 	results := scan(db, s, opts)
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Dist != results[j].Dist {
-			return results[i].Dist < results[j].Dist
-		}
-		return results[i].ID < results[j].ID
-	})
+	sortResults(results)
 	return results
 }
 
 // TopK returns the k best matches in ascending distance order without
-// sorting the whole database: a size-k max-heap tracks the current best
-// set during the scan. For k ≥ database size it equals Rank.
+// sorting the whole database. On the flat path each scan worker fuses a
+// size-k max-heap into its scan; the fallback path heaps after a full scan.
+// For k ≥ database size it equals Rank.
 func TopK(db *Database, s Scorer, k int, opts Options) []Result {
 	if k <= 0 {
 		return nil
 	}
+	if q, ok := query(db, s); ok {
+		return db.snapshot().TopK(q, k, opts.Exclude, opts.Parallelism)
+	}
 	results := scan(db, s, opts)
 	if k >= len(results) {
-		sort.Slice(results, func(i, j int) bool {
-			if results[i].Dist != results[j].Dist {
-				return results[i].Dist < results[j].Dist
-			}
-			return results[i].ID < results[j].ID
-		})
+		sortResults(results)
 		return results
 	}
 	h := &resultMaxHeap{}
@@ -177,8 +242,18 @@ func TopK(db *Database, s Scorer, k int, opts Options) []Result {
 	return out
 }
 
-// scan computes distances for all non-excluded items, splitting the
-// database across workers.
+func sortResults(results []Result) {
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Dist != results[j].Dist {
+			return results[i].Dist < results[j].Dist
+		}
+		return results[i].ID < results[j].ID
+	})
+}
+
+// scan computes distances for all non-excluded items via the generic
+// per-bag Scorer interface, splitting the database across workers. It is
+// the fallback for scorers that cannot expose point/weight geometry.
 func scan(db *Database, s Scorer, opts Options) []Result {
 	items := db.Items()
 	par := opts.Parallelism

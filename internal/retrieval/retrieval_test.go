@@ -211,6 +211,260 @@ func TestQuickRankMonotone(t *testing.T) {
 	}
 }
 
+// weightedScorer is a naive-only Scorer (no PointWeights): full weighted
+// squared distance per instance, min over the bag. It forces the fallback
+// per-bag scan path.
+type weightedScorer struct{ p, w mat.Vector }
+
+func (s weightedScorer) BagDist(b *mil.Bag) float64 {
+	best := 0.0
+	for j, inst := range b.Instances {
+		d := mat.WeightedSqDist(s.p, inst, s.w)
+		if j == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// flatScorer is the same geometry exposed as a PointWeightScorer, unlocking
+// the columnar fast path.
+type flatScorer struct{ weightedScorer }
+
+func (s flatScorer) PointWeights() (point, weights []float64) { return s.p, s.w }
+
+var _ PointWeightScorer = flatScorer{}
+
+func randWeightedDB(t testing.TB, r *rand.Rand, n, dim, maxInst int) *Database {
+	db := NewDatabase()
+	for i := 0; i < n; i++ {
+		nInst := 1 + r.Intn(maxInst)
+		if i%6 == 0 {
+			nInst = 1 // keep single-instance bags in the mix
+		}
+		var vecs []mat.Vector
+		for j := 0; j < nInst; j++ {
+			v := mat.NewVector(dim)
+			for k := range v {
+				v[k] = r.NormFloat64()
+			}
+			vecs = append(vecs, v)
+		}
+		if err := db.Add(item(fmt.Sprintf("img-%03d", i), fmt.Sprintf("cat%d", i%3), vecs...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func randScorerPair(r *rand.Rand, dim int) (weightedScorer, flatScorer) {
+	p := mat.NewVector(dim)
+	w := mat.NewVector(dim)
+	for k := 0; k < dim; k++ {
+		p[k] = r.NormFloat64()
+		w[k] = r.Float64() * 2
+	}
+	naive := weightedScorer{p: p, w: w}
+	return naive, flatScorer{naive}
+}
+
+// Property: the flat columnar path produces bit-identical rankings
+// (distances and ID tie-breaks) to the naive per-bag Scorer scan across
+// random databases, random weights, and random exclusions.
+func TestQuickFlatRankMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(35)
+		db := randWeightedDB(t, r, 1+r.Intn(50), dim, 4)
+		naive, flat := randScorerPair(r, dim)
+		exclude := map[string]bool{}
+		for i := 0; i < db.Len(); i++ {
+			if r.Intn(5) == 0 {
+				exclude[db.Get(i).ID] = true
+			}
+		}
+		opts := Options{Exclude: exclude, Parallelism: 1 + r.Intn(8)}
+		return reflect.DeepEqual(Rank(db, flat, opts), Rank(db, naive, opts))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flat TopK equals naive TopK for k ∈ {1, n/2, n, n+5}, with
+// exclusions — including k > len(db).
+func TestQuickFlatTopKMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(35)
+		n := 1 + r.Intn(50)
+		db := randWeightedDB(t, r, n, dim, 4)
+		naive, flat := randScorerPair(r, dim)
+		exclude := map[string]bool{}
+		for i := 0; i < db.Len(); i++ {
+			if r.Intn(6) == 0 {
+				exclude[db.Get(i).ID] = true
+			}
+		}
+		opts := Options{Exclude: exclude, Parallelism: 1 + r.Intn(8)}
+		for _, k := range []int{1, n / 2, n, n + 5} {
+			if k < 1 {
+				k = 1
+			}
+			if !reflect.DeepEqual(TopK(db, flat, k, opts), TopK(db, naive, k, opts)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The flat path must also match when ties are dense: identical bags rank
+// purely by ID on both paths.
+func TestFlatTieBreaksMatchNaive(t *testing.T) {
+	db := NewDatabase()
+	for _, id := range []string{"c", "a", "d", "b"} {
+		if err := db.Add(item(id, "l", mat.Vector{1, 0}, mat.Vector{3, 3})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	naive := weightedScorer{p: mat.Vector{0, 0}, w: mat.Vector{1, 1}}
+	flat := flatScorer{naive}
+	got := TopK(db, flat, 2, Options{})
+	want := TopK(db, naive, 2, Options{})
+	if !reflect.DeepEqual(got, want) || got[0].ID != "a" || got[1].ID != "b" {
+		t.Fatalf("tie break mismatch: got %+v want %+v", got, want)
+	}
+}
+
+// lyingScorer reports point/weight geometry whose dimensionality does not
+// match the database, but has a well-defined BagDist. The flat path must
+// reject it on the dim check and route it to the fallback scan.
+type lyingScorer struct{}
+
+func (lyingScorer) BagDist(b *mil.Bag) float64     { return b.Instances[0][0] }
+func (lyingScorer) PointWeights() (p, w []float64) { return []float64{0}, []float64{1} }
+
+// A scorer whose geometry does not match the database dimensionality must
+// not be routed onto the flat path (the index would panic on the dim
+// mismatch); the generic fallback handles it.
+func TestFlatPathRequiresMatchingDim(t *testing.T) {
+	db := buildDB(t,
+		item("a", "l", mat.Vector{2, 9}),
+		item("b", "l", mat.Vector{1, 9}),
+	)
+	res := Rank(db, lyingScorer{}, Options{})
+	if len(res) != 2 || res[0].ID != "b" || res[0].Dist != 1 {
+		t.Fatalf("fallback not used for mismatched geometry: %+v", res)
+	}
+}
+
+// Add racing TopK/Rank on the flat index: the race detector must stay
+// silent, no query may observe torn data, and a query issued after an Add
+// returns must see the new item.
+func TestConcurrentAddVersusQueries(t *testing.T) {
+	const (
+		writers   = 4
+		perWriter = 30
+		dim       = 12
+	)
+	r := rand.New(rand.NewSource(21))
+	naive, flat := randScorerPair(r, dim)
+	_ = naive
+	db := NewDatabase()
+	if err := db.Add(item("seed-0", "l", mat.NewVector(dim).Fill(5))); err != nil {
+		t.Fatal(err)
+	}
+
+	var readers, writersWG sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers hammer Rank and TopK while writers add.
+	for g := 0; g < 3; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res := Rank(db, flat, Options{Parallelism: 1 + g})
+				for i := 1; i < len(res); i++ {
+					if res[i].Dist < res[i-1].Dist {
+						t.Errorf("torn rank: %v after %v", res[i], res[i-1])
+						return
+					}
+				}
+				top := TopK(db, flat, 7, Options{Parallelism: 1 + g})
+				if len(top) > 7 {
+					t.Errorf("TopK returned %d results", len(top))
+					return
+				}
+			}
+		}(g)
+	}
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			r := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < perWriter; i++ {
+				id := fmt.Sprintf("w%d-%02d", w, i)
+				var vecs []mat.Vector
+				for j := 0; j < 1+r.Intn(3); j++ {
+					v := mat.NewVector(dim)
+					for k := range v {
+						v[k] = r.NormFloat64()
+					}
+					vecs = append(vecs, v)
+				}
+				if err := db.Add(item(id, "l", vecs...)); err != nil {
+					t.Errorf("Add %s: %v", id, err)
+					return
+				}
+				// Read-your-write: a full rank after Add returns must
+				// include the item just added.
+				res := Rank(db, flat, Options{})
+				found := false
+				for _, rr := range res {
+					if rr.ID == id {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("Rank after Add(%s) does not see it", id)
+					return
+				}
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+
+	if t.Failed() {
+		t.FailNow()
+	}
+	if got, want := db.Len(), 1+writers*perWriter; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	// Final state must match a from-scratch rebuild exactly.
+	rebuilt := NewDatabase()
+	for _, it := range db.Items() {
+		if err := rebuilt.Add(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(Rank(db, flat, Options{}), Rank(rebuilt, flat, Options{})) {
+		t.Fatal("incrementally built index diverged from rebuild")
+	}
+}
+
 func TestConcurrentReadsDuringAdds(t *testing.T) {
 	db := NewDatabase()
 	var wg sync.WaitGroup

@@ -6,6 +6,7 @@
 //	GET  /v1/images            → list of {id, label}
 //	GET  /v1/images/{id}       → one image's metadata
 //	POST /v1/query             → train on examples and rank
+//	GET  /v1/stats             → flat scoring-index size metrics
 //	GET  /v1/healthz           → liveness probe
 //
 // The query request body:
@@ -49,6 +50,7 @@ func New(db *milret.Database) *Server {
 	s.mux.HandleFunc("/v1/images", s.handleImages)
 	s.mux.HandleFunc("/v1/images/", s.handleImage)
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	return s
 }
 
@@ -94,6 +96,29 @@ type errorBody struct {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "images": s.db.Len()})
+}
+
+// StatsResponse is the /v1/stats reply: the size of the flat columnar
+// scoring index every query scans.
+type StatsResponse struct {
+	Images     int   `json:"images"`
+	Instances  int   `json:"instances"`
+	Dim        int   `json:"dim"`
+	IndexBytes int64 `json:"index_bytes"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET only"})
+		return
+	}
+	st := s.db.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Images:     st.Images,
+		Instances:  st.Instances,
+		Dim:        st.Dim,
+		IndexBytes: st.IndexBytes,
+	})
 }
 
 func (s *Server) handleImages(w http.ResponseWriter, r *http.Request) {

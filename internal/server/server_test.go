@@ -62,6 +62,30 @@ func TestHealth(t *testing.T) {
 	}
 }
 
+func TestStats(t *testing.T) {
+	s, db := testServer(t)
+	rec, body := doJSON(t, s, http.MethodGet, "/v1/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status %d", rec.Code)
+	}
+	var got StatsResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	want := db.Stats()
+	if got.Images != want.Images || got.Instances != want.Instances ||
+		got.Dim != want.Dim || got.IndexBytes != want.IndexBytes {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+	if got.Images != db.Len() || got.Dim != 100 || got.Instances < got.Images ||
+		got.IndexBytes != int64(got.Instances*got.Dim*8) {
+		t.Fatalf("implausible stats: %+v", got)
+	}
+	if rec, _ := doJSON(t, s, http.MethodPost, "/v1/stats", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/stats status %d", rec.Code)
+	}
+}
+
 func TestListImages(t *testing.T) {
 	s, db := testServer(t)
 	rec, body := doJSON(t, s, http.MethodGet, "/v1/images", nil)

@@ -1,0 +1,354 @@
+// Flat store format: the columnar counterpart of the V1 record stream. All
+// instance vectors of all records are serialized as one contiguous
+// little-endian float64 block, mirroring the in-memory layout of the
+// internal/index scoring engine, so a database loads with a single
+// sequential read of the data block instead of one small decode per vector.
+//
+// File layout (all integers little-endian):
+//
+//	header: magic "MILRETX1" | uint32 version | uint32 dim |
+//	        uint32 nItems | uint64 nInstances
+//	meta:   uint32 metaLen | metaPayload | uint32 crc32(metaPayload)
+//	data:   nInstances × dim × float64 | uint32 crc32(data bytes)
+//
+//	metaPayload, per item:
+//	        uint16 idLen | id | uint16 labelLen | label |
+//	        uint32 nInst | uint8 hasNames |
+//	        hasNames × nInst × (uint16 nameLen | name)
+//
+// Loaded bags share one backing []float64: each instance is a slice view
+// into the flat block, so a load allocates O(items) headers instead of
+// O(instances) vectors.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"milret/internal/mat"
+	"milret/internal/mil"
+)
+
+// FlatMagic identifies flat-format store files.
+const FlatMagic = "MILRETX1"
+
+// FlatVersion is the current flat-format version.
+const FlatVersion = 1
+
+// maxFlatItems bounds the item count as a corruption backstop.
+const maxFlatItems = 1 << 28
+
+// maxFlatDataBytes bounds the flat data block as a corruption backstop, so a
+// damaged header surfaces ErrCorrupt instead of a panic-sized allocation.
+const maxFlatDataBytes = 1 << 36
+
+// WriteFlatFile writes all records to path atomically in the flat columnar
+// format. Record bags must be valid and share dimensionality dim.
+func WriteFlatFile(path string, dim int, recs []Record) error {
+	tmp, err := os.CreateTemp(pathDir(path), ".milret-store-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := writeFlat(tmp, dim, recs); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func writeFlat(w io.Writer, dim int, recs []Record) error {
+	if dim <= 0 {
+		return fmt.Errorf("store: non-positive dimension %d", dim)
+	}
+	var nInstances uint64
+	meta := make([]byte, 0, 64*len(recs))
+	for _, rec := range recs {
+		if rec.Bag == nil {
+			return fmt.Errorf("store: record %q has nil bag", rec.ID)
+		}
+		if err := rec.Bag.Validate(); err != nil {
+			return err
+		}
+		if rec.Bag.Dim() != dim {
+			return fmt.Errorf("store: record %q dim %d, store dim %d", rec.ID, rec.Bag.Dim(), dim)
+		}
+		if len(rec.ID) > math.MaxUint16 || len(rec.Label) > math.MaxUint16 {
+			return fmt.Errorf("store: record %q: id/label too long", rec.ID)
+		}
+		nInstances += uint64(len(rec.Bag.Instances))
+		meta = binary.LittleEndian.AppendUint16(meta, uint16(len(rec.ID)))
+		meta = append(meta, rec.ID...)
+		meta = binary.LittleEndian.AppendUint16(meta, uint16(len(rec.Label)))
+		meta = append(meta, rec.Label...)
+		meta = binary.LittleEndian.AppendUint32(meta, uint32(len(rec.Bag.Instances)))
+		if rec.Bag.Names == nil {
+			meta = append(meta, 0)
+			continue
+		}
+		meta = append(meta, 1)
+		for _, name := range rec.Bag.Names {
+			if len(name) > math.MaxUint16 {
+				return fmt.Errorf("store: record %q: instance name too long", rec.ID)
+			}
+			meta = binary.LittleEndian.AppendUint16(meta, uint16(len(name)))
+			meta = append(meta, name...)
+		}
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(FlatMagic); err != nil {
+		return err
+	}
+	for _, v := range []uint32{FlatVersion, uint32(dim), uint32(len(recs))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, nInstances); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(meta))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(meta); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc32.ChecksumIEEE(meta)); err != nil {
+		return err
+	}
+
+	dataCRC := crc32.NewIEEE()
+	row := make([]byte, dim*8)
+	for _, rec := range recs {
+		for _, inst := range rec.Bag.Instances {
+			for k, v := range inst {
+				binary.LittleEndian.PutUint64(row[k*8:], math.Float64bits(v))
+			}
+			dataCRC.Write(row)
+			if _, err := bw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, dataCRC.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadFlatFile loads every record from a flat-format file. All returned
+// bags' instances are views into one shared flat block.
+func ReadFlatFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readFlat(bufio.NewReaderSize(f, 1<<20), true)
+}
+
+// readFlat decodes a flat stream; when checkMagic is false the caller has
+// already consumed and verified the 8 magic bytes.
+func readFlat(r io.Reader, checkMagic bool) ([]Record, error) {
+	if checkMagic {
+		magic := make([]byte, len(FlatMagic))
+		if _, err := io.ReadFull(r, magic); err != nil {
+			return nil, fmt.Errorf("store: reading magic: %w", err)
+		}
+		if string(magic) != FlatMagic {
+			return nil, fmt.Errorf("store: bad magic %q", magic)
+		}
+	}
+	var version, dim32, nItems32 uint32
+	var nInstances uint64
+	for _, p := range []any{&version, &dim32, &nItems32} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("store: reading flat header: %w", err)
+		}
+	}
+	if err := binary.Read(r, binary.LittleEndian, &nInstances); err != nil {
+		return nil, fmt.Errorf("store: reading flat header: %w", err)
+	}
+	if version != FlatVersion {
+		return nil, fmt.Errorf("store: unsupported flat version %d (want %d)", version, FlatVersion)
+	}
+	dim, nItems := int(dim32), int(nItems32)
+	if dim <= 0 || dim > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible dimension %d", ErrCorrupt, dim)
+	}
+	if nItems > maxFlatItems {
+		return nil, fmt.Errorf("%w: implausible item count %d", ErrCorrupt, nItems)
+	}
+	if nInstances > uint64(nItems)*maxInstances {
+		return nil, fmt.Errorf("%w: implausible instance count %d", ErrCorrupt, nInstances)
+	}
+	// Bound the data-block allocation before trusting the header product:
+	// nInstances and dim individually plausible can still multiply to a
+	// panic-sized (or int-overflowing) make().
+	if nInstances > (maxFlatDataBytes/8)/uint64(dim) {
+		return nil, fmt.Errorf("%w: implausible data block (%d instances × %d dims)",
+			ErrCorrupt, nInstances, dim)
+	}
+
+	var metaLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &metaLen); err != nil {
+		return nil, fmt.Errorf("%w: reading meta length: %v", ErrCorrupt, err)
+	}
+	if metaLen > 1<<30 {
+		return nil, fmt.Errorf("%w: implausible meta length %d", ErrCorrupt, metaLen)
+	}
+	meta := make([]byte, metaLen)
+	if _, err := io.ReadFull(r, meta); err != nil {
+		return nil, fmt.Errorf("%w: truncated meta: %v", ErrCorrupt, err)
+	}
+	var metaSum uint32
+	if err := binary.Read(r, binary.LittleEndian, &metaSum); err != nil {
+		return nil, fmt.Errorf("%w: missing meta checksum: %v", ErrCorrupt, err)
+	}
+	if got := crc32.ChecksumIEEE(meta); got != metaSum {
+		return nil, fmt.Errorf("%w: meta checksum mismatch (got %08x, want %08x)", ErrCorrupt, got, metaSum)
+	}
+
+	recs, counts, err := decodeFlatMeta(meta, nItems, nInstances)
+	if err != nil {
+		return nil, err
+	}
+
+	// One contiguous data block, decoded row-by-row into a shared flat
+	// slice; each bag instance becomes a view into it.
+	flat := make([]float64, int(nInstances)*dim)
+	raw := make([]byte, dim*8)
+	dataCRC := crc32.NewIEEE()
+	for row := 0; row < int(nInstances); row++ {
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return nil, fmt.Errorf("%w: truncated data block: %v", ErrCorrupt, err)
+		}
+		dataCRC.Write(raw)
+		base := row * dim
+		for k := 0; k < dim; k++ {
+			flat[base+k] = math.Float64frombits(binary.LittleEndian.Uint64(raw[k*8:]))
+		}
+	}
+	var dataSum uint32
+	if err := binary.Read(r, binary.LittleEndian, &dataSum); err != nil {
+		return nil, fmt.Errorf("%w: missing data checksum: %v", ErrCorrupt, err)
+	}
+	if got := dataCRC.Sum32(); got != dataSum {
+		return nil, fmt.Errorf("%w: data checksum mismatch (got %08x, want %08x)", ErrCorrupt, got, dataSum)
+	}
+
+	off := 0
+	for i := range recs {
+		n := counts[i]
+		insts := make([]mat.Vector, n)
+		for j := 0; j < n; j++ {
+			insts[j] = mat.Vector(flat[off : off+dim : off+dim])
+			off += dim
+		}
+		recs[i].Bag.Instances = insts
+	}
+	return recs, nil
+}
+
+// decodeFlatMeta parses the meta payload into records (bags still without
+// instances) and per-record instance counts.
+func decodeFlatMeta(meta []byte, nItems int, nInstances uint64) ([]Record, []int, error) {
+	off := 0
+	need := func(n int) error {
+		if off+n > len(meta) {
+			return fmt.Errorf("%w: meta underrun at offset %d", ErrCorrupt, off)
+		}
+		return nil
+	}
+	readString16 := func() (string, error) {
+		if err := need(2); err != nil {
+			return "", err
+		}
+		n := int(binary.LittleEndian.Uint16(meta[off:]))
+		off += 2
+		if err := need(n); err != nil {
+			return "", err
+		}
+		s := string(meta[off : off+n])
+		off += n
+		return s, nil
+	}
+
+	recs := make([]Record, nItems)
+	counts := make([]int, nItems)
+	var total uint64
+	for i := 0; i < nItems; i++ {
+		id, err := readString16()
+		if err != nil {
+			return nil, nil, err
+		}
+		label, err := readString16()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := need(5); err != nil {
+			return nil, nil, err
+		}
+		nInst := int(binary.LittleEndian.Uint32(meta[off:]))
+		off += 4
+		hasNames := meta[off]
+		off++
+		if nInst <= 0 || nInst > maxInstances {
+			return nil, nil, fmt.Errorf("%w: implausible instance count %d", ErrCorrupt, nInst)
+		}
+		bag := &mil.Bag{ID: id}
+		if hasNames == 1 {
+			bag.Names = make([]string, nInst)
+			for j := 0; j < nInst; j++ {
+				if bag.Names[j], err = readString16(); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		recs[i] = Record{ID: id, Label: label, Bag: bag}
+		counts[i] = nInst
+		total += uint64(nInst)
+	}
+	if off != len(meta) {
+		return nil, nil, fmt.Errorf("%w: %d trailing meta bytes", ErrCorrupt, len(meta)-off)
+	}
+	if total != nInstances {
+		return nil, nil, fmt.Errorf("%w: meta instance total %d, header says %d", ErrCorrupt, total, nInstances)
+	}
+	return recs, counts, nil
+}
+
+// ReadAnyFile loads a store written in either the V1 record-stream format or
+// the flat columnar format, dispatching on the file magic.
+func ReadAnyFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	magic, err := br.Peek(len(Magic))
+	if err != nil {
+		return nil, fmt.Errorf("store: reading magic: %w", err)
+	}
+	switch string(magic) {
+	case FlatMagic:
+		return readFlat(br, true)
+	case Magic:
+		r, err := NewReader(br)
+		if err != nil {
+			return nil, err
+		}
+		return readAll(r)
+	}
+	return nil, fmt.Errorf("store: bad magic %q", magic)
+}

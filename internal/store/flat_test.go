@@ -1,0 +1,271 @@
+package store
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"unsafe"
+
+	"milret/internal/mat"
+)
+
+func writeFlatTemp(t *testing.T, dim int, recs []Record) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "db.milretx")
+	if err := WriteFlatFile(path, dim, recs); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func recordsBitEqual(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Label != want[i].Label {
+			t.Fatalf("record %d metadata mismatch: %+v vs %+v", i, got[i], want[i])
+		}
+		if len(got[i].Bag.Instances) != len(want[i].Bag.Instances) {
+			t.Fatalf("record %d instance count mismatch", i)
+		}
+		for j := range want[i].Bag.Instances {
+			for k := range want[i].Bag.Instances[j] {
+				a := math.Float64bits(want[i].Bag.Instances[j][k])
+				b := math.Float64bits(got[i].Bag.Instances[j][k])
+				if a != b {
+					t.Fatalf("record %d inst %d dim %d not bit-exact", i, j, k)
+				}
+			}
+		}
+		if len(got[i].Bag.Names) != len(want[i].Bag.Names) {
+			t.Fatalf("record %d names mismatch: %v vs %v", i, got[i].Bag.Names, want[i].Bag.Names)
+		}
+		for j := range want[i].Bag.Names {
+			if got[i].Bag.Names[j] != want[i].Bag.Names[j] {
+				t.Fatalf("record %d name %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestFlatRoundTripExact(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	recs := []Record{
+		randRecord(r, "img-0", "waterfall", 5, 3),
+		randRecord(r, "img-1", "field", 5, 1),
+		randRecord(r, "img-2", "", 5, 7),
+	}
+	recs[0].Bag.Instances[0][0] = 0
+	recs[0].Bag.Instances[0][1] = math.Copysign(0, -1)
+	recs[0].Bag.Instances[0][2] = math.SmallestNonzeroFloat64
+	recs[0].Bag.Instances[0][3] = math.MaxFloat64
+	recs[1].Bag.Names = []string{"a-whole"}
+
+	path := writeFlatTemp(t, 5, recs)
+	got, err := ReadFlatFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordsBitEqual(t, got, recs)
+}
+
+func TestFlatEmptyStore(t *testing.T) {
+	path := writeFlatTemp(t, 4, nil)
+	got, err := ReadFlatFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty flat store yielded %d records", len(got))
+	}
+}
+
+func TestFlatSharedBacking(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	recs := []Record{randRecord(r, "a", "l", 4, 3), randRecord(r, "b", "l", 4, 2)}
+	path := writeFlatTemp(t, 4, recs)
+	got, err := ReadFlatFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All instances must be views into one contiguous flat block: each
+	// instance starts exactly dim floats after the previous one, across
+	// record boundaries too.
+	prev := got[0].Bag.Instances[0]
+	for _, rec := range got {
+		for _, inst := range rec.Bag.Instances {
+			if &inst[0] == &prev[0] {
+				continue // the very first instance
+			}
+			gap := uintptr(unsafe.Pointer(&inst[0])) - uintptr(unsafe.Pointer(&prev[0]))
+			if gap != uintptr(len(prev))*unsafe.Sizeof(float64(0)) {
+				t.Fatal("instances are not adjacent views into a shared flat block")
+			}
+			prev = inst
+		}
+	}
+}
+
+func TestFlatWriterRejects(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x")
+	if err := WriteFlatFile(path, 0, nil); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	r := rand.New(rand.NewSource(3))
+	if err := WriteFlatFile(path, 3, []Record{randRecord(r, "a", "l", 2, 1)}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if err := WriteFlatFile(path, 3, []Record{{ID: "x"}}); err == nil {
+		t.Fatal("nil bag accepted")
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, ".milret-store-*"))
+	if len(matches) != 0 {
+		t.Fatalf("temp files left behind: %v", matches)
+	}
+}
+
+// Every single-byte flip after the magic must surface an error, not a
+// silently wrong database.
+func TestFlatCorruptionDetected(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	recs := []Record{randRecord(r, "img", "lbl", 4, 3)}
+	recs[0].Bag.Names = []string{"n1", "n2", "n3"}
+	path := writeFlatTemp(t, 4, recs)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(t.TempDir(), "corrupt")
+	for pos := len(FlatMagic); pos < len(good); pos++ {
+		data := append([]byte{}, good...)
+		data[pos] ^= 0xFF
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadFlatFile(tmp); err == nil {
+			t.Errorf("flip at %d: corruption not detected", pos)
+		}
+	}
+}
+
+func TestFlatTruncationDetected(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	path := writeFlatTemp(t, 4, []Record{randRecord(r, "img", "lbl", 4, 3)})
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(t.TempDir(), "trunc")
+	for cut := len(FlatMagic); cut < len(good); cut += 5 {
+		if err := os.WriteFile(tmp, good[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadFlatFile(tmp); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestFlatDataCorruptionWrapsErrCorrupt(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	path := writeFlatTemp(t, 3, []Record{randRecord(r, "a", "l", 3, 2)})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0xFF // inside the float block
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFlatFile(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+// ReadAnyFile must transparently read both the flat format and the legacy
+// V1 record stream.
+func TestReadAnyFileBothFormats(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	recs := []Record{randRecord(r, "a", "x", 4, 2), randRecord(r, "b", "y", 4, 3)}
+	recs[0].Bag.Names = []string{"r1", "r2"}
+
+	flatPath := writeFlatTemp(t, 4, recs)
+	legacyPath := filepath.Join(t.TempDir(), "legacy.milret")
+	if err := WriteFile(legacyPath, 4, recs); err != nil {
+		t.Fatal(err)
+	}
+
+	gotFlat, err := ReadAnyFile(flatPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordsBitEqual(t, gotFlat, recs)
+
+	gotLegacy, err := ReadAnyFile(legacyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordsBitEqual(t, gotLegacy, recs)
+}
+
+func TestReadAnyFileBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("NOTASTOREATALL"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAnyFile(path); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// Property: random record sets survive a flat round trip bit-exactly.
+func TestQuickFlatRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(8)
+		n := r.Intn(6)
+		var recs []Record
+		for i := 0; i < n; i++ {
+			rec := randRecord(r, "id", "lb", dim, 1+r.Intn(4))
+			if r.Intn(2) == 0 {
+				rec.Bag.Names = make([]string, len(rec.Bag.Instances))
+				for j := range rec.Bag.Names {
+					rec.Bag.Names[j] = "region"
+				}
+			}
+			recs = append(recs, rec)
+		}
+		path := filepath.Join(t.TempDir(), "q")
+		if err := WriteFlatFile(path, dim, recs); err != nil {
+			return false
+		}
+		got, err := ReadFlatFile(path)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i].ID != recs[i].ID || got[i].Label != recs[i].Label {
+				return false
+			}
+			for j := range recs[i].Bag.Instances {
+				if !mat.Equal(got[i].Bag.Instances[j], recs[i].Bag.Instances[j], 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -315,24 +315,45 @@ func convertResults(rs []retrieval.Result) []Result {
 	return out
 }
 
-// Save writes the database (all bags and labels) to path in the binary
-// store format. The write is atomic.
+// Save writes the database (all bags and labels) to path in the flat
+// columnar store format: all instance vectors are serialized as one
+// contiguous block mirroring the in-memory scoring index, so reopening is a
+// single sequential read. The write is atomic.
 func (d *Database) Save(path string) error {
 	items := d.db.Items()
 	recs := make([]store.Record, len(items))
 	for i, it := range items {
 		recs[i] = store.Record{ID: it.ID, Label: it.Label, Bag: it.Bag}
 	}
-	return store.WriteFile(path, d.opts.Dim(), recs)
+	return store.WriteFlatFile(path, d.opts.Dim(), recs)
 }
 
-// LoadDatabase reads a database saved by Save. If opts.Resolution is unset,
+// Stats summarizes the database's flat scoring index.
+type Stats struct {
+	// Images is the number of stored images (bags).
+	Images int
+	// Instances is the total region-vector count across all bags.
+	Instances int
+	// Dim is the feature dimensionality.
+	Dim int
+	// IndexBytes is the size of the flat instance block in bytes.
+	IndexBytes int64
+}
+
+// Stats reports the size of the underlying flat scoring index.
+func (d *Database) Stats() Stats {
+	s := d.db.Stats()
+	return Stats{Images: s.Items, Instances: s.Instances, Dim: s.Dim, IndexBytes: s.IndexBytes}
+}
+
+// LoadDatabase reads a database saved by Save — either the current flat
+// columnar format or the legacy per-record stream. If opts.Resolution is unset,
 // the sampling resolution is inferred from the stored feature
 // dimensionality (h²), so stores built at any resolution reopen without
 // extra configuration; an explicitly set resolution must match the file, so
 // images added later remain comparable.
 func LoadDatabase(path string, opts Options) (*Database, error) {
-	recs, err := store.ReadFile(path)
+	recs, err := store.ReadAnyFile(path)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"milret/internal/store"
 	"milret/internal/synth"
 )
 
@@ -197,6 +198,50 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("rankings diverge after reload at %d", i)
 		}
+	}
+}
+
+// Databases saved by older versions in the per-record V1 format must keep
+// loading now that Save writes the flat columnar format.
+func TestLoadLegacyStoreFormat(t *testing.T) {
+	db := testDB(t, 3, "car", "pants")
+	items := db.db.Items()
+	recs := make([]store.Record, len(items))
+	for i, it := range items {
+		recs[i] = store.Record{ID: it.ID, Label: it.Label, Bag: it.Bag}
+	}
+	path := filepath.Join(t.TempDir(), "legacy.milret")
+	if err := store.WriteFile(path, db.opts.Dim(), recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDatabase(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("loaded %d of %d from legacy format", back.Len(), db.Len())
+	}
+	concept, err := db.Train(idsOf(db, "car", 2), idsOf(db, "pants", 2),
+		TrainOptions{Mode: IdenticalWeights, MaxIters: 15, StartBags: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := db.RankAll(concept), back.RankAll(concept)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("legacy-loaded ranking diverges at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStatsReflectIndex(t *testing.T) {
+	db := testDB(t, 2, "car")
+	s := db.Stats()
+	if s.Images != db.Len() || s.Dim != 100 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Instances < s.Images || s.IndexBytes != int64(s.Instances*s.Dim*8) {
+		t.Fatalf("implausible stats: %+v", s)
 	}
 }
 
