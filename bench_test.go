@@ -231,16 +231,26 @@ func (s naiveOnlyScorer) BagDist(b *mil.Bag) float64 { return s.c.BagDist(b) }
 // cluster by scene category — the workload the engine actually serves —
 // rather than as isotropic noise, whose distance concentration is the
 // pathological worst case for any pruning scheme.
-func benchCorpusDB(n, inst, dim int) (*retrieval.Database, *core.Concept) {
-	const nCats = 8
-	r := rand.New(rand.NewSource(42))
-	centers := make([][]float64, nCats)
+const benchCorpusCats = 8
+
+// benchCenters draws the per-category cluster centers; both the corpus and
+// the multi-concept benches derive them from the same seed so concepts land
+// near real categories without retraining.
+func benchCenters(r *rand.Rand, dim int) [][]float64 {
+	centers := make([][]float64, benchCorpusCats)
 	for c := range centers {
 		centers[c] = make([]float64, dim)
 		for k := range centers[c] {
 			centers[c][k] = r.NormFloat64() * 2
 		}
 	}
+	return centers
+}
+
+func benchCorpusDB(n, inst, dim int) (*retrieval.Database, *core.Concept) {
+	const nCats = benchCorpusCats
+	r := rand.New(rand.NewSource(42))
+	centers := benchCenters(r, dim)
 	db := retrieval.NewDatabase()
 	for i := 0; i < n; i++ {
 		cat := i % nCats
@@ -323,6 +333,56 @@ func BenchmarkTopKNaive10k(b *testing.B) {
 		retrieval.TopK(db, s, 20, retrieval.Options{})
 	}
 }
+
+// --- Batched multi-concept scans (index.MultiTopK via retrieval.TopKMany) ---
+//
+// benchCorpusConcepts builds one trained-looking concept per category,
+// reusing the corpus's cluster centers. Scoring all of them against the
+// block in one pass is the false-positive-mining / multi-user workload; the
+// Sequential variant is the same work as B independent TopK calls, so the
+// pair measures the batching win at identical results (the property tests
+// prove MultiTopK ≡ per-concept TopK).
+func benchCorpusConcepts(nc, dim int) []retrieval.Scorer {
+	r := rand.New(rand.NewSource(42))
+	centers := benchCenters(r, dim)
+	scorers := make([]retrieval.Scorer, nc)
+	for i := range scorers {
+		point := make([]float64, dim)
+		weights := make([]float64, dim)
+		for k := range point {
+			point[k] = centers[i%benchCorpusCats][k] + r.NormFloat64()*0.05
+			weights[k] = 0.5 + r.Float64()
+		}
+		scorers[i] = &core.Concept{Point: point, Weights: weights}
+	}
+	return scorers
+}
+
+func benchMultiTopK(b *testing.B, n, inst, dim, nc, k int, sequential bool) {
+	db, _ := benchCorpusDB(n, inst, dim)
+	scorers := benchCorpusConcepts(nc, dim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sequential {
+			for _, s := range scorers {
+				retrieval.TopK(db, s, k, retrieval.Options{})
+			}
+		} else {
+			retrieval.TopKMany(db, scorers, k, retrieval.Options{})
+		}
+	}
+}
+
+// The ≥3× aggregate-throughput acceptance pair: 8 concepts in one batched
+// pass vs 8 sequential TopK scans over the same 10k corpus.
+func BenchmarkMultiTopK10kx8(b *testing.B)      { benchMultiTopK(b, 10_000, 10, 100, 8, 20, false) }
+func BenchmarkSequentialTopK10kx8(b *testing.B) { benchMultiTopK(b, 10_000, 10, 100, 8, 20, true) }
+
+func BenchmarkMultiTopK1kx8(b *testing.B)       { benchMultiTopK(b, 1_000, 40, 100, 8, 20, false) }
+func BenchmarkSequentialTopK1kx8(b *testing.B)  { benchMultiTopK(b, 1_000, 40, 100, 8, 20, true) }
+func BenchmarkMultiTopK50kx8(b *testing.B)      { benchMultiTopK(b, 50_000, 4, 64, 8, 20, false) }
+func BenchmarkSequentialTopK50kx8(b *testing.B) { benchMultiTopK(b, 50_000, 4, 64, 8, 20, true) }
 
 // BenchmarkCorpusGeneration measures synthetic corpus drawing throughput.
 func BenchmarkCorpusGeneration(b *testing.B) {

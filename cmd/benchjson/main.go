@@ -1,0 +1,232 @@
+// Command benchjson converts `go test -bench` output into a small JSON
+// artifact and compares two such artifacts — the machinery behind the
+// committed BENCH_topk.json perf-trajectory file.
+//
+// Capture mode (default) reads bench output on stdin, keeps benchmarks
+// whose name matches -filter, and writes JSON with per-benchmark means plus
+// the raw benchfmt lines (so standard tools like benchstat can consume the
+// artifact via `jq -r '.benchfmt[]'`):
+//
+//	go test -run='^$' -bench='TopK|ObjectiveEval' ./... | benchjson -out BENCH_topk.json
+//
+// Compare mode prints an old-vs-new delta table and always exits 0: perf
+// drift is reported, not enforced — the comparison step in CI is
+// informational by design.
+//
+//	benchjson -compare BENCH_topk.json BENCH_topk.new.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result aggregates one benchmark's samples.
+type Result struct {
+	// Samples is how many bench lines were folded into the means.
+	Samples int `json:"samples"`
+	// Iterations is the per-sample iteration count of the last sample.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BPerOp and AllocsPerOp are means across samples.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// File is the on-disk artifact schema.
+type File struct {
+	// Context lines: goos/goarch/pkg/cpu as printed by the bench run.
+	Context []string `json:"context,omitempty"`
+	// Benchmarks maps bare benchmark names (no -P suffix) to means.
+	Benchmarks map[string]Result `json:"benchmarks"`
+	// Benchfmt preserves the raw lines for benchstat-style tooling.
+	Benchfmt []string `json:"benchfmt"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "", "write JSON to this path (default stdout)")
+	filter := flag.String("filter", ".", "regexp of benchmark names to keep")
+	compare := flag.Bool("compare", false, "compare two artifact files (old new) instead of capturing")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files (old new)")
+			os.Exit(2)
+		}
+		if err := compareFiles(flag.Arg(0), flag.Arg(1)); err != nil {
+			// Comparison problems (missing baseline on a fresh branch, a
+			// renamed benchmark) must not fail the build: report and exit 0.
+			fmt.Fprintf(os.Stderr, "benchjson: compare skipped: %v\n", err)
+		}
+		return
+	}
+
+	keep, err := regexp.Compile(*filter)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: bad -filter: %v\n", err)
+		os.Exit(2)
+	}
+	f, err := capture(os.Stdin, keep)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func capture(r *os.File, keep *regexp.Regexp) (*File, error) {
+	f := &File{Benchmarks: map[string]Result{}}
+	sums := map[string]*Result{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			f.Context = appendUnique(f.Context, line)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil || !keep.MatchString(m[1]) {
+			continue
+		}
+		f.Benchfmt = append(f.Benchfmt, line)
+		name := m[1]
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		agg := sums[name]
+		if agg == nil {
+			agg = &Result{}
+			sums[name] = agg
+			order = append(order, name)
+		}
+		agg.Samples++
+		agg.Iterations = iters
+		agg.NsPerOp += ns
+		if m[4] != "" {
+			v, _ := strconv.ParseFloat(m[4], 64)
+			agg.BPerOp += v
+		}
+		if m[5] != "" {
+			v, _ := strconv.ParseFloat(m[5], 64)
+			agg.AllocsPerOp += v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("no benchmark lines matched")
+	}
+	for _, name := range order {
+		agg := sums[name]
+		n := float64(agg.Samples)
+		f.Benchmarks[name] = Result{
+			Samples:     agg.Samples,
+			Iterations:  agg.Iterations,
+			NsPerOp:     agg.NsPerOp / n,
+			BPerOp:      agg.BPerOp / n,
+			AllocsPerOp: agg.AllocsPerOp / n,
+		}
+	}
+	return f, nil
+}
+
+func appendUnique(s []string, v string) []string {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func compareFiles(oldPath, newPath string) error {
+	old, err := readFile(oldPath)
+	if err != nil {
+		return err
+	}
+	cur, err := readFile(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(old.Benchmarks))
+	for name := range old.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+	// Stable presentation order: old file's benchfmt order, fallback sorted.
+	ordered := orderFromBenchfmt(old.Benchfmt, names)
+	fmt.Printf("%-40s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs Δ")
+	for _, name := range ordered {
+		o, n := old.Benchmarks[name], cur.Benchmarks[name]
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		fmt.Printf("%-40s %14.0f %14.0f %+7.1f%% %+10.1f\n",
+			name, o.NsPerOp, n.NsPerOp, delta, n.AllocsPerOp-o.AllocsPerOp)
+	}
+	return nil
+}
+
+func orderFromBenchfmt(lines []string, names []string) []string {
+	seen := map[string]bool{}
+	allowed := map[string]bool{}
+	for _, n := range names {
+		allowed[n] = true
+	}
+	var ordered []string
+	for _, line := range lines {
+		if m := benchLine.FindStringSubmatch(line); m != nil && allowed[m[1]] && !seen[m[1]] {
+			seen[m[1]] = true
+			ordered = append(ordered, m[1])
+		}
+	}
+	for _, n := range names {
+		if !seen[n] {
+			ordered = append(ordered, n)
+		}
+	}
+	return ordered
+}
+
+func readFile(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}

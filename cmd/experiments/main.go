@@ -8,6 +8,12 @@
 //	experiments -run Fig48      # one experiment
 //	experiments -scale full     # paper-scale corpora (slow)
 //	experiments -csv out/       # also write CSV files per table
+//	experiments -parallelism 4  # bound training/ranking goroutines
+//
+// Every experiment's completion line reports wall-clock time plus the
+// objective evaluations each trainer performed and its evals/sec — the
+// hardware-independent training-cost proxy, and the number that moves when
+// the distance kernel gets faster.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"milret/internal/core"
 	"milret/internal/experiments"
 )
 
@@ -26,6 +33,7 @@ func main() {
 	scale := flag.String("scale", "quick", "scale: quick, full or bench")
 	seed := flag.Int64("seed", 1998, "master seed for corpora and splits")
 	csvDir := flag.String("csv", "", "directory to also write per-table CSV files")
+	parallelism := flag.Int("parallelism", 0, "bound concurrent training/ranking goroutines (0 = NumCPU)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
@@ -48,6 +56,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q (quick|full|bench)\n", *scale)
 		os.Exit(2)
 	}
+	if *parallelism > 0 {
+		cfg.Scale.Parallelism = *parallelism
+	}
 
 	var ids []string
 	if *runID == "all" {
@@ -68,6 +79,7 @@ func main() {
 	exitCode := 0
 	for _, id := range ids {
 		start := time.Now()
+		dd0, emdd0 := core.TrainerEvals()
 		tables, err := experiments.Run(id, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
@@ -97,7 +109,30 @@ func main() {
 				f.Close()
 			}
 		}
-		fmt.Printf("-- %s completed in %v --\n\n", id, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		dd1, emdd1 := core.TrainerEvals()
+		fmt.Printf("-- %s completed in %v%s --\n\n",
+			id, elapsed.Round(time.Millisecond), trainerStats(elapsed, dd1-dd0, emdd1-emdd0))
 	}
 	os.Exit(exitCode)
+}
+
+// trainerStats renders per-trainer objective-evaluation counts and rates
+// for one experiment, or "" when the experiment trained nothing.
+func trainerStats(elapsed time.Duration, dd, emdd int64) string {
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	var parts []string
+	if dd > 0 {
+		parts = append(parts, fmt.Sprintf("DD %d evals (%.0f evals/sec)", dd, float64(dd)/secs))
+	}
+	if emdd > 0 {
+		parts = append(parts, fmt.Sprintf("EM-DD %d evals (%.0f evals/sec)", emdd, float64(emdd)/secs))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " — " + strings.Join(parts, ", ")
 }

@@ -63,9 +63,10 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	dbPath := fs.String("db", "db.milret", "database path")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	fastLoad := fs.Bool("fast-load", false, "skip the data checksum: zero-copy O(images) open")
 	fs.Parse(args)
 
-	db, err := milret.LoadDatabase(*dbPath, milret.Options{})
+	db, err := milret.LoadDatabase(*dbPath, milret.Options{VerifyOnLoad: !*fastLoad})
 	if err != nil {
 		return err
 	}
@@ -218,9 +219,10 @@ func cmdQuery(args []string) error {
 	k := fs.Int("k", 12, "number of results")
 	mode := fs.String("mode", "constrained", "weight mode: original, identical, alpha-hack, constrained")
 	beta := fs.Float64("beta", 0.5, "sum-constraint level for constrained mode")
+	fastLoad := fs.Bool("fast-load", false, "skip the data checksum: zero-copy O(images) open")
 	fs.Parse(args)
 
-	db, err := milret.LoadDatabase(*dbPath, milret.Options{})
+	db, err := milret.LoadDatabase(*dbPath, milret.Options{VerifyOnLoad: !*fastLoad})
 	if err != nil {
 		return err
 	}
@@ -257,9 +259,10 @@ func cmdEval(args []string) error {
 	beta := fs.Float64("beta", 0.5, "sum-constraint level")
 	rounds := fs.Int("rounds", 3, "training rounds")
 	seed := fs.Int64("seed", 1, "example-selection seed")
+	fastLoad := fs.Bool("fast-load", false, "skip the data checksum: zero-copy O(images) open")
 	fs.Parse(args)
 
-	db, err := milret.LoadDatabase(*dbPath, milret.Options{})
+	db, err := milret.LoadDatabase(*dbPath, milret.Options{VerifyOnLoad: !*fastLoad})
 	if err != nil {
 		return err
 	}

@@ -118,16 +118,40 @@ func TestIntegrationCorruptStoreRejected(t *testing.T) {
 	if err := db.Save(path); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(path)
+	good, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
+
+	// A flip inside the instance-float block: the default zero-copy open
+	// adopts the block without reading it, so only VerifyOnLoad (or
+	// store.ReadAnyFile) pays the checksum pass that catches it.
+	data := append([]byte{}, good...)
 	data[len(data)/2] ^= 0xFF
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := LoadDatabase(path, Options{Resolution: 6, Regions: 9, VerifyOnLoad: true}); err == nil {
+		t.Fatalf("corrupted data block accepted with VerifyOnLoad")
+	}
+
+	// A flip inside the metadata section must be rejected even by the fast
+	// open (the meta checksum is always verified).
+	data = append([]byte{}, good...)
+	data[40] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := LoadDatabase(path, Options{Resolution: 6, Regions: 9}); err == nil {
-		t.Fatalf("corrupted database accepted")
+		t.Fatalf("corrupted metadata accepted")
+	}
+
+	// Truncation is structural and must be rejected by the fast open too.
+	if err := os.WriteFile(path, good[:len(good)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDatabase(path, Options{Resolution: 6, Regions: 9}); err == nil {
+		t.Fatalf("truncated database accepted")
 	}
 }
 

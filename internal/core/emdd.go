@@ -79,6 +79,7 @@ func TrainEMDD(ds *mil.Dataset, cfg Config) (*Concept, error) {
 		}
 	}
 	win := results[best]
+	emddEvalCount.Add(int64(totalEvals))
 	concept := &Concept{
 		NegLogDD: win.f,
 		Mode:     cfg.Mode,
@@ -161,18 +162,13 @@ func emddFromStart(ds *mil.Dataset, cfg Config, inst mat.Vector) (mat.Vector, fl
 // carries the largest −log(1 − p) penalty.
 func selectRepresentatives(ds *mil.Dataset, obj *objective, theta mat.Vector) []mat.Vector {
 	t, w := obj.split(theta)
-	wbuf := mat.NewVector(obj.dim)
-	W := obj.distWeights(w, wbuf)
+	W := obj.distWeights(w, obj.wbuf)
 	var reps []mat.Vector
 	pick := func(b *mil.Bag) mat.Vector {
 		best := 0
 		bestD := math.Inf(1)
 		for j, inst := range b.Instances {
-			var d float64
-			for k, tk := range t {
-				diff := tk - inst[k]
-				d += W[k] * diff * diff
-			}
+			d := mat.WeightedSqDist(t, inst, W)
 			if d < bestD {
 				bestD, best = d, j
 			}
@@ -195,6 +191,11 @@ type singleInstanceObjective struct {
 	dim      int
 	mode     WeightMode
 	alpha    float64
+
+	// wbuf holds the effective distance weights, reused across Evals so the
+	// optimizer's inner loop stays allocation-free (lazily sized on first
+	// Eval; the objective is not safe for concurrent use).
+	wbuf mat.Vector
 }
 
 func (o *singleInstanceObjective) split(theta mat.Vector) (t, w mat.Vector) {
@@ -207,7 +208,10 @@ func (o *singleInstanceObjective) split(theta mat.Vector) (t, w mat.Vector) {
 // Eval computes −Σ⁺ log p − Σ⁻ log(1−p) and its gradient.
 func (o *singleInstanceObjective) Eval(theta, grad mat.Vector) float64 {
 	t, w := o.split(theta)
-	W := mat.NewVector(o.dim)
+	if o.wbuf == nil {
+		o.wbuf = mat.NewVector(o.dim)
+	}
+	W := o.wbuf
 	switch o.mode {
 	case Identical:
 		W.Fill(1)
@@ -223,11 +227,7 @@ func (o *singleInstanceObjective) Eval(theta, grad mat.Vector) float64 {
 	}
 	var f float64
 	accumulate := func(x mat.Vector, positive bool) {
-		var d float64
-		for k, tk := range t {
-			diff := tk - x[k]
-			d += W[k] * diff * diff
-		}
+		d := mat.WeightedSqDist(t, x, W)
 		var coef float64
 		if positive {
 			// −log p = d: gradient coefficient is exactly 1.

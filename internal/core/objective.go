@@ -82,6 +82,7 @@ type objective struct {
 	// concurrent use — each optimization start owns its own copy.
 	dists [][]float64 // per bag (pos then neg), per instance: d_ij
 	coefs []float64   // per instance of the current bag: ∂f/∂d_ij
+	wbuf  mat.Vector  // effective distance weights W, rebuilt per Eval
 }
 
 func newObjective(ds *mil.Dataset, mode WeightMode, alpha float64) *objective {
@@ -106,6 +107,7 @@ func newObjective(ds *mil.Dataset, mode WeightMode, alpha float64) *objective {
 		}
 	}
 	o.coefs = make([]float64, maxInst)
+	o.wbuf = mat.NewVector(o.dim)
 	return o
 }
 
@@ -148,8 +150,7 @@ func (o *objective) distWeights(w, buf mat.Vector) mat.Vector {
 // This is the optimize.Func the minimizers consume.
 func (o *objective) Eval(theta, grad mat.Vector) float64 {
 	t, w := o.split(theta)
-	wbuf := mat.NewVector(o.dim)
-	W := o.distWeights(w, wbuf)
+	W := o.distWeights(w, o.wbuf)
 
 	if grad != nil {
 		grad.Fill(0)
@@ -179,14 +180,10 @@ func (o *objective) Eval(theta, grad mat.Vector) float64 {
 // non-nil, accumulates its gradient contribution.
 func (o *objective) evalBag(b *mil.Bag, positive bool, t, w, W mat.Vector, dists []float64, grad mat.Vector) float64 {
 	n := len(b.Instances)
-	// Pass 1: distances d_ij = Σ_k W_k (t_k − x_k)².
+	// Pass 1: distances d_ij = Σ_k W_k (t_k − x_k)², through the shared
+	// blocked kernel — the same accumulation order as the retrieval scan.
 	for j, inst := range b.Instances {
-		var d float64
-		for k, tk := range t {
-			diff := tk - inst[k]
-			d += W[k] * diff * diff
-		}
-		dists[j] = d
+		dists[j] = mat.WeightedSqDist(t, inst, W)
 	}
 
 	coefs := o.coefs[:n]

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"milret/internal/mat"
+	"milret/internal/mil"
+)
+
+// benchDataset builds a deterministic paper-scale training set: nPos+nNeg
+// bags of 40 instances × 100 dimensions.
+func benchDataset(nPos, nNeg int) *mil.Dataset {
+	r := rand.New(rand.NewSource(11))
+	mk := func(id string) *mil.Bag {
+		b := &mil.Bag{ID: id}
+		for j := 0; j < 40; j++ {
+			v := mat.NewVector(100)
+			for k := range v {
+				v[k] = r.NormFloat64()
+			}
+			b.Instances = append(b.Instances, v)
+		}
+		return b
+	}
+	ds := &mil.Dataset{}
+	for i := 0; i < nPos; i++ {
+		ds.Positive = append(ds.Positive, mk(fmt.Sprintf("p%d", i)))
+	}
+	for i := 0; i < nNeg; i++ {
+		ds.Negative = append(ds.Negative, mk(fmt.Sprintf("n%d", i)))
+	}
+	return ds
+}
+
+// benchObjectiveEval measures one full objective+gradient evaluation — the
+// innermost unit of training cost. The scratch buffers threaded through the
+// objective must keep this at zero allocations per evaluation.
+func benchObjectiveEval(b *testing.B, mode WeightMode) {
+	b.Helper()
+	ds := benchDataset(5, 5)
+	o := newObjective(ds, mode, 50)
+	theta := mat.NewVector(o.thetaDim())
+	copy(theta[:o.dim], ds.Positive[0].Instances[0])
+	if mode != Identical {
+		theta[o.dim:].Fill(1)
+	}
+	grad := mat.NewVector(o.thetaDim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Eval(theta, grad)
+	}
+}
+
+func BenchmarkObjectiveEval(b *testing.B)            { benchObjectiveEval(b, Original) }
+func BenchmarkObjectiveEvalIdentical(b *testing.B)   { benchObjectiveEval(b, Identical) }
+func BenchmarkObjectiveEvalConstrained(b *testing.B) { benchObjectiveEval(b, SumConstraint) }
+
+// BenchmarkSingleInstanceEval is the EM-DD M-step counterpart.
+func BenchmarkSingleInstanceEval(b *testing.B) {
+	ds := benchDataset(5, 5)
+	full := newObjective(ds, Original, 50)
+	theta := mat.NewVector(full.thetaDim())
+	copy(theta[:full.dim], ds.Positive[0].Instances[0])
+	theta[full.dim:].Fill(1)
+	reps := selectRepresentatives(ds, full, theta)
+	sub := &singleInstanceObjective{
+		pos:  reps[:len(ds.Positive)],
+		neg:  reps[len(ds.Positive):],
+		dim:  full.dim,
+		mode: Original,
+	}
+	grad := mat.NewVector(full.thetaDim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub.Eval(theta, grad)
+	}
+}

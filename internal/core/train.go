@@ -4,11 +4,27 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"milret/internal/mat"
 	"milret/internal/mil"
 	"milret/internal/optimize"
 )
+
+// Cumulative objective-evaluation counters, one per trainer. They exist so
+// tooling (cmd/experiments) can report evals/sec — the hardware-independent
+// training-cost proxy — without threading counters through every caller.
+var (
+	ddEvalCount   atomic.Int64
+	emddEvalCount atomic.Int64
+)
+
+// TrainerEvals returns the process-cumulative objective evaluation counts
+// performed by Train (classic Diverse Density) and TrainEMDD. Callers diff
+// two readings to attribute evaluations to a span of work.
+func TrainerEvals() (dd, emdd int64) {
+	return ddEvalCount.Load(), emddEvalCount.Load()
+}
 
 // Config controls a Diverse Density training run.
 type Config struct {
@@ -189,6 +205,7 @@ func Train(ds *mil.Dataset, cfg Config) (*Concept, error) {
 		}
 	}
 	win := results[best].res
+	ddEvalCount.Add(int64(totalEvals))
 
 	concept := &Concept{
 		NegLogDD: win.F,

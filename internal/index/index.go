@@ -30,6 +30,7 @@ package index
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -37,11 +38,6 @@ import (
 
 	"milret/internal/mat"
 )
-
-// abandonBlock is how many dimensions are accumulated between partial-sum
-// checks. Small enough to prune early on high-dimensional features, large
-// enough that the branch is amortized over a vectorizable inner loop.
-const abandonBlock = 8
 
 // Index packs all bag instances into one flat block.
 type Index struct {
@@ -98,6 +94,43 @@ func (x *Index) Append(id, label string, instances []mat.Vector) error {
 	x.ids = append(x.ids, id)
 	x.labels = append(x.labels, label)
 	return nil
+}
+
+// FromFlat constructs an index that adopts an existing row-major instance
+// block instead of copying it — the zero-copy open path: the store hands
+// over its (possibly memory-mapped) data block and the per-bag instance
+// counts, and the index is ready to scan in O(bags) work. The block must
+// hold exactly sum(counts) rows of dim floats; every count must be
+// positive. Later Appends never mutate the adopted block: growing the data
+// slice reallocates (its capacity is clamped to its length).
+func FromFlat(dim int, data []float64, counts []int, ids, labels []string) (*Index, error) {
+	if len(counts) != len(ids) || len(counts) != len(labels) {
+		return nil, fmt.Errorf("index: %d counts, %d ids, %d labels", len(counts), len(ids), len(labels))
+	}
+	if dim <= 0 && (len(data) > 0 || len(counts) > 0) {
+		return nil, fmt.Errorf("index: non-positive dim %d for non-empty block", dim)
+	}
+	offsets := make([]int, len(counts)+1)
+	for i, c := range counts {
+		if c <= 0 {
+			return nil, fmt.Errorf("index: bag %q has instance count %d", ids[i], c)
+		}
+		offsets[i+1] = offsets[i] + c
+	}
+	if offsets[len(counts)]*dim != len(data) {
+		return nil, fmt.Errorf("index: block holds %d floats, %d bags × dim %d need %d",
+			len(data), len(counts), dim, offsets[len(counts)]*dim)
+	}
+	x := &Index{
+		bagOffsets: offsets,
+		ids:        append([]string(nil), ids...),
+		labels:     append([]string(nil), labels...),
+		data:       data[:len(data):len(data)],
+	}
+	if len(counts) > 0 {
+		x.dim = dim
+	}
+	return x, nil
 }
 
 // Snapshot returns a scan view of the current contents. The view stays
@@ -190,10 +223,11 @@ func sortResults(rs []Result) {
 }
 
 // bagDist returns the minimum weighted squared distance from any instance of
-// bag bi to the query point, accumulating each instance's distance in
-// abandonBlock-sized runs of dimensions and abandoning once the partial sum
-// strictly exceeds thr (the min of the bag's best so far and the caller's
-// k-th best cutoff).
+// bag bi to the query point, evaluating each instance through the shared
+// blocked kernel (mat.WeightedSqDistPartial) and abandoning once the partial
+// sum strictly exceeds thr (the min of the bag's current best instance and
+// the caller's k-th best cutoff). Using the one kernel everywhere is what
+// keeps flat and naive rankings bit-identical by construction.
 //
 // Exactness contract: when the true bag distance is ≤ cutoff, the returned
 // value is bit-identical to the unpruned scan (same accumulation order, and
@@ -202,52 +236,8 @@ func sortResults(rs []Result) {
 // value may overshoot but is still > cutoff, so a top-k scan discards the
 // bag either way.
 func (s Snapshot) bagDist(q Query, bi int, cutoff float64, prune bool) float64 {
-	dim := s.dim
-	p, w := q.Point, q.Weights
-	best := math.Inf(1)
 	lo, hi := s.bagOffsets[bi], s.bagOffsets[bi+1]
-	for r := lo; r < hi; r++ {
-		row := s.data[r*dim : (r+1)*dim]
-		thr := best
-		if cutoff < thr {
-			thr = cutoff
-		}
-		var sum float64
-		if prune && !math.IsInf(thr, 1) {
-			k, abandoned := 0, false
-			for k < dim {
-				end := k + abandonBlock
-				if end > dim {
-					end = dim
-				}
-				// Subslicing lets the compiler drop the bounds checks in
-				// the accumulation loop.
-				rb, pb, wb := row[k:end], p[k:end:end], w[k:end:end]
-				for b, x := range rb {
-					d := pb[b] - x
-					sum += wb[b] * d * d
-				}
-				k = end
-				if sum > thr {
-					abandoned = true
-					break
-				}
-			}
-			if abandoned {
-				continue
-			}
-		} else {
-			pb, wb := p[:dim:dim], w[:dim:dim]
-			for k, x := range row {
-				d := pb[k] - x
-				sum += wb[k] * d * d
-			}
-		}
-		if sum < best {
-			best = sum
-		}
-	}
-	return best
+	return mat.MinWeightedSqDistRows(q.Point, q.Weights, s.data[lo*s.dim:hi*s.dim], cutoff, prune)
 }
 
 // parallelism clamps the requested worker count to [1, nBags].
@@ -396,20 +386,7 @@ func (s Snapshot) TopK(q Query, k int, exclude map[string]bool, par int) []Resul
 					cutoff = h[0].Dist
 				}
 				d := s.bagDist(q, i, cutoff, prune)
-				r := Result{ID: s.ids[i], Label: s.labels[i], Dist: d}
-				if len(h) < k {
-					h.push(r)
-					if len(h) == k {
-						shared.tighten(h[0].Dist)
-					}
-					continue
-				}
-				if worse(r, h[0]) {
-					continue
-				}
-				h[0] = r
-				h.fixRoot()
-				shared.tighten(h[0].Dist)
+				h.offer(Result{ID: s.ids[i], Label: s.labels[i], Dist: d}, k, shared)
 			}
 			heaps[w] = h
 		}(w, lo, hi)
@@ -427,10 +404,202 @@ func (s Snapshot) TopK(q Query, k int, exclude map[string]bool, par int) []Resul
 	return merged
 }
 
+// MultiTopK scores B queries against the snapshot in one pass over the
+// instance block and returns, per query, exactly the results TopK would
+// return for it. Scanning all queries bag by bag amortizes memory traffic:
+// a bag's rows are pulled into cache once and scored against every concept
+// while they are resident, instead of streaming the whole block from memory
+// B times — the win false-positive mining (several candidate concepts per
+// training round) and multi-user serving both need.
+//
+// Exactness: every query keeps its own per-worker heaps and its own shared
+// k-th-best cutoff, so its pruning decisions and reported distances are
+// governed by the same invariants as a standalone TopK scan (see
+// sharedCutoff and bagDist); the queries never influence each other's
+// results, only their memory locality.
+func (s Snapshot) MultiTopK(qs []Query, k int, exclude map[string]bool, par int) [][]Result {
+	nq := len(qs)
+	if nq == 0 {
+		return nil
+	}
+	outs := make([][]Result, nq)
+	if k <= 0 {
+		return outs
+	}
+	n := s.Len()
+	if n == 0 {
+		return outs
+	}
+	if k >= n {
+		// Degenerate: every candidate survives, so batching buys nothing;
+		// match TopK's exact behavior per query.
+		for qi, q := range qs {
+			outs[qi] = s.Rank(q, exclude, par)
+		}
+		return outs
+	}
+	if nq > mat.ScreenMaxConcepts {
+		// The fused screen reports survivors in a uint64 mask; larger
+		// batches run as chunks, each still amortizing the block walk.
+		for lo := 0; lo < nq; lo += mat.ScreenMaxConcepts {
+			hi := lo + mat.ScreenMaxConcepts
+			if hi > nq {
+				hi = nq
+			}
+			copy(outs[lo:hi], s.MultiTopK(qs[lo:hi], k, exclude, par))
+		}
+		return outs
+	}
+	prune := make([]bool, nq)
+	for qi, q := range qs {
+		q.check(s.dim)
+		prune[qi] = q.prunable()
+	}
+	// Pack the concepts' first blocks compactly for the fused screening
+	// kernel; built once, read-only across workers.
+	dim := s.dim
+	points := make([][]float64, nq)
+	weights := make([][]float64, nq)
+	for qi, q := range qs {
+		points[qi] = q.Point
+		weights[qi] = q.Weights
+	}
+	pblk, wblk := mat.ScreenBlocks(points, weights)
+	par = parallelism(par, n)
+	shared := make([]*sharedCutoff, nq)
+	for qi := range shared {
+		shared[qi] = newSharedCutoff()
+	}
+	// heaps[w][qi] is worker w's current best-k for query qi.
+	heaps := make([][]resultMaxHeap, par)
+	var wg sync.WaitGroup
+	chunk := (n + par - 1) / par
+	for w := 0; w < par; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			hs := make([]resultMaxHeap, nq)
+			for qi := range hs {
+				hs[qi] = make(resultMaxHeap, 0, k)
+			}
+			screen := make([]float64, nq)
+			bests := make([]float64, nq)
+			cutoffs := make([]float64, nq)
+			thrs := make([]float64, nq)
+			inf := math.Inf(1)
+			exact := dim <= mat.KernelBlock
+			for i := lo; i < hi; i++ {
+				if exclude[s.ids[i]] {
+					continue
+				}
+				// Per-concept cutoffs are loaded once per bag, exactly as a
+				// standalone TopK worker passes its cutoff into bagDist.
+				// thrs caches min(bag best, cutoff) — the abandon threshold
+				// the kernel compares against — and is refreshed only when a
+				// concept's bag best improves. Non-prunable concepts keep
+				// thr = +Inf so no row is ever abandoned for them.
+				for qi := range qs {
+					c := shared[qi].load()
+					if h := hs[qi]; len(h) == k && h[0].Dist < c {
+						c = h[0].Dist
+					}
+					cutoffs[qi] = c
+					bests[qi] = inf
+					if prune[qi] {
+						thrs[qi] = c
+					} else {
+						thrs[qi] = inf
+					}
+				}
+				// One pass per row: the fused kernel screens every concept's
+				// first block while the row is register/L1-hot and reports
+				// survivors in a bitmask, so a row no concept wants costs
+				// one call and one branch. Survivors pay for a full
+				// (bit-identical) kernel evaluation. The decisions and
+				// values reproduce bagDist exactly: same thresholds, same
+				// block boundaries, same accumulation.
+				lo2, hi2 := s.bagOffsets[i], s.bagOffsets[i+1]
+				for r := lo2; r < hi2; r++ {
+					row := s.data[r*dim : (r+1)*dim]
+					m := mat.WeightedSqDistFirstBlock(pblk, wblk, nq, row, thrs, screen)
+					for ; m != 0; m &= m - 1 {
+						qi := bits.TrailingZeros64(m)
+						d := screen[qi]
+						if !exact {
+							// Resume the kernel after the screened first
+							// block — bit-identical to evaluating the row
+							// from scratch.
+							var abandoned bool
+							d, abandoned = mat.WeightedSqDistResume(
+								qs[qi].Point, row, qs[qi].Weights, mat.KernelBlock, d, thrs[qi])
+							if abandoned {
+								continue
+							}
+						}
+						if d < bests[qi] {
+							bests[qi] = d
+							if prune[qi] && cutoffs[qi] > d {
+								thrs[qi] = d
+							}
+						}
+					}
+				}
+				for qi := range qs {
+					hs[qi].offer(Result{ID: s.ids[i], Label: s.labels[i], Dist: bests[qi]}, k, shared[qi])
+				}
+			}
+			heaps[w] = hs
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	for qi := range qs {
+		merged := make([]Result, 0, par*k)
+		for _, hs := range heaps {
+			if hs != nil {
+				merged = append(merged, hs[qi]...)
+			}
+		}
+		sortResults(merged)
+		if len(merged) > k {
+			merged = merged[:k]
+		}
+		outs[qi] = merged
+	}
+	return outs
+}
+
 // resultMaxHeap keeps the worst of the current best-k at the root. It is a
 // hand-rolled binary heap so the hot scan avoids container/heap's interface
 // dispatch and allocation.
 type resultMaxHeap []Result
+
+// offer folds one scored bag into a worker's best-k heap and publishes the
+// tightened k-th best to the shared cutoff. Both the single-query and the
+// batched scan loops route through this one implementation, so tie-breaking
+// and cutoff tightening cannot diverge between them.
+func (h *resultMaxHeap) offer(r Result, k int, shared *sharedCutoff) {
+	if len(*h) < k {
+		h.push(r)
+		if len(*h) == k {
+			shared.tighten((*h)[0].Dist)
+		}
+		return
+	}
+	if worse(r, (*h)[0]) {
+		return
+	}
+	(*h)[0] = r
+	h.fixRoot()
+	shared.tighten((*h)[0].Dist)
+}
 
 func (h *resultMaxHeap) push(r Result) {
 	*h = append(*h, r)

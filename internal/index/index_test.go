@@ -137,7 +137,7 @@ func TestQueryDimMismatchPanics(t *testing.T) {
 func TestRankMatchesNaive(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		dim := 1 + r.Intn(40) // crosses the abandonBlock boundary both ways
+		dim := 1 + r.Intn(40) // crosses the mat.KernelBlock boundary both ways
 		x, bags, labels := randIndex(r, 1+r.Intn(60), dim, 4)
 		q := randQuery(r, dim)
 		exclude := map[string]bool{}
@@ -193,6 +193,138 @@ func TestTopKMatchesNaive(t *testing.T) {
 	}
 }
 
+// TestMultiTopKMatchesPerConceptTopK: the batched multi-concept scan must
+// return, for every query, exactly what its standalone TopK scan returns —
+// same bags, same order, same distance bits — across random corpora, random
+// query batches (including duplicates and non-prunable negative-weight
+// queries), random k shapes and random worker counts.
+func TestMultiTopKMatchesPerConceptTopK(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(40)
+		n := 1 + r.Intn(60)
+		x, bags, _ := randIndex(r, n, dim, 4)
+		nq := 1 + r.Intn(6)
+		qs := make([]Query, nq)
+		for qi := range qs {
+			qs[qi] = randQuery(r, dim)
+			if r.Intn(4) == 0 {
+				// Non-prunable query: pruning must be disabled for this
+				// query only, without perturbing its neighbors.
+				qs[qi].Weights[r.Intn(dim)] *= -1
+			}
+		}
+		if nq > 1 && r.Intn(3) == 0 {
+			qs[nq-1] = qs[0] // duplicate concepts must be independent
+		}
+		exclude := map[string]bool{}
+		for id := range bags {
+			if r.Intn(6) == 0 {
+				exclude[id] = true
+			}
+		}
+		for _, k := range []int{1, 1 + r.Intn(n), n + 3} {
+			got := x.Snapshot().MultiTopK(qs, k, exclude, 1+r.Intn(8))
+			if len(got) != nq {
+				t.Logf("seed %d: %d result lists for %d queries", seed, len(got), nq)
+				return false
+			}
+			for qi, q := range qs {
+				want := x.Snapshot().TopK(q, k, exclude, 1+r.Intn(8))
+				if !reflect.DeepEqual(got[qi], want) {
+					t.Logf("seed %d k=%d query %d:\ngot  %v\nwant %v", seed, k, qi, got[qi], want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiTopKEdgeCases(t *testing.T) {
+	if got := (Snapshot{}).MultiTopK(nil, 5, nil, 0); got != nil {
+		t.Fatalf("no queries = %v", got)
+	}
+	r := rand.New(rand.NewSource(3))
+	x, _, _ := randIndex(r, 8, 6, 3)
+	qs := []Query{randQuery(r, 6), randQuery(r, 6)}
+	got := x.Snapshot().MultiTopK(qs, 0, nil, 2)
+	if len(got) != 2 || got[0] != nil || got[1] != nil {
+		t.Fatalf("k=0 = %v", got)
+	}
+	empty := New().Snapshot().MultiTopK([]Query{{}}, 3, nil, 1)
+	if len(empty) != 1 || empty[0] != nil {
+		t.Fatalf("empty snapshot = %v", empty)
+	}
+}
+
+// TestFromFlatMatchesAppend: an index adopting a flat block must scan
+// identically to one built by appending the same bags, and appending after
+// adoption must not disturb the adopted data.
+func TestFromFlatMatchesAppend(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	dim := 9
+	x, bags, labels := randIndex(r, 25, dim, 4)
+	snap := x.Snapshot()
+
+	// Rebuild the flat block in the appended index's bag order.
+	var data []float64
+	var counts []int
+	var ids, lbs []string
+	for i := 0; i < x.Len(); i++ {
+		id := x.ids[i]
+		ids = append(ids, id)
+		lbs = append(lbs, labels[id])
+		counts = append(counts, len(bags[id]))
+		for _, inst := range bags[id] {
+			data = append(data, inst...)
+		}
+	}
+	adopted, err := FromFlat(dim, data, counts, ids, lbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &adopted.data[0] != &data[0] {
+		t.Fatal("FromFlat copied the block instead of adopting it")
+	}
+	q := randQuery(r, dim)
+	if !reflect.DeepEqual(adopted.Snapshot().Rank(q, nil, 3), snap.Rank(q, nil, 3)) {
+		t.Fatal("adopted index ranks differently from appended index")
+	}
+
+	// Append after adoption: new bag visible, adopted block untouched.
+	extra := []mat.Vector{make(mat.Vector, dim)}
+	if err := adopted.Append("zzz-new", "l", extra); err != nil {
+		t.Fatal(err)
+	}
+	if adopted.Len() != x.Len()+1 || &data[0] == &adopted.data[0] && cap(adopted.data) == len(data) {
+		t.Fatalf("append after adoption: len %d", adopted.Len())
+	}
+	got := adopted.Snapshot().Rank(q, nil, 2)
+	if len(got) != x.Len()+1 {
+		t.Fatalf("post-append rank covers %d of %d", len(got), x.Len()+1)
+	}
+}
+
+func TestFromFlatValidation(t *testing.T) {
+	if _, err := FromFlat(2, []float64{1, 2, 3}, []int{1}, []string{"a"}, []string{"l"}); err == nil {
+		t.Fatal("wrong block size accepted")
+	}
+	if _, err := FromFlat(2, []float64{1, 2}, []int{0}, []string{"a"}, []string{"l"}); err == nil {
+		t.Fatal("zero instance count accepted")
+	}
+	if _, err := FromFlat(2, nil, []int{1}, []string{"a", "b"}, []string{"l"}); err == nil {
+		t.Fatal("mismatched parallel slices accepted")
+	}
+	x, err := FromFlat(0, nil, nil, nil, nil)
+	if err != nil || x.Len() != 0 {
+		t.Fatalf("empty FromFlat = %v, %v", x, err)
+	}
+}
+
 // TestNegativeWeightsDisablePruning: with a negative weight partial sums are
 // not monotone, so the scan must fall back to full accumulation and still
 // match the reference exactly.
@@ -218,7 +350,7 @@ func TestNegativeWeightsDisablePruning(t *testing.T) {
 // equality, which strict-> pruning must keep.
 func TestEarlyAbandonAdversarial(t *testing.T) {
 	x := New()
-	dim := 33 // not a multiple of abandonBlock
+	dim := 33 // not a multiple of mat.KernelBlock
 	mkInst := func(scale float64) mat.Vector {
 		v := make(mat.Vector, dim)
 		for k := range v {

@@ -1,0 +1,320 @@
+// The blocked weighted-squared-distance kernel. This is the single
+// implementation of Σ_k w_k (v_k − u_k)² used everywhere in the system — the
+// naive scorer (WeightedSqDist, core.Concept.SqDistTo), the Diverse Density
+// training hot loops, and the flat columnar scan in internal/index — so that
+// every path produces bit-identical distances by construction.
+//
+// Floating-point addition is not associative, so "the same value" requires
+// one fixed accumulation order. The kernel pins it:
+//
+//   - dimensions are consumed in blocks of KernelBlock (4);
+//   - within a full block, two independent accumulators take the strided
+//     element pairs (0,2) and (1,3) — breaking the loop-carried add
+//     dependency so the hardware can overlap the multiply-adds — and are
+//     folded as (s0 + s1) before being added to the running sum;
+//   - a trailing partial block (dim % 4 dimensions) is accumulated
+//     sequentially into one scalar by tailSqDist and then added to the
+//     running sum.
+//
+// A 4-dimension block beats the 8-wide variant on the scan workload: most
+// instances abandon at the very first threshold check, so the cost of an
+// abandoned row is one block, and halving the block halves it — while full
+// evaluations (training, Rank) measure the same within noise.
+//
+// The block body appears twice below — once in the single-vector loop
+// (weightedSqDistPartial) and once in the row-scanning loop
+// (MinWeightedSqDistRows). The duplication is deliberate: the body is too
+// large for the inliner, and a call per block of dimensions would cost more than
+// the unroll buys. The two copies MUST stay textually identical — same
+// expressions, same fold order — and kernel_test.go enforces bit-identical
+// results across every entry point, so any divergence fails the suite.
+//
+// The partial variants check the running sum against an abandon threshold
+// after every block. Because they share the block order, a non-abandoned
+// evaluation returns exactly the same bits as the full kernel, which is
+// what keeps pruned scans bit-identical to unpruned ones.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// KernelBlock is the number of dimensions accumulated between partial-sum
+// checks in the blocked kernel. Small enough that early abandonment fires
+// quickly on high-dimensional features, large enough to amortize the branch
+// over an unrolled inner step.
+const KernelBlock = 4
+
+// tailSqDist accumulates a trailing partial block (fewer than KernelBlock
+// dimensions) sequentially. All kernel loops delegate their tail here.
+func tailSqDist(v, u, w []float64) float64 {
+	var s float64
+	for i, x := range v {
+		d := x - u[i]
+		s += w[i] * d * d
+	}
+	return s
+}
+
+// WeightedSqDistBlocked returns Σ_k w_k (v_k − u_k)² using the blocked
+// multi-accumulator kernel. All three slices must share a length; this is
+// the canonical full evaluation every scoring path reduces to.
+func WeightedSqDistBlocked(v, u, w []float64) float64 {
+	mustSameLen(len(v), len(u))
+	mustSameLen(len(v), len(w))
+	s, _ := weightedSqDistPartial(v, u, w, math.Inf(1))
+	return s
+}
+
+// WeightedSqDistPartial evaluates the blocked kernel with an abandon
+// threshold: after each KernelBlock-sized block the running sum is compared
+// against thr, and the evaluation stops early (abandoned=true) once
+// sum > thr. Callers use it for exact pruned scans:
+//
+//   - when abandoned is false, sum is bit-identical to
+//     WeightedSqDistBlocked(v, u, w) — same blocks, same fold order;
+//   - when abandoned is true, sum > thr, and if every weight is
+//     non-negative the full distance is ≥ sum (adding non-negative terms
+//     never decreases a float64 sum), so the true distance also exceeds thr.
+//
+// Strict inequality means a distance exactly equal to thr is never
+// abandoned, preserving tie-breaking at top-k boundaries. Negative weights
+// break the monotonicity argument; callers disable pruning for them by
+// passing thr = +Inf.
+func WeightedSqDistPartial(v, u, w []float64, thr float64) (sum float64, abandoned bool) {
+	mustSameLen(len(v), len(u))
+	mustSameLen(len(v), len(w))
+	return weightedSqDistPartial(v, u, w, thr)
+}
+
+// WeightedSqDistResume continues the canonical kernel loop from dimension
+// offset start — which must be a multiple of KernelBlock at most len(v) —
+// with the partial sum accumulated so far. Because it runs the very same
+// loop from that offset, Resume(v, u, w, KernelBlock, firstBlockSum, thr)
+// is bit-identical to WeightedSqDistPartial(v, u, w, thr) whenever
+// firstBlockSum is the kernel's own first-block sum (e.g. from
+// WeightedSqDistFirstBlock) — this is how the batched scan picks up a
+// screened row without redoing its first block.
+func WeightedSqDistResume(v, u, w []float64, start int, sum, thr float64) (float64, bool) {
+	mustSameLen(len(v), len(u))
+	mustSameLen(len(v), len(w))
+	if start%KernelBlock != 0 || start < 0 || start > len(v) {
+		panic(fmt.Sprintf("mat: resume offset %d not a block boundary of dim %d", start, len(v)))
+	}
+	return weightedSqDistResume(v, u, w, start, sum, thr)
+}
+
+// weightedSqDistPartial is the single-vector kernel loop. It assumes the
+// slices have equal length. Its block body is the canonical one; the loop in
+// MinWeightedSqDistRows carries an exact copy (see the package comment).
+func weightedSqDistPartial(v, u, w []float64, thr float64) (float64, bool) {
+	return weightedSqDistResume(v, u, w, 0, 0, thr)
+}
+
+// weightedSqDistResume is the shared single-vector loop body behind both
+// WeightedSqDistPartial (start 0) and WeightedSqDistResume.
+func weightedSqDistResume(v, u, w []float64, start int, sum float64, thr float64) (float64, bool) {
+	n := len(v)
+	// Reslicing to the common length lets the compiler drop redundant
+	// bounds checks inside the loop.
+	u = u[:n]
+	w = w[:n]
+	i := start
+	for ; i+KernelBlock <= n; i += KernelBlock {
+		vb := (*[KernelBlock]float64)(v[i:])
+		ub := (*[KernelBlock]float64)(u[i:])
+		wb := (*[KernelBlock]float64)(w[i:])
+		d0 := vb[0] - ub[0]
+		d1 := vb[1] - ub[1]
+		d2 := vb[2] - ub[2]
+		d3 := vb[3] - ub[3]
+		s0 := wb[0]*d0*d0 + wb[2]*d2*d2
+		s1 := wb[1]*d1*d1 + wb[3]*d3*d3
+		sum += s0 + s1
+		if sum > thr {
+			return sum, true
+		}
+	}
+	if i < n {
+		sum += tailSqDist(v[i:], u[i:], w[i:])
+		if sum > thr {
+			return sum, true
+		}
+	}
+	return sum, false
+}
+
+// ScreenMaxConcepts bounds how many concepts one WeightedSqDistFirstBlock
+// call can screen: survivors are reported in a uint64 bitmask.
+const ScreenMaxConcepts = 64
+
+// ScreenBlocks packs the first kernel block of every concept into two
+// compact arrays for WeightedSqDistFirstBlock: pblk/wblk hold, for each
+// concept c, its point and weight values for dimensions
+// [0, min(dim, KernelBlock)), contiguously. Compacting keeps the whole
+// screen working set in a handful of cache lines regardless of dim.
+func ScreenBlocks(points, weights [][]float64) (pblk, wblk []float64) {
+	if len(points) == 0 {
+		return nil, nil
+	}
+	stride := len(points[0])
+	if stride > KernelBlock {
+		stride = KernelBlock
+	}
+	pblk = make([]float64, 0, len(points)*stride)
+	wblk = make([]float64, 0, len(points)*stride)
+	for c := range points {
+		pblk = append(pblk, points[c][:stride]...)
+		wblk = append(wblk, weights[c][:stride]...)
+	}
+	return pblk, wblk
+}
+
+// WeightedSqDistFirstBlock computes, for each of nq ≤ ScreenMaxConcepts
+// concepts whose first blocks are packed in pblk/wblk (see ScreenBlocks;
+// concept c occupies [c*stride : (c+1)*stride] with
+// stride = min(len(row), KernelBlock)), the kernel's partial sum for this
+// row after the first block: out[c] is bit-identical to the sum
+// WeightedSqDistPartial(pc, row, wc, ·) holds at its first threshold check
+// (equivalently, to its sum result with thr = −Inf). When
+// len(row) ≤ KernelBlock that first check happens after the sequential
+// tail, so out[c] is the exact full distance. The returned mask has bit c
+// set iff out[c] ≤ thrs[c] — the concepts for which the row survives its
+// first abandon check (strict >, matching the partial kernel, so ties
+// survive).
+//
+// This is the screening primitive of the batched multi-concept scan: the
+// row is loaded once, every concept's first block is evaluated as
+// straight-line code, and the comparisons are folded into the same pass, so
+// the common case — every concept abandons the row immediately — costs one
+// kernel call and a single mask==0 branch in the caller. The block
+// expressions are an exact copy of the canonical body (v→p, u→row); keep
+// them in lockstep, kernel_test.go enforces the bit-identity.
+func WeightedSqDistFirstBlock(pblk, wblk []float64, nq int, row, thrs, out []float64) uint64 {
+	dim := len(row)
+	if nq > ScreenMaxConcepts {
+		panic(fmt.Sprintf("mat: %d concepts exceeds screen limit %d", nq, ScreenMaxConcepts))
+	}
+	stride := dim
+	if stride > KernelBlock {
+		stride = KernelBlock
+	}
+	mustSameLen(len(pblk), nq*stride)
+	mustSameLen(len(pblk), len(wblk))
+	if len(out) < nq || len(thrs) < nq {
+		panic(fmt.Sprintf("mat: screen buffers %d/%d for %d concepts", len(out), len(thrs), nq))
+	}
+	var mask uint64
+	if dim >= KernelBlock {
+		rb := (*[KernelBlock]float64)(row)
+		x0, x1, x2, x3 := rb[0], rb[1], rb[2], rb[3]
+		for c := 0; c < nq; c++ {
+			base := c * KernelBlock
+			vb := (*[KernelBlock]float64)(pblk[base:])
+			wb := (*[KernelBlock]float64)(wblk[base:])
+			d0 := vb[0] - x0
+			d1 := vb[1] - x1
+			d2 := vb[2] - x2
+			d3 := vb[3] - x3
+			s0 := wb[0]*d0*d0 + wb[2]*d2*d2
+			s1 := wb[1]*d1*d1 + wb[3]*d3*d3
+			sum := s0 + s1
+			out[c] = sum
+			if sum <= thrs[c] {
+				mask |= 1 << uint(c)
+			}
+		}
+		return mask
+	}
+	for c := 0; c < nq; c++ {
+		base := c * stride
+		sum := tailSqDist(pblk[base:base+stride], row, wblk[base:base+stride])
+		out[c] = sum
+		if sum <= thrs[c] {
+			mask |= 1 << uint(c)
+		}
+	}
+	return mask
+}
+
+// MinWeightedSqDistRows returns the minimum, over the row-major instance
+// rows (len(rows) must be a multiple of len(p)), of the blocked weighted
+// squared distance from p to each row — the bag-to-concept distance of §3.5
+// evaluated in one call so the per-row kernel loops stay in registers
+// instead of paying a function call per instance.
+//
+// Each row is abandoned once its partial sum strictly exceeds
+// min(best so far, cutoff); prune=false disables abandonment entirely (for
+// callers whose weights contain negative entries, where partial sums are
+// not monotone). Abandoned rows cannot hold the minimum when the minimum is
+// ≤ cutoff, and completed rows carry bit-identical kernel values, so the
+// result equals the unpruned scan whenever it is ≤ cutoff and exceeds
+// cutoff otherwise. Returns +Inf for an empty rows slice.
+func MinWeightedSqDistRows(p, w, rows []float64, cutoff float64, prune bool) float64 {
+	dim := len(p)
+	mustSameLen(dim, len(w))
+	if dim == 0 {
+		if len(rows) != 0 {
+			panic("mat: zero-dimensional point with non-empty rows")
+		}
+		return math.Inf(1)
+	}
+	if len(rows)%dim != 0 {
+		panic(fmt.Sprintf("mat: rows length %d not a multiple of dim %d", len(rows), dim))
+	}
+	p = p[:dim:dim]
+	w = w[:dim:dim]
+	if !prune {
+		// With pruning off every row must be evaluated in full; an infinite
+		// cutoff makes min(best, cutoff) infinite too, so no row abandons.
+		cutoff = math.Inf(1)
+		best := math.Inf(1)
+		for r0 := 0; r0 < len(rows); r0 += dim {
+			row := rows[r0 : r0+dim : r0+dim]
+			sum, _ := weightedSqDistPartial(p, row, w, cutoff)
+			if sum < best {
+				best = sum
+			}
+		}
+		return best
+	}
+	best := math.Inf(1)
+rowLoop:
+	for r0 := 0; r0 < len(rows); r0 += dim {
+		row := rows[r0 : r0+dim : r0+dim]
+		thr := best
+		if cutoff < thr {
+			thr = cutoff
+		}
+		var sum float64
+		i := 0
+		for ; i+KernelBlock <= dim; i += KernelBlock {
+			// Exact copy of the canonical block body in
+			// weightedSqDistPartial — keep in lockstep.
+			vb := (*[KernelBlock]float64)(p[i:])
+			ub := (*[KernelBlock]float64)(row[i:])
+			wb := (*[KernelBlock]float64)(w[i:])
+			d0 := vb[0] - ub[0]
+			d1 := vb[1] - ub[1]
+			d2 := vb[2] - ub[2]
+			d3 := vb[3] - ub[3]
+			s0 := wb[0]*d0*d0 + wb[2]*d2*d2
+			s1 := wb[1]*d1*d1 + wb[3]*d3*d3
+			sum += s0 + s1
+			if sum > thr {
+				continue rowLoop
+			}
+		}
+		if i < dim {
+			sum += tailSqDist(p[i:], row[i:], w[i:])
+			if sum > thr {
+				continue rowLoop
+			}
+		}
+		if sum < best {
+			best = sum
+		}
+	}
+	return best
+}

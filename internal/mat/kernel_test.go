@@ -1,0 +1,335 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveWeightedSqDist is the straight sequential reference the kernel is
+// checked against for value (not bit) agreement.
+func naiveWeightedSqDist(v, u, w []float64) float64 {
+	var s float64
+	for i := range v {
+		d := v[i] - u[i]
+		s += w[i] * d * d
+	}
+	return s
+}
+
+func randTriple(r *rand.Rand, n int, negWeights bool) (v, u, w []float64) {
+	v = make([]float64, n)
+	u = make([]float64, n)
+	w = make([]float64, n)
+	for i := 0; i < n; i++ {
+		v[i] = r.NormFloat64()
+		u[i] = r.NormFloat64()
+		w[i] = r.Float64() * 2
+		if negWeights && r.Intn(4) == 0 {
+			w[i] = -w[i]
+		}
+	}
+	return
+}
+
+// TestKernelMatchesNaiveWithinTolerance: the blocked fold order may round
+// differently from the sequential loop, but only by a few ULPs.
+func TestKernelMatchesNaiveWithinTolerance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(70) // crosses the KernelBlock boundary both ways, incl. 0
+		v, u, w := randTriple(r, n, true)
+		got := WeightedSqDistBlocked(v, u, w)
+		want := naiveWeightedSqDist(v, u, w)
+		scale := math.Abs(want)
+		if scale < 1 {
+			scale = 1
+		}
+		return math.Abs(got-want) <= 1e-12*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeightedSqDistIsBlockedKernel: the public WeightedSqDist must be the
+// kernel, bit for bit — this is the cross-path identity every scan relies on.
+func TestWeightedSqDistIsBlockedKernel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(64)
+		v, u, w := randTriple(r, n, true)
+		return WeightedSqDist(v, u, w) == WeightedSqDistBlocked(v, u, w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartialExactness: for non-negative weights and any threshold, the
+// partial kernel either returns the full kernel's bits (not abandoned) or a
+// partial sum that strictly exceeds the threshold while the true distance
+// does too (abandoned).
+func TestPartialExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(70)
+		v, u, w := randTriple(r, n, false)
+		full := WeightedSqDistBlocked(v, u, w)
+		// Thresholds spanning never-abandon, always-abandon and the
+		// interesting middle, including thr == full (strictness check).
+		thrs := []float64{math.Inf(1), full, full * 0.99, full * 0.5, full * 0.1, 0}
+		for _, thr := range thrs {
+			sum, abandoned := WeightedSqDistPartial(v, u, w, thr)
+			if abandoned {
+				if !(sum > thr) {
+					t.Logf("abandoned with sum %v ≤ thr %v", sum, thr)
+					return false
+				}
+				if !(full > thr) {
+					t.Logf("abandoned but full %v ≤ thr %v", full, thr)
+					return false
+				}
+			} else if sum != full {
+				t.Logf("not abandoned but sum %v != full %v (thr %v)", sum, full, thr)
+				return false
+			}
+		}
+		// thr == full must never abandon: pruning is strict.
+		if _, abandoned := WeightedSqDistPartial(v, u, w, full); abandoned {
+			t.Log("abandoned at thr == full")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMinRowsMatchesSingleVectorKernel: the row-scanning loop must carry the
+// exact accumulation order of the single-vector loop — the bits of the
+// returned minimum must equal a per-row WeightedSqDistBlocked reference min,
+// for prunable and non-prunable weights, with and without cutoffs.
+func TestMinRowsMatchesSingleVectorKernel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(40)
+		nRows := r.Intn(6)
+		rows := make([]float64, nRows*dim)
+		for i := range rows {
+			rows[i] = r.NormFloat64()
+		}
+		negWeights := r.Intn(3) == 0
+		p, _, w := randTriple(r, dim, negWeights)
+		prune := true
+		for _, x := range w {
+			if x < 0 {
+				prune = false
+			}
+		}
+		// Reference: min over rows of the full kernel.
+		want := math.Inf(1)
+		for r0 := 0; r0 < len(rows); r0 += dim {
+			if d := WeightedSqDistBlocked(p, rows[r0:r0+dim], w); d < want {
+				want = d
+			}
+		}
+		// Unpruned and self-pruned scans must return the reference bits.
+		if got := MinWeightedSqDistRows(p, w, rows, math.Inf(1), false); got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+			t.Logf("unpruned min %v != reference %v", got, want)
+			return false
+		}
+		if got := MinWeightedSqDistRows(p, w, rows, math.Inf(1), prune); got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+			t.Logf("self-pruned min %v != reference %v", got, want)
+			return false
+		}
+		if !prune || nRows == 0 {
+			return true
+		}
+		// Under a cutoff: result ≤ cutoff must be exact; result > cutoff
+		// need only stay > cutoff.
+		for _, cutoff := range []float64{want, want * 1.5, want * 0.5, 0} {
+			got := MinWeightedSqDistRows(p, w, rows, cutoff, true)
+			if want <= cutoff {
+				if got != want {
+					t.Logf("cutoff %v: got %v want %v", cutoff, got, want)
+					return false
+				}
+			} else if !(got > cutoff) {
+				t.Logf("cutoff %v: got %v not above cutoff (true %v)", cutoff, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinRowsEdgeCases(t *testing.T) {
+	if got := MinWeightedSqDistRows(nil, nil, nil, 0, true); !math.IsInf(got, 1) {
+		t.Fatalf("empty point/rows = %v, want +Inf", got)
+	}
+	if got := MinWeightedSqDistRows([]float64{1}, []float64{1}, nil, 0, true); !math.IsInf(got, 1) {
+		t.Fatalf("no rows = %v, want +Inf", got)
+	}
+	for _, fn := range []func(){
+		func() { MinWeightedSqDistRows(nil, nil, []float64{1}, 0, true) },
+		func() { MinWeightedSqDistRows([]float64{1, 2}, []float64{1, 2}, []float64{1, 2, 3}, 0, true) },
+		func() { MinWeightedSqDistRows([]float64{1}, []float64{1, 2}, []float64{1}, 0, true) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid rows geometry did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestFirstBlockMatchesPartialKernel: the batched screening pass must
+// reproduce, bit for bit, the sum the single-vector partial kernel holds at
+// its first threshold check — which is exactly what WeightedSqDistPartial
+// returns with thr = −Inf (it abandons at the first opportunity).
+func TestFirstBlockMatchesPartialKernel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(20) // crosses the KernelBlock boundary both ways
+		nq := 1 + r.Intn(6)
+		row := make([]float64, dim)
+		for i := range row {
+			row[i] = r.NormFloat64()
+		}
+		points := make([][]float64, nq)
+		weights := make([][]float64, nq)
+		for c := range points {
+			points[c] = make([]float64, dim)
+			weights[c] = make([]float64, dim)
+			for i := range points[c] {
+				points[c][i] = r.NormFloat64()
+				weights[c][i] = r.Float64() * 2
+				if r.Intn(5) == 0 {
+					weights[c][i] = -weights[c][i]
+				}
+			}
+		}
+		pblk, wblk := ScreenBlocks(points, weights)
+		thrs := make([]float64, nq)
+		for c := range thrs {
+			// Thresholds spanning always-survive, never-survive and ties.
+			switch r.Intn(3) {
+			case 0:
+				thrs[c] = math.Inf(1)
+			case 1:
+				thrs[c] = math.Inf(-1)
+			default:
+				thrs[c] = r.NormFloat64()
+			}
+		}
+		out := make([]float64, nq)
+		mask := WeightedSqDistFirstBlock(pblk, wblk, nq, row, thrs, out)
+		for c := 0; c < nq; c++ {
+			want, _ := WeightedSqDistPartial(points[c], row, weights[c], math.Inf(-1))
+			if out[c] != want {
+				t.Logf("seed %d dim %d concept %d: screen %v, kernel first check %v", seed, dim, c, out[c], want)
+				return false
+			}
+			survived := mask&(1<<uint(c)) != 0
+			if survived != (out[c] <= thrs[c]) {
+				t.Logf("seed %d concept %d: mask bit %v for sum %v thr %v", seed, c, survived, out[c], thrs[c])
+				return false
+			}
+			// Resuming after the screened first block must reproduce the
+			// full kernel bits (the batched scan's survivor path).
+			if dim > KernelBlock {
+				fullWant, wantAb := WeightedSqDistPartial(points[c], row, weights[c], thrs[c])
+				got, gotAb := WeightedSqDistResume(points[c], row, weights[c], KernelBlock, out[c], thrs[c])
+				// Only comparable when the first block itself survived:
+				// Partial may abandon earlier than Resume can.
+				if out[c] <= thrs[c] && (got != fullWant || gotAb != wantAb) {
+					t.Logf("seed %d concept %d: resume (%v,%v) vs partial (%v,%v)", seed, c, got, gotAb, fullWant, wantAb)
+					return false
+				}
+			}
+		}
+		// A tie with the threshold must survive (strict-> abandon).
+		thrs[0] = out[0]
+		mask = WeightedSqDistFirstBlock(pblk, wblk, nq, row, thrs, out)
+		if mask&1 == 0 {
+			t.Logf("seed %d: threshold tie did not survive", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstBlockValidation(t *testing.T) {
+	one := []float64{1}
+	for _, fn := range []func(){
+		func() { WeightedSqDistFirstBlock(one, []float64{1, 2}, 1, one, one, one) },
+		func() { WeightedSqDistFirstBlock([]float64{1, 2}, []float64{1, 2}, 1, one, one, one) },
+		func() { WeightedSqDistFirstBlock(one, one, 1, one, one, nil) },
+		func() { WeightedSqDistFirstBlock(one, one, 1, one, nil, one) },
+		func() {
+			big := make([]float64, (ScreenMaxConcepts+1)*1)
+			WeightedSqDistFirstBlock(big, big, ScreenMaxConcepts+1, one, big, big)
+		},
+		func() { WeightedSqDistResume(one, one, one, 3, 0, 0) }, // not a block boundary
+		func() { WeightedSqDistResume(one, one, one, KernelBlock*2, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid screen geometry did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestKernelDimMismatchPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { WeightedSqDistBlocked([]float64{1}, []float64{1, 2}, []float64{1}) },
+		func() { WeightedSqDistBlocked([]float64{1}, []float64{1}, []float64{1, 2}) },
+		func() { WeightedSqDistPartial([]float64{1, 2}, []float64{1}, []float64{1, 2}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("dimension mismatch did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestKernelEmptyAndZero(t *testing.T) {
+	if got := WeightedSqDistBlocked(nil, nil, nil); got != 0 {
+		t.Fatalf("empty kernel = %v", got)
+	}
+	sum, abandoned := WeightedSqDistPartial(nil, nil, nil, -1)
+	if sum != 0 || abandoned {
+		t.Fatalf("empty partial = %v, %v", sum, abandoned)
+	}
+}
+
+func BenchmarkWeightedSqDist100(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	v, u, w := randTriple(r, 100, false)
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += WeightedSqDistBlocked(v, u, w)
+	}
+	_ = sink
+}

@@ -206,16 +206,11 @@ func SqDist(v, u Vector) float64 {
 
 // WeightedSqDist returns Σ_k w_k (v_k − u_k)², the weighted squared
 // Euclidean distance of §2.2.1 with the weights supplied directly (callers
-// that use the w² parametrization square before calling).
+// that use the w² parametrization square before calling). It delegates to
+// the blocked kernel (kernel.go), the single implementation shared with the
+// flat columnar scan so all scoring paths agree bit-for-bit.
 func WeightedSqDist(v, u, w Vector) float64 {
-	mustSameLen(len(v), len(u))
-	mustSameLen(len(v), len(w))
-	var s float64
-	for i, x := range v {
-		d := x - u[i]
-		s += w[i] * d * d
-	}
-	return s
+	return WeightedSqDistBlocked(v, u, w)
 }
 
 // Equal reports whether v and u have the same length and every pair of

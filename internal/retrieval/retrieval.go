@@ -66,6 +66,49 @@ func NewDatabase() *Database {
 	return &Database{byID: make(map[string]int), idx: index.New()}
 }
 
+// NewDatabaseFromFlat constructs a database whose scoring index adopts the
+// given row-major instance block instead of re-copying every bag — the
+// zero-copy open path. items[i].Bag's instances must be, in order, views
+// into data (the store's flat loader guarantees this); construction does
+// O(items) validation and never touches the instance floats, so opening a
+// saved database costs O(bags) instead of O(instances·dim). Later Adds
+// behave exactly as on an incrementally built database.
+func NewDatabaseFromFlat(items []Item, dim int, data []float64) (*Database, error) {
+	db := NewDatabase()
+	if len(items) == 0 {
+		if len(data) != 0 {
+			return nil, fmt.Errorf("retrieval: %d floats adopted with no items", len(data))
+		}
+		return db, nil
+	}
+	counts := make([]int, len(items))
+	ids := make([]string, len(items))
+	labels := make([]string, len(items))
+	for i, it := range items {
+		if it.Bag == nil {
+			return nil, fmt.Errorf("retrieval: item %q has nil bag", it.ID)
+		}
+		if d := it.Bag.Dim(); d != dim {
+			return nil, fmt.Errorf("retrieval: item %q dim %d, database dim %d", it.ID, d, dim)
+		}
+		if _, dup := db.byID[it.ID]; dup {
+			return nil, fmt.Errorf("retrieval: duplicate item ID %q", it.ID)
+		}
+		db.byID[it.ID] = i
+		counts[i] = len(it.Bag.Instances)
+		ids[i] = it.ID
+		labels[i] = it.Label
+	}
+	idx, err := index.FromFlat(dim, data, counts, ids, labels)
+	if err != nil {
+		return nil, err
+	}
+	db.items = append(db.items, items...)
+	db.dim = dim
+	db.idx = idx
+	return db, nil
+}
+
 // Add appends an item. The first item fixes the feature dimensionality;
 // later items must match it, and IDs must be unique.
 func (db *Database) Add(item Item) error {
@@ -238,6 +281,36 @@ func TopK(db *Database, s Scorer, k int, opts Options) []Result {
 	out := make([]Result, h.Len())
 	for i := len(out) - 1; i >= 0; i-- {
 		out[i] = heap.Pop(h).(Result)
+	}
+	return out
+}
+
+// TopKMany returns, for each scorer, its k best matches in ascending
+// distance order — element i equals TopK(db, scorers[i], k, opts) exactly.
+// When every scorer exposes point/weight geometry the flat index is scanned
+// once for the whole batch (index.MultiTopK), loading each instance row
+// into cache one time for all concepts instead of streaming the block once
+// per concept; otherwise each scorer falls back to its own scan.
+func TopKMany(db *Database, scorers []Scorer, k int, opts Options) [][]Result {
+	if len(scorers) == 0 {
+		return nil
+	}
+	qs := make([]index.Query, len(scorers))
+	allFlat := true
+	for i, s := range scorers {
+		q, ok := query(db, s)
+		if !ok {
+			allFlat = false
+			break
+		}
+		qs[i] = q
+	}
+	if allFlat {
+		return db.snapshot().MultiTopK(qs, k, opts.Exclude, opts.Parallelism)
+	}
+	out := make([][]Result, len(scorers))
+	for i, s := range scorers {
+		out[i] = TopK(db, s, k, opts)
 	}
 	return out
 }

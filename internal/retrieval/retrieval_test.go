@@ -322,6 +322,110 @@ func TestQuickFlatTopKMatchesNaive(t *testing.T) {
 	}
 }
 
+// TestNewDatabaseFromFlat: a database adopting a flat block must rank
+// identically to one built by Add, keep serving after post-load Adds, and
+// reject inconsistent geometry.
+func TestNewDatabaseFromFlat(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	dim := 7
+	added := randDB(t, r, 20, dim, 3)
+
+	items := added.Items()
+	var data []float64
+	for _, it := range items {
+		for _, inst := range it.Bag.Instances {
+			data = append(data, inst...)
+		}
+	}
+	adopted, err := NewDatabaseFromFlat(items, dim, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, flat := randScorerPair(r, dim)
+	if !reflect.DeepEqual(Rank(adopted, flat, Options{}), Rank(added, flat, Options{})) {
+		t.Fatal("adopted database ranks differently (flat path)")
+	}
+	if !reflect.DeepEqual(Rank(adopted, naive, Options{}), Rank(added, naive, Options{})) {
+		t.Fatal("adopted database ranks differently (fallback path)")
+	}
+
+	if err := adopted.Add(item("post-load", "l", make(mat.Vector, dim))); err != nil {
+		t.Fatal(err)
+	}
+	if adopted.Len() != added.Len()+1 {
+		t.Fatalf("post-load Add: len %d", adopted.Len())
+	}
+	if _, ok := adopted.ByID("post-load"); !ok {
+		t.Fatal("post-load item not found")
+	}
+
+	if _, err := NewDatabaseFromFlat(items, dim, data[:len(data)-1]); err == nil {
+		t.Fatal("short block accepted")
+	}
+	if _, err := NewDatabaseFromFlat([]Item{items[0], items[0]}, dim, nil); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+	if _, err := NewDatabaseFromFlat(nil, 0, []float64{1}); err == nil {
+		t.Fatal("orphan block accepted")
+	}
+	empty, err := NewDatabaseFromFlat(nil, 0, nil)
+	if err != nil || empty.Len() != 0 {
+		t.Fatalf("empty adoption = %v, %v", empty, err)
+	}
+}
+
+// Property: TopKMany equals per-scorer TopK — on the batched flat path
+// when every scorer exposes geometry, and on the fallback path when any
+// scorer hides it (a mixed batch must fall back for everyone rather than
+// reorder results).
+func TestQuickTopKManyMatchesTopK(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(30)
+		n := 1 + r.Intn(40)
+		db := randWeightedDB(t, r, n, dim, 3)
+		nq := 1 + r.Intn(5)
+		scorers := make([]Scorer, nq)
+		for i := range scorers {
+			naive, flat := randScorerPair(r, dim)
+			if r.Intn(4) == 0 {
+				scorers[i] = naive // geometry hidden: whole batch falls back
+			} else {
+				scorers[i] = flat
+			}
+		}
+		exclude := map[string]bool{}
+		for i := 0; i < db.Len(); i++ {
+			if r.Intn(6) == 0 {
+				exclude[db.Get(i).ID] = true
+			}
+		}
+		opts := Options{Exclude: exclude, Parallelism: 1 + r.Intn(8)}
+		k := 1 + r.Intn(n+4)
+		many := TopKMany(db, scorers, k, opts)
+		if len(many) != nq {
+			return false
+		}
+		for i, s := range scorers {
+			if !reflect.DeepEqual(many[i], TopK(db, s, k, opts)) {
+				t.Logf("seed %d scorer %d diverged", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKManyEmpty(t *testing.T) {
+	db := buildDB(t, item("a", "l", mat.Vector{1, 2}))
+	if got := TopKMany(db, nil, 5, Options{}); got != nil {
+		t.Fatalf("empty scorer batch = %v", got)
+	}
+}
+
 // The flat path must also match when ties are dense: identical bags rank
 // purely by ID on both paths.
 func TestFlatTieBreaksMatchNaive(t *testing.T) {

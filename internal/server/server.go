@@ -6,6 +6,7 @@
 //	GET  /v1/images            → list of {id, label}
 //	GET  /v1/images/{id}       → one image's metadata
 //	POST /v1/query             → train on examples and rank
+//	POST /v1/retrieve/batch    → rank several concept geometries in one scan
 //	GET  /v1/stats             → flat scoring-index size metrics
 //	GET  /v1/healthz           → liveness probe
 //
@@ -41,15 +42,19 @@ type Server struct {
 	mux *http.ServeMux
 	// MaxK bounds a single query's result size (default 1000).
 	MaxK int
+	// MaxBatchConcepts bounds how many concepts one /v1/retrieve/batch
+	// request may carry (default 64).
+	MaxBatchConcepts int
 }
 
 // New builds a server around the database.
 func New(db *milret.Database) *Server {
-	s := &Server{db: db, mux: http.NewServeMux(), MaxK: 1000}
+	s := &Server{db: db, mux: http.NewServeMux(), MaxK: 1000, MaxBatchConcepts: 64}
 	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/images", s.handleImages)
 	s.mux.HandleFunc("/v1/images/", s.handleImage)
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/retrieve/batch", s.handleRetrieveBatch)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	return s
 }
@@ -74,6 +79,17 @@ type QueryRequest struct {
 	Alpha           float64  `json:"alpha"`
 	Beta            float64  `json:"beta"`
 	ExcludeExamples bool     `json:"exclude_examples"`
+	// ReturnConcept asks for the trained concept's geometry in the reply,
+	// so the client can replay it (here or on another replica) through
+	// /v1/retrieve/batch without retraining.
+	ReturnConcept bool `json:"return_concept"`
+}
+
+// ConceptGeometry is a trained concept's point and weights as carried over
+// the wire: the exact inputs NewConcept/RetrieveMany accept.
+type ConceptGeometry struct {
+	Point   []float64 `json:"point"`
+	Weights []float64 `json:"weights"`
 }
 
 // QueryResult is one ranked hit.
@@ -85,9 +101,25 @@ type QueryResult struct {
 
 // QueryResponse is the /v1/query reply.
 type QueryResponse struct {
-	Results  []QueryResult `json:"results"`
-	NegLogDD float64       `json:"neg_log_dd"`
-	TrainMS  int64         `json:"train_ms"`
+	Results  []QueryResult    `json:"results"`
+	NegLogDD float64          `json:"neg_log_dd"`
+	TrainMS  int64            `json:"train_ms"`
+	Concept  *ConceptGeometry `json:"concept,omitempty"`
+}
+
+// BatchRetrieveRequest is the /v1/retrieve/batch body: pre-trained concept
+// geometries to rank against the database in one batched scan.
+type BatchRetrieveRequest struct {
+	Concepts []ConceptGeometry `json:"concepts"`
+	K        int               `json:"k"`
+	Exclude  []string          `json:"exclude"`
+}
+
+// BatchRetrieveResponse is the /v1/retrieve/batch reply: one ranking per
+// requested concept, in request order.
+type BatchRetrieveResponse struct {
+	Results [][]QueryResult `json:"results"`
+	ScanMS  int64           `json:"scan_ms"`
 }
 
 type errorBody struct {
@@ -197,8 +229,75 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	hits := s.db.RetrieveExcluding(concept, k, exclude)
 	resp := QueryResponse{NegLogDD: concept.NegLogDD(), TrainMS: trainMS}
+	if req.ReturnConcept {
+		resp.Concept = &ConceptGeometry{Point: concept.Point(), Weights: concept.Weights()}
+	}
 	for _, h := range hits {
 		resp.Results = append(resp.Results, QueryResult{ID: h.ID, Label: h.Label, Distance: h.Distance})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRetrieveBatch ranks several pre-trained concept geometries in one
+// batched pass over the scoring index (Database.RetrieveMany). This is the
+// serving-side half of train-once/replay-anywhere: clients obtain geometries
+// from /v1/query with return_concept, or train offline, then score many
+// users' concepts per scan.
+func (s *Server) handleRetrieveBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"POST only"})
+		return
+	}
+	var req BatchRetrieveRequest
+	// Budget ~16KB of JSON per 100-dim concept; 8MB comfortably covers the
+	// 64-concept default cap.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad request: %v", err)})
+		return
+	}
+	if len(req.Concepts) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{"at least one concept required"})
+		return
+	}
+	if len(req.Concepts) > s.MaxBatchConcepts {
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{fmt.Sprintf("%d concepts exceeds the limit of %d", len(req.Concepts), s.MaxBatchConcepts)})
+		return
+	}
+	k := req.K
+	if k <= 0 {
+		k = 20
+	}
+	if k > s.MaxK {
+		k = s.MaxK
+	}
+	concepts := make([]*milret.Concept, len(req.Concepts))
+	for i, g := range req.Concepts {
+		c, err := milret.NewConcept(g.Point, g.Weights)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("concept %d: %v", i, err)})
+			return
+		}
+		concepts[i] = c
+	}
+	start := time.Now()
+	rankings, err := s.db.RetrieveMany(concepts, k, req.Exclude)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	resp := BatchRetrieveResponse{
+		Results: make([][]QueryResult, len(rankings)),
+		ScanMS:  time.Since(start).Milliseconds(),
+	}
+	for i, hits := range rankings {
+		rs := make([]QueryResult, 0, len(hits))
+		for _, h := range hits {
+			rs = append(rs, QueryResult{ID: h.ID, Label: h.Label, Distance: h.Distance})
+		}
+		resp.Results[i] = rs
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -154,6 +155,101 @@ func TestQueryEndToEnd(t *testing.T) {
 	}
 	if resp.TrainMS < 0 {
 		t.Fatalf("negative training time")
+	}
+}
+
+// TestRetrieveBatchEndToEnd drives the train-once/replay pattern: train via
+// /v1/query with return_concept, then replay the geometry (twice) through
+// /v1/retrieve/batch and check both rankings equal the training query's.
+func TestRetrieveBatchEndToEnd(t *testing.T) {
+	s, _ := testServer(t)
+	qreq := QueryRequest{
+		Positives:     []string{"object-car-00", "object-car-01"},
+		Negatives:     []string{"object-lamp-00"},
+		K:             4,
+		Mode:          "identical",
+		ReturnConcept: true,
+	}
+	rec, body := doJSON(t, s, http.MethodPost, "/v1/query", qreq)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query status %d: %s", rec.Code, body)
+	}
+	var qresp QueryResponse
+	if err := json.Unmarshal(body, &qresp); err != nil {
+		t.Fatal(err)
+	}
+	if qresp.Concept == nil || len(qresp.Concept.Point) == 0 || len(qresp.Concept.Weights) != len(qresp.Concept.Point) {
+		t.Fatalf("return_concept gave %+v", qresp.Concept)
+	}
+
+	breq := BatchRetrieveRequest{
+		Concepts: []ConceptGeometry{*qresp.Concept, *qresp.Concept},
+		K:        4,
+	}
+	rec, body = doJSON(t, s, http.MethodPost, "/v1/retrieve/batch", breq)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", rec.Code, body)
+	}
+	var bresp BatchRetrieveResponse
+	if err := json.Unmarshal(body, &bresp); err != nil {
+		t.Fatal(err)
+	}
+	if len(bresp.Results) != 2 {
+		t.Fatalf("got %d rankings", len(bresp.Results))
+	}
+	for i, ranking := range bresp.Results {
+		if !reflect.DeepEqual(ranking, qresp.Results) {
+			t.Fatalf("batch ranking %d diverges from query ranking:\ngot  %v\nwant %v",
+				i, ranking, qresp.Results)
+		}
+	}
+
+	// Exclusions must drop the listed IDs from every ranking.
+	breq.Exclude = []string{bresp.Results[0][0].ID}
+	rec, body = doJSON(t, s, http.MethodPost, "/v1/retrieve/batch", breq)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch-with-exclude status %d: %s", rec.Code, body)
+	}
+	var eresp BatchRetrieveResponse
+	if err := json.Unmarshal(body, &eresp); err != nil {
+		t.Fatal(err)
+	}
+	for _, ranking := range eresp.Results {
+		for _, r := range ranking {
+			if r.ID == breq.Exclude[0] {
+				t.Fatalf("excluded ID %s leaked into batch results", r.ID)
+			}
+		}
+	}
+}
+
+func TestRetrieveBatchValidation(t *testing.T) {
+	s, _ := testServer(t)
+	dim := 100
+	good := ConceptGeometry{Point: make([]float64, dim), Weights: make([]float64, dim)}
+	cases := []struct {
+		name string
+		body any
+		want int
+	}{
+		{"no concepts", BatchRetrieveRequest{K: 5}, http.StatusBadRequest},
+		{"dim mismatch", BatchRetrieveRequest{Concepts: []ConceptGeometry{{Point: []float64{1}, Weights: []float64{1}}}}, http.StatusBadRequest},
+		{"ragged geometry", BatchRetrieveRequest{Concepts: []ConceptGeometry{{Point: make([]float64, dim), Weights: []float64{1}}}}, http.StatusBadRequest},
+		{"ok", BatchRetrieveRequest{Concepts: []ConceptGeometry{good}, K: 3}, http.StatusOK},
+	}
+	for _, tc := range cases {
+		rec, body := doJSON(t, s, http.MethodPost, "/v1/retrieve/batch", tc.body)
+		if rec.Code != tc.want {
+			t.Errorf("%s: status %d (want %d): %s", tc.name, rec.Code, tc.want, body)
+		}
+	}
+	if rec, _ := doJSON(t, s, http.MethodGet, "/v1/retrieve/batch", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET allowed on batch endpoint: %d", rec.Code)
+	}
+	s.MaxBatchConcepts = 1
+	over := BatchRetrieveRequest{Concepts: []ConceptGeometry{good, good}}
+	if rec, body := doJSON(t, s, http.MethodPost, "/v1/retrieve/batch", over); rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized batch accepted: %d %s", rec.Code, body)
 	}
 }
 

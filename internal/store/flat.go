@@ -1,14 +1,16 @@
 // Flat store format: the columnar counterpart of the V1 record stream. All
 // instance vectors of all records are serialized as one contiguous
 // little-endian float64 block, mirroring the in-memory layout of the
-// internal/index scoring engine, so a database loads with a single
-// sequential read of the data block instead of one small decode per vector.
+// internal/index scoring engine, so a database opens by adopting the data
+// block instead of decoding one small payload per vector.
 //
 // File layout (all integers little-endian):
 //
 //	header: magic "MILRETX1" | uint32 version | uint32 dim |
 //	        uint32 nItems | uint64 nInstances
 //	meta:   uint32 metaLen | metaPayload | uint32 crc32(metaPayload)
+//	pad:    version ≥ 2: zero bytes until the data block's file offset is a
+//	        multiple of 8 (both sides derive the count, it is not stored)
 //	data:   nInstances × dim × float64 | uint32 crc32(data bytes)
 //
 //	metaPayload, per item:
@@ -16,9 +18,13 @@
 //	        uint32 nInst | uint8 hasNames |
 //	        hasNames × nInst × (uint16 nameLen | name)
 //
-// Loaded bags share one backing []float64: each instance is a slice view
-// into the flat block, so a load allocates O(items) headers instead of
-// O(instances) vectors.
+// The 8-byte data alignment (version 2) is what makes zero-copy open
+// possible: on little-endian hosts the mapped (or read) file bytes are
+// reinterpreted in place as the []float64 instance block — open costs
+// O(items) meta decoding plus O(instances) slice headers, never a per-float
+// decode. Big-endian hosts and misaligned legacy files fall back to one
+// bulk conversion pass. Loaded bags share the adopted block: each instance
+// is a slice view into it.
 package store
 
 import (
@@ -29,6 +35,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"unsafe"
 
 	"milret/internal/mat"
 	"milret/internal/mil"
@@ -37,8 +44,10 @@ import (
 // FlatMagic identifies flat-format store files.
 const FlatMagic = "MILRETX1"
 
-// FlatVersion is the current flat-format version.
-const FlatVersion = 1
+// FlatVersion is the current flat-format version: version 2 pads the data
+// block to an 8-byte file offset for zero-copy adoption. Version 1 files
+// (unpadded) remain readable.
+const FlatVersion = 2
 
 // maxFlatItems bounds the item count as a corruption backstop.
 const maxFlatItems = 1 << 28
@@ -46,6 +55,16 @@ const maxFlatItems = 1 << 28
 // maxFlatDataBytes bounds the flat data block as a corruption backstop, so a
 // damaged header surfaces ErrCorrupt instead of a panic-sized allocation.
 const maxFlatDataBytes = 1 << 36
+
+// flatHeaderLen is the byte length of the fixed header: magic, version,
+// dim, nItems, nInstances.
+const flatHeaderLen = len(FlatMagic) + 4 + 4 + 4 + 8
+
+// flatPad returns the number of zero bytes inserted after the meta checksum
+// (which ends at file offset end) so the data block starts 8-byte aligned.
+func flatPad(end int) int {
+	return (8 - end%8) % 8
+}
 
 // WriteFlatFile writes all records to path atomically in the flat columnar
 // format. Record bags must be valid and share dimensionality dim.
@@ -125,6 +144,11 @@ func writeFlat(w io.Writer, dim int, recs []Record) error {
 	if err := binary.Write(bw, binary.LittleEndian, crc32.ChecksumIEEE(meta)); err != nil {
 		return err
 	}
+	var padZeros [8]byte
+	pad := flatPad(flatHeaderLen + 4 + len(meta) + 4)
+	if _, err := bw.Write(padZeros[:pad]); err != nil {
+		return err
+	}
 
 	dataCRC := crc32.NewIEEE()
 	row := make([]byte, dim*8)
@@ -145,41 +169,152 @@ func writeFlat(w io.Writer, dim int, recs []Record) error {
 	return bw.Flush()
 }
 
-// ReadFlatFile loads every record from a flat-format file. All returned
-// bags' instances are views into one shared flat block.
-func ReadFlatFile(path string) ([]Record, error) {
+// FlatDB is an open flat-format store: the decoded records plus the adopted
+// instance block they share. On little-endian hosts with an aligned data
+// section (every version-2 file), Data is the file's own bytes viewed as
+// float64s — no copy, no per-element decode — optionally backed by a memory
+// mapping; otherwise it is one bulk-converted buffer. Records' bag
+// instances are slice views into Data in file order, so an index can adopt
+// the block wholesale.
+type FlatDB struct {
+	// Dim is the instance dimensionality.
+	Dim int
+	// Records are the decoded items; their bags alias Data.
+	Records []Record
+	// Data is the row-major instance block shared by all records.
+	Data []float64
+	// Counts is the per-record instance count (parallel to Records).
+	Counts []int
+
+	mapped   []byte // retained memory mapping backing Data, nil otherwise
+	raw      []byte // file bytes backing Data (zero-copy), nil if converted
+	dataOff  int
+	dataSum  uint32
+	verified bool
+}
+
+// ZeroCopy reports whether Data aliases the file bytes directly (as opposed
+// to a converted copy).
+func (f *FlatDB) ZeroCopy() bool { return f.raw != nil }
+
+// Mapped reports whether Data is backed by a live memory mapping.
+func (f *FlatDB) Mapped() bool { return f.mapped != nil }
+
+// VerifyData checksums the data block against the stored CRC. On the
+// zero-copy path this is the integrity check OpenFlatFile defers to keep
+// open O(items); converted opens have already verified during conversion,
+// so repeated calls are free.
+func (f *FlatDB) VerifyData() error {
+	if f.verified {
+		return nil
+	}
+	if f.raw == nil {
+		return fmt.Errorf("store: VerifyData on a closed flat store")
+	}
+	got := crc32.ChecksumIEEE(f.raw[f.dataOff : f.dataOff+len(f.Data)*8])
+	if got != f.dataSum {
+		return fmt.Errorf("%w: data checksum mismatch (got %08x, want %08x)", ErrCorrupt, got, f.dataSum)
+	}
+	f.verified = true
+	return nil
+}
+
+// Close releases the memory mapping, if any. Records and Data must not be
+// used afterwards when Mapped() was true. Closing a heap-backed FlatDB is a
+// no-op. Callers that hand the records to a long-lived database simply keep
+// the FlatDB (or drop it without Close) — an unreferenced mapping stays
+// valid for the life of the process and is page-cache backed.
+func (f *FlatDB) Close() error {
+	if f.mapped == nil {
+		return nil
+	}
+	m := f.mapped
+	f.mapped = nil
+	f.raw = nil
+	f.Data = nil
+	f.Records = nil
+	return munmapFile(m)
+}
+
+// hostLittleEndian reports whether this machine stores float64s in the
+// file's byte order, the precondition for reinterpreting file bytes as
+// []float64.
+func hostLittleEndian() bool {
+	return binary.NativeEndian.Uint16([]byte{1, 0}) == 1
+}
+
+// OpenFlatFile opens a flat-format store zero-copy: the file is memory
+// mapped when the platform supports it (read entirely otherwise), the meta
+// section is decoded and checksummed, and the data block is adopted in
+// place. Open cost is O(items) meta decoding plus O(instances) slice
+// headers; the instance floats are not touched — call VerifyData to pay one
+// checksum pass when end-to-end integrity matters more than open latency
+// (ReadFlatFile and ReadAnyFile do this).
+func OpenFlatFile(path string) (*FlatDB, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return readFlat(bufio.NewReaderSize(f, 1<<20), true)
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size > maxFlatDataBytes {
+		return nil, fmt.Errorf("%w: implausible file size %d", ErrCorrupt, size)
+	}
+	var raw []byte
+	mapped := false
+	if mmapSupported && size > 0 {
+		if m, err := mmapFile(f, int(size)); err == nil {
+			raw, mapped = m, true
+		}
+	}
+	if raw == nil {
+		raw, err = io.ReadAll(io.LimitReader(f, size))
+		if err != nil {
+			return nil, err
+		}
+	}
+	fdb, err := parseFlat(raw)
+	if err != nil {
+		if mapped {
+			munmapFile(raw)
+		}
+		return nil, err
+	}
+	if mapped {
+		if fdb.ZeroCopy() {
+			fdb.mapped = raw
+		} else {
+			// The data was bulk-converted (misaligned v1 file or big-endian
+			// host); nothing references the mapping anymore.
+			munmapFile(raw)
+		}
+	}
+	return fdb, nil
 }
 
-// readFlat decodes a flat stream; when checkMagic is false the caller has
-// already consumed and verified the 8 magic bytes.
-func readFlat(r io.Reader, checkMagic bool) ([]Record, error) {
-	if checkMagic {
-		magic := make([]byte, len(FlatMagic))
-		if _, err := io.ReadFull(r, magic); err != nil {
-			return nil, fmt.Errorf("store: reading magic: %w", err)
-		}
-		if string(magic) != FlatMagic {
-			return nil, fmt.Errorf("store: bad magic %q", magic)
-		}
+// parseFlat decodes a complete flat-format file image. On little-endian
+// hosts with 8-byte data alignment the returned FlatDB adopts raw's data
+// section in place (CRC deferred to VerifyData); otherwise the data is bulk
+// converted and checksummed on the way through.
+func parseFlat(raw []byte) (*FlatDB, error) {
+	if len(raw) < flatHeaderLen+4 {
+		return nil, fmt.Errorf("%w: file too short for flat header (%d bytes)", ErrCorrupt, len(raw))
 	}
-	var version, dim32, nItems32 uint32
-	var nInstances uint64
-	for _, p := range []any{&version, &dim32, &nItems32} {
-		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
-			return nil, fmt.Errorf("store: reading flat header: %w", err)
-		}
+	if string(raw[:len(FlatMagic)]) != FlatMagic {
+		return nil, fmt.Errorf("store: bad magic %q", raw[:len(FlatMagic)])
 	}
-	if err := binary.Read(r, binary.LittleEndian, &nInstances); err != nil {
-		return nil, fmt.Errorf("store: reading flat header: %w", err)
-	}
-	if version != FlatVersion {
-		return nil, fmt.Errorf("store: unsupported flat version %d (want %d)", version, FlatVersion)
+	off := len(FlatMagic)
+	version := binary.LittleEndian.Uint32(raw[off:])
+	dim32 := binary.LittleEndian.Uint32(raw[off+4:])
+	nItems32 := binary.LittleEndian.Uint32(raw[off+8:])
+	nInstances := binary.LittleEndian.Uint64(raw[off+12:])
+	off += 20
+	if version != 1 && version != FlatVersion {
+		return nil, fmt.Errorf("store: unsupported flat version %d (want ≤ %d)", version, FlatVersion)
 	}
 	dim, nItems := int(dim32), int(nItems32)
 	if dim <= 0 || dim > 1<<20 {
@@ -191,31 +326,40 @@ func readFlat(r io.Reader, checkMagic bool) ([]Record, error) {
 	if nInstances > uint64(nItems)*maxInstances {
 		return nil, fmt.Errorf("%w: implausible instance count %d", ErrCorrupt, nInstances)
 	}
-	// Bound the data-block allocation before trusting the header product:
+	// Bound the data-block size before trusting the header product:
 	// nInstances and dim individually plausible can still multiply to a
-	// panic-sized (or int-overflowing) make().
+	// panic-sized (or int-overflowing) extent.
 	if nInstances > (maxFlatDataBytes/8)/uint64(dim) {
 		return nil, fmt.Errorf("%w: implausible data block (%d instances × %d dims)",
 			ErrCorrupt, nInstances, dim)
 	}
 
-	var metaLen uint32
-	if err := binary.Read(r, binary.LittleEndian, &metaLen); err != nil {
-		return nil, fmt.Errorf("%w: reading meta length: %v", ErrCorrupt, err)
-	}
+	metaLen := int(binary.LittleEndian.Uint32(raw[off:]))
+	off += 4
 	if metaLen > 1<<30 {
 		return nil, fmt.Errorf("%w: implausible meta length %d", ErrCorrupt, metaLen)
 	}
-	meta := make([]byte, metaLen)
-	if _, err := io.ReadFull(r, meta); err != nil {
-		return nil, fmt.Errorf("%w: truncated meta: %v", ErrCorrupt, err)
+	if off+metaLen+4 > len(raw) {
+		return nil, fmt.Errorf("%w: truncated meta", ErrCorrupt)
 	}
-	var metaSum uint32
-	if err := binary.Read(r, binary.LittleEndian, &metaSum); err != nil {
-		return nil, fmt.Errorf("%w: missing meta checksum: %v", ErrCorrupt, err)
-	}
+	meta := raw[off : off+metaLen]
+	off += metaLen
+	metaSum := binary.LittleEndian.Uint32(raw[off:])
+	off += 4
 	if got := crc32.ChecksumIEEE(meta); got != metaSum {
 		return nil, fmt.Errorf("%w: meta checksum mismatch (got %08x, want %08x)", ErrCorrupt, got, metaSum)
+	}
+	if version >= 2 {
+		pad := flatPad(off)
+		if off+pad > len(raw) {
+			return nil, fmt.Errorf("%w: truncated alignment padding", ErrCorrupt)
+		}
+		for _, b := range raw[off : off+pad] {
+			if b != 0 {
+				return nil, fmt.Errorf("%w: non-zero alignment padding", ErrCorrupt)
+			}
+		}
+		off += pad
 	}
 
 	recs, counts, err := decodeFlatMeta(meta, nItems, nInstances)
@@ -223,40 +367,76 @@ func readFlat(r io.Reader, checkMagic bool) ([]Record, error) {
 		return nil, err
 	}
 
-	// One contiguous data block, decoded row-by-row into a shared flat
-	// slice; each bag instance becomes a view into it.
-	flat := make([]float64, int(nInstances)*dim)
-	raw := make([]byte, dim*8)
-	dataCRC := crc32.NewIEEE()
-	for row := 0; row < int(nInstances); row++ {
-		if _, err := io.ReadFull(r, raw); err != nil {
-			return nil, fmt.Errorf("%w: truncated data block: %v", ErrCorrupt, err)
-		}
-		dataCRC.Write(raw)
-		base := row * dim
-		for k := 0; k < dim; k++ {
-			flat[base+k] = math.Float64frombits(binary.LittleEndian.Uint64(raw[k*8:]))
-		}
+	dataOff := off
+	nFloats := int(nInstances) * dim
+	if len(raw) != dataOff+nFloats*8+4 {
+		return nil, fmt.Errorf("%w: file is %d bytes, want %d", ErrCorrupt, len(raw), dataOff+nFloats*8+4)
 	}
-	var dataSum uint32
-	if err := binary.Read(r, binary.LittleEndian, &dataSum); err != nil {
-		return nil, fmt.Errorf("%w: missing data checksum: %v", ErrCorrupt, err)
+	dataSum := binary.LittleEndian.Uint32(raw[dataOff+nFloats*8:])
+
+	fdb := &FlatDB{
+		Dim:     dim,
+		Records: recs,
+		Counts:  counts,
+		dataOff: dataOff,
+		dataSum: dataSum,
 	}
-	if got := dataCRC.Sum32(); got != dataSum {
-		return nil, fmt.Errorf("%w: data checksum mismatch (got %08x, want %08x)", ErrCorrupt, got, dataSum)
+	switch {
+	case nFloats == 0:
+		fdb.verified = true
+	case hostLittleEndian() && uintptr(unsafe.Pointer(&raw[dataOff]))%8 == 0:
+		// Zero-copy adoption: the file bytes are the float block.
+		fdb.Data = unsafe.Slice((*float64)(unsafe.Pointer(&raw[dataOff])), nFloats)
+		fdb.raw = raw
+	default:
+		// Bulk conversion fallback (big-endian host, or a misaligned
+		// version-1 file). The pass touches every byte anyway, so the
+		// checksum is verified on the way through.
+		if got := crc32.ChecksumIEEE(raw[dataOff : dataOff+nFloats*8]); got != dataSum {
+			return nil, fmt.Errorf("%w: data checksum mismatch (got %08x, want %08x)", ErrCorrupt, got, dataSum)
+		}
+		flat := make([]float64, nFloats)
+		for i := range flat {
+			flat[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[dataOff+i*8:]))
+		}
+		fdb.Data = flat
+		fdb.verified = true
 	}
 
-	off := 0
+	// One arena of instance headers for all bags: O(instances) header
+	// writes, zero float copies.
+	views := make([]mat.Vector, int(nInstances))
+	row := 0
 	for i := range recs {
 		n := counts[i]
-		insts := make([]mat.Vector, n)
+		insts := views[row : row+n : row+n]
 		for j := 0; j < n; j++ {
-			insts[j] = mat.Vector(flat[off : off+dim : off+dim])
-			off += dim
+			base := (row + j) * dim
+			insts[j] = mat.Vector(fdb.Data[base : base+dim : base+dim])
 		}
 		recs[i].Bag.Instances = insts
+		row += n
 	}
-	return recs, nil
+	return fdb, nil
+}
+
+// ReadFlatFile loads every record from a flat-format file with full
+// integrity checking (meta and data checksums). All returned bags'
+// instances are views into one shared flat block. For O(items) opens that
+// defer the data checksum, use OpenFlatFile.
+func ReadFlatFile(path string) ([]Record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	fdb, err := parseFlat(raw)
+	if err != nil {
+		return nil, err
+	}
+	if err := fdb.VerifyData(); err != nil {
+		return nil, err
+	}
+	return fdb.Records, nil
 }
 
 // decodeFlatMeta parses the meta payload into records (bags still without
@@ -328,27 +508,71 @@ func decodeFlatMeta(meta []byte, nItems int, nInstances uint64) ([]Record, []int
 }
 
 // ReadAnyFile loads a store written in either the V1 record-stream format or
-// the flat columnar format, dispatching on the file magic.
+// the flat columnar format, dispatching on the file magic. Both paths
+// perform full integrity checking; use OpenAnyFile for the fast flat open.
 func ReadAnyFile(path string) ([]Record, error) {
-	f, err := os.Open(path)
+	recs, fdb, err := loadAny(path, false)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<20)
-	magic, err := br.Peek(len(Magic))
+	if fdb != nil {
+		if err := fdb.VerifyData(); err != nil {
+			return nil, err
+		}
+	}
+	return recs, nil
+}
+
+// OpenAnyFile opens a store in either format. Flat files open zero-copy
+// (memory mapped where the platform allows) and return a non-nil FlatDB
+// whose Data backs the records' instances, with the data checksum deferred
+// to FlatDB.VerifyData; legacy stream files decode every record and return
+// a nil FlatDB.
+func OpenAnyFile(path string) ([]Record, *FlatDB, error) {
+	return loadAny(path, true)
+}
+
+func loadAny(path string, useMmap bool) ([]Record, *FlatDB, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("store: reading magic: %w", err)
+		return nil, nil, err
+	}
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: reading magic: %w", err)
 	}
 	switch string(magic) {
 	case FlatMagic:
-		return readFlat(br, true)
-	case Magic:
-		r, err := NewReader(br)
-		if err != nil {
-			return nil, err
+		f.Close()
+		var fdb *FlatDB
+		if useMmap {
+			fdb, err = OpenFlatFile(path)
+		} else {
+			var raw []byte
+			if raw, err = os.ReadFile(path); err == nil {
+				fdb, err = parseFlat(raw)
+			}
 		}
-		return readAll(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fdb.Records, fdb, nil
+	case Magic:
+		defer f.Close()
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, nil, err
+		}
+		r, err := NewReader(bufio.NewReaderSize(f, 1<<20))
+		if err != nil {
+			return nil, nil, err
+		}
+		recs, err := readAll(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		return recs, nil, nil
 	}
-	return nil, fmt.Errorf("store: bad magic %q", magic)
+	f.Close()
+	return nil, nil, fmt.Errorf("store: bad magic %q", magic)
 }

@@ -1,7 +1,9 @@
 package store
 
 import (
+	"encoding/binary"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"os"
@@ -225,6 +227,176 @@ func TestReadAnyFileBadMagic(t *testing.T) {
 	}
 }
 
+// TestOpenFlatFileZeroCopy: the fast open must adopt the file's data block
+// in place (on little-endian unix this means bit-exact records with zero
+// float decoding), defer the data checksum to VerifyData, and release its
+// mapping on Close.
+func TestOpenFlatFileZeroCopy(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	recs := []Record{randRecord(r, "a", "x", 6, 3), randRecord(r, "b", "y", 6, 2)}
+	path := writeFlatTemp(t, 6, recs)
+
+	fdb, err := OpenFlatFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fdb.Close()
+	if fdb.Dim != 6 || len(fdb.Records) != 2 || len(fdb.Data) != 5*6 {
+		t.Fatalf("open gave dim %d, %d records, %d floats", fdb.Dim, len(fdb.Records), len(fdb.Data))
+	}
+	if hostLittleEndian() && !fdb.ZeroCopy() {
+		t.Fatal("little-endian open of a v2 file did not adopt the block zero-copy")
+	}
+	if mmapSupported && !fdb.Mapped() {
+		t.Fatal("mmap-capable platform did not map the file")
+	}
+	recordsBitEqual(t, fdb.Records, recs)
+	// Instances must be views into Data, not copies.
+	if &fdb.Records[0].Bag.Instances[0][0] != &fdb.Data[0] {
+		t.Fatal("first instance does not alias the adopted block")
+	}
+	if err := fdb.VerifyData(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fdb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fdb.Mapped() {
+		t.Fatal("still mapped after Close")
+	}
+}
+
+// TestOpenFlatFileDeferredCorruption: a flipped float must slip past the
+// fast open (that is the documented trade) and be caught by VerifyData.
+func TestOpenFlatFileDeferredCorruption(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	path := writeFlatTemp(t, 4, []Record{randRecord(r, "a", "l", 4, 3)})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0xFF // inside the float block
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fdb, err := OpenFlatFile(path)
+	if err != nil {
+		t.Fatalf("fast open rejected data-block corruption eagerly: %v", err)
+	}
+	defer fdb.Close()
+	if fdb.ZeroCopy() {
+		if err := fdb.VerifyData(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("VerifyData = %v, want ErrCorrupt", err)
+		}
+	}
+}
+
+// TestFlatV1StillReadable: a version-1 (unpadded) file — synthesized from a
+// v2 file by dropping the pad and patching the version — must load with
+// identical contents through every reader.
+func TestFlatV1StillReadable(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	recs := []Record{randRecord(r, "v1", "legacy", 3, 2), randRecord(r, "v1b", "legacy", 3, 4)}
+	path := writeFlatTemp(t, 3, recs)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaLen := int(binary.LittleEndian.Uint32(data[flatHeaderLen:]))
+	padAt := flatHeaderLen + 4 + metaLen + 4
+	pad := flatPad(padAt)
+	v1 := append([]byte{}, data[:padAt]...)
+	v1 = append(v1, data[padAt+pad:]...)
+	binary.LittleEndian.PutUint32(v1[len(FlatMagic):], 1)
+	v1Path := filepath.Join(t.TempDir(), "v1.milretx")
+	if err := os.WriteFile(v1Path, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadFlatFile(v1Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordsBitEqual(t, got, recs)
+	fdb, err := OpenFlatFile(v1Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fdb.Close()
+	recordsBitEqual(t, fdb.Records, recs)
+}
+
+// TestOpenAnyFile: flat files come back with a FlatDB handle, legacy
+// streams with a nil one; contents agree either way.
+func TestOpenAnyFile(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	recs := []Record{randRecord(r, "a", "x", 4, 2)}
+	flatPath := writeFlatTemp(t, 4, recs)
+	legacyPath := filepath.Join(t.TempDir(), "legacy.milret")
+	if err := WriteFile(legacyPath, 4, recs); err != nil {
+		t.Fatal(err)
+	}
+
+	got, fdb, err := OpenAnyFile(flatPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fdb == nil {
+		t.Fatal("flat open returned no FlatDB")
+	}
+	defer fdb.Close()
+	recordsBitEqual(t, got, recs)
+
+	got, fdb2, err := OpenAnyFile(legacyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fdb2 != nil {
+		t.Fatal("legacy open returned a FlatDB")
+	}
+	recordsBitEqual(t, got, recs)
+}
+
+// The open benchmarks back the README's O(bags) open claim: ReadFlatFile
+// decodes and checksums every float, OpenFlatFile adopts the block.
+func benchFlatFile(b *testing.B, nRecs, inst, dim int) string {
+	b.Helper()
+	r := rand.New(rand.NewSource(12))
+	recs := make([]Record, nRecs)
+	for i := range recs {
+		recs[i] = randRecord(r, fmt.Sprintf("img-%05d", i), "l", dim, inst)
+	}
+	path := filepath.Join(b.TempDir(), "bench.milretx")
+	if err := WriteFlatFile(path, dim, recs); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+func BenchmarkReadFlatFile2k(b *testing.B) {
+	path := benchFlatFile(b, 2000, 40, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadFlatFile(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpenFlatFile2k(b *testing.B) {
+	path := benchFlatFile(b, 2000, 40, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fdb, err := OpenFlatFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fdb.Close()
+	}
+}
+
 // Property: random record sets survive a flat round trip bit-exactly.
 func TestQuickFlatRoundTrip(t *testing.T) {
 	f := func(seed int64) bool {
@@ -267,5 +439,21 @@ func TestQuickFlatRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestVerifyDataAfterClose(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	path := writeFlatTemp(t, 3, []Record{randRecord(r, "a", "l", 3, 2)})
+	fdb, err := OpenFlatFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wasVerified := fdb.verified
+	if err := fdb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fdb.VerifyData(); !wasVerified && err == nil {
+		t.Fatal("VerifyData after Close succeeded on an unverified store")
 	}
 }

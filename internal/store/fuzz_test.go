@@ -1,0 +1,120 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeedFiles builds one valid file per format plus characteristic
+// mutations, so the fuzzer starts from structurally interesting inputs.
+func fuzzSeedFiles(f *testing.F) {
+	f.Helper()
+	r := rand.New(rand.NewSource(99))
+	recs := []Record{randRecord(r, "img-a", "sunset", 4, 3), randRecord(r, "img-b", "", 4, 1)}
+	recs[0].Bag.Names = []string{"c-quad-tl", "c-quad-tr", "c-quad-bl"}
+	dir := f.TempDir()
+
+	flatPath := filepath.Join(dir, "flat")
+	if err := WriteFlatFile(flatPath, 4, recs); err != nil {
+		f.Fatal(err)
+	}
+	flat, err := os.ReadFile(flatPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	streamPath := filepath.Join(dir, "stream")
+	if err := WriteFile(streamPath, 4, recs); err != nil {
+		f.Fatal(err)
+	}
+	stream, err := os.ReadFile(streamPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	emptyPath := filepath.Join(dir, "empty")
+	if err := WriteFlatFile(emptyPath, 2, nil); err != nil {
+		f.Fatal(err)
+	}
+	empty, err := os.ReadFile(emptyPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(flat)
+	f.Add(stream)
+	f.Add(empty)
+	f.Add(flat[:len(flat)/2])     // truncated flat
+	f.Add(stream[:len(stream)/3]) // truncated stream
+	f.Add([]byte{})
+	f.Add([]byte("MILRETX1"))
+	f.Add([]byte("MILRETF1"))
+	f.Add([]byte("NOTASTORE"))
+	corrupt := append([]byte{}, flat...)
+	corrupt[len(corrupt)/2] ^= 0xA5
+	f.Add(corrupt)
+	huge := append([]byte{}, flat...)
+	for i := len(FlatMagic); i < len(FlatMagic)+20 && i < len(huge); i++ {
+		huge[i] = 0xFF // implausible header counts
+	}
+	f.Add(huge)
+}
+
+// FuzzReadAnyFile: arbitrary bytes — both formats, truncations, bit flips,
+// hostile headers — must either load cleanly or return an error. Panics and
+// runaway allocations are failures; the corruption backstops in both
+// readers are what this exercises.
+func FuzzReadAnyFile(f *testing.F) {
+	fuzzSeedFiles(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz-store")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		recs, err := ReadAnyFile(path)
+		if err != nil {
+			return
+		}
+		// Successful loads must be internally consistent.
+		for _, rec := range recs {
+			if rec.Bag == nil {
+				t.Fatalf("loaded record %q with nil bag", rec.ID)
+			}
+			if len(rec.Bag.Instances) == 0 {
+				t.Fatalf("loaded record %q with no instances", rec.ID)
+			}
+			dim := rec.Bag.Dim()
+			for _, inst := range rec.Bag.Instances {
+				if len(inst) != dim {
+					t.Fatalf("loaded record %q with ragged instances", rec.ID)
+				}
+			}
+			if rec.Bag.Names != nil && len(rec.Bag.Names) != len(rec.Bag.Instances) {
+				t.Fatalf("loaded record %q with mismatched names", rec.ID)
+			}
+		}
+	})
+}
+
+// FuzzOpenFlatFile drives the zero-copy open (mmap path included) with the
+// same hostile inputs: no panics, mappings released on every error path,
+// and VerifyData never panics on whatever parsed.
+func FuzzOpenFlatFile(f *testing.F) {
+	fuzzSeedFiles(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz-flat")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		fdb, err := OpenFlatFile(path)
+		if err != nil {
+			return
+		}
+		_ = fdb.VerifyData()
+		if err := fdb.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	})
+}

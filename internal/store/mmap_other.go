@@ -1,0 +1,19 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this platform shim can memory-map files.
+// Without a mapping primitive the zero-copy open falls back to one whole-file
+// read; everything downstream behaves identically.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func munmapFile(b []byte) error { return nil }

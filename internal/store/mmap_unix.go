@@ -1,0 +1,21 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform shim can memory-map files.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and private. The mapping outlives
+// f being closed; release it with munmapFile.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+}
+
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

@@ -36,6 +36,7 @@ import (
 	"milret/internal/eval"
 	"milret/internal/feature"
 	"milret/internal/gray"
+	"milret/internal/mat"
 	"milret/internal/mil"
 	"milret/internal/optimize"
 	"milret/internal/region"
@@ -105,6 +106,13 @@ type Options struct {
 	VarianceThreshold float64
 	// NoMirror disables left-right mirror instances.
 	NoMirror bool
+	// VerifyOnLoad makes LoadDatabase checksum the stored instance block
+	// before serving from it. The default fast open validates structure and
+	// the metadata checksum but adopts the (possibly memory-mapped) float
+	// block without reading it, so opening is O(images) rather than
+	// O(instances·dims); set VerifyOnLoad when end-to-end integrity matters
+	// more than open latency. It has no effect on AddImage/Save.
+	VerifyOnLoad bool
 }
 
 func (o Options) toFeature() feature.Options {
@@ -142,6 +150,25 @@ type TrainOptions struct {
 type Database struct {
 	opts feature.Options
 	db   *retrieval.Database
+	// flat retains the zero-copy store backing this database when it was
+	// opened by LoadDatabase from a flat file, so Close can release the
+	// memory mapping.
+	flat *store.FlatDB
+}
+
+// Close releases resources backing a database opened by LoadDatabase — in
+// particular the memory mapping adopted from a flat store. A closed
+// database must not be used again. Databases built with
+// NewDatabase/AddImage hold no external resources, so Close is a no-op for
+// them; it is also safe to never call Close and let the mapping live for
+// the process lifetime (it is read-only and page-cache backed).
+func (d *Database) Close() error {
+	if d.flat == nil {
+		return nil
+	}
+	f := d.flat
+	d.flat = nil
+	return f.Close()
 }
 
 // NewDatabase returns an empty database with the given preprocessing
@@ -275,6 +302,30 @@ func (d *Database) dataset(positiveIDs, negativeIDs []string) (*mil.Dataset, err
 	return ds, nil
 }
 
+// NewConcept reconstitutes a concept from explicit geometry: the concept
+// point and the per-dimension distance weights, as exported by
+// Concept.Point and Concept.Weights. This is how a concept trained in one
+// process (or returned by the HTTP API) is replayed against another
+// database — the ingredient of batched false-positive mining and
+// multi-replica serving. The slices are copied; point and weights must have
+// the same non-zero length and contain only finite values.
+func NewConcept(point, weights []float64) (*Concept, error) {
+	if len(point) == 0 {
+		return nil, fmt.Errorf("milret: empty concept point")
+	}
+	if len(point) != len(weights) {
+		return nil, fmt.Errorf("milret: concept point dim %d != weights dim %d", len(point), len(weights))
+	}
+	c := &core.Concept{
+		Point:   append(mat.Vector(nil), point...),
+		Weights: append(mat.Vector(nil), weights...),
+	}
+	if !c.Point.IsFinite() || !c.Weights.IsFinite() {
+		return nil, fmt.Errorf("milret: concept geometry contains non-finite values")
+	}
+	return &Concept{c: c}, nil
+}
+
 // Result is one retrieved image.
 type Result struct {
 	// ID identifies the image.
@@ -305,6 +356,45 @@ func (d *Database) RetrieveExcluding(c *Concept, k int, exclude []string) []Resu
 // RankAll returns the full database ranking for the concept.
 func (d *Database) RankAll(c *Concept) []Result {
 	return convertResults(retrieval.Rank(d.db, c.c, retrieval.Options{}))
+}
+
+// RetrieveMany returns the k best matches for each of several concepts,
+// nearest first, scoring all of them in one batched pass over the scoring
+// index: each instance block is loaded into cache once and scored against
+// every concept, so B concepts cost far less than B sequential Retrieve
+// calls on a memory-resident database. Element i equals
+// RetrieveExcluding(concepts[i], k, exclude) exactly.
+//
+// Every concept's dimensionality must match the database's; a nil concept
+// is an error. An empty database yields one empty ranking per concept.
+func (d *Database) RetrieveMany(concepts []*Concept, k int, exclude []string) ([][]Result, error) {
+	if len(concepts) == 0 {
+		return nil, nil
+	}
+	dim := d.db.Dim()
+	scorers := make([]retrieval.Scorer, len(concepts))
+	for i, c := range concepts {
+		if c == nil {
+			return nil, fmt.Errorf("milret: nil concept at index %d", i)
+		}
+		if dim != 0 && len(c.c.Point) != dim {
+			return nil, fmt.Errorf("milret: concept %d has dim %d, database dim %d",
+				i, len(c.c.Point), dim)
+		}
+		scorers[i] = c.c
+	}
+	out := make([][]Result, len(concepts))
+	if d.db.Len() == 0 {
+		return out, nil
+	}
+	ex := make(map[string]bool, len(exclude))
+	for _, id := range exclude {
+		ex[id] = true
+	}
+	for i, rs := range retrieval.TopKMany(d.db, scorers, k, retrieval.Options{Exclude: ex}) {
+		out[i] = convertResults(rs)
+	}
+	return out, nil
 }
 
 func convertResults(rs []retrieval.Result) []Result {
@@ -347,15 +437,32 @@ func (d *Database) Stats() Stats {
 }
 
 // LoadDatabase reads a database saved by Save — either the current flat
-// columnar format or the legacy per-record stream. If opts.Resolution is unset,
-// the sampling resolution is inferred from the stored feature
-// dimensionality (h²), so stores built at any resolution reopen without
-// extra configuration; an explicitly set resolution must match the file, so
-// images added later remain comparable.
+// columnar format or the legacy per-record stream. Flat stores open
+// zero-copy: the instance block is adopted (memory-mapped where the
+// platform allows) straight into the scoring index without decoding or
+// copying a single float, so open is O(images); see Options.VerifyOnLoad
+// for the integrity trade-off. If opts.Resolution is unset, the sampling
+// resolution is inferred from the stored feature dimensionality (h²), so
+// stores built at any resolution reopen without extra configuration; an
+// explicitly set resolution must match the file, so images added later
+// remain comparable.
 func LoadDatabase(path string, opts Options) (*Database, error) {
-	recs, err := store.ReadAnyFile(path)
+	recs, flat, err := store.OpenAnyFile(path)
 	if err != nil {
 		return nil, err
+	}
+	// Any error below must release the flat store's memory mapping; on
+	// success the mapping backs the database for the process lifetime.
+	fail := func(err error) (*Database, error) {
+		if flat != nil {
+			flat.Close()
+		}
+		return nil, err
+	}
+	if flat != nil && opts.VerifyOnLoad {
+		if err := flat.VerifyData(); err != nil {
+			return fail(err)
+		}
 	}
 	if opts.Resolution == 0 && len(recs) > 0 {
 		dim := recs[0].Bag.Dim()
@@ -366,7 +473,24 @@ func LoadDatabase(path string, opts Options) (*Database, error) {
 	}
 	d, err := NewDatabase(opts)
 	if err != nil {
-		return nil, err
+		return fail(err)
+	}
+	if flat != nil {
+		if len(recs) > 0 && flat.Dim != d.opts.Dim() {
+			return fail(fmt.Errorf("milret: stored dim %d does not match options dim %d",
+				flat.Dim, d.opts.Dim()))
+		}
+		items := make([]retrieval.Item, len(recs))
+		for i, rec := range recs {
+			items[i] = retrieval.Item{ID: rec.ID, Label: rec.Label, Bag: rec.Bag}
+		}
+		db, err := retrieval.NewDatabaseFromFlat(items, flat.Dim, flat.Data)
+		if err != nil {
+			return fail(err)
+		}
+		d.db = db
+		d.flat = flat
+		return d, nil
 	}
 	for _, rec := range recs {
 		if rec.Bag.Dim() != d.opts.Dim() {

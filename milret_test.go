@@ -2,7 +2,9 @@ package milret
 
 import (
 	"fmt"
+	"math"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"milret/internal/store"
@@ -152,6 +154,92 @@ func TestConceptAccessors(t *testing.T) {
 	_ = concept.NegLogDD()
 }
 
+func TestNewConceptValidation(t *testing.T) {
+	if _, err := NewConcept(nil, nil); err == nil {
+		t.Fatal("empty concept accepted")
+	}
+	if _, err := NewConcept([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatched dims accepted")
+	}
+	if _, err := NewConcept([]float64{1, math.NaN()}, []float64{1, 1}); err == nil {
+		t.Fatal("NaN point accepted")
+	}
+	point := []float64{1, 2}
+	weights := []float64{0.5, 2}
+	c, err := NewConcept(point, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	point[0] = -99 // NewConcept must copy
+	if c.Point()[0] == -99 {
+		t.Fatal("NewConcept aliased caller storage")
+	}
+}
+
+// TestNewConceptRoundTrip: a concept exported via Point/Weights and
+// reconstituted through NewConcept must rank identically to the original.
+func TestNewConceptRoundTrip(t *testing.T) {
+	db := testDB(t, 3, "car", "lamp")
+	trained, err := db.Train(idsOf(db, "car", 2), idsOf(db, "lamp", 2),
+		TrainOptions{Mode: ConstrainedWeights, Beta: 0.5, MaxIters: 15, StartBags: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := NewConcept(trained.Point(), trained.Weights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := db.Retrieve(trained, 10)
+	got := db.Retrieve(replayed, 10)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed concept ranks differently:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// TestRetrieveManyMatchesRetrieve: the batched scan must return, per
+// concept, exactly the single-concept retrieval — including the exclusion
+// set — and must reject dimension mismatches and nil concepts.
+func TestRetrieveManyMatchesRetrieve(t *testing.T) {
+	db := testDB(t, 3, "car", "lamp", "pants")
+	var concepts []*Concept
+	for _, target := range []string{"car", "lamp", "pants"} {
+		c, err := db.Train(idsOf(db, target, 2), idsNot(db, target, 2),
+			TrainOptions{Mode: IdenticalWeights, MaxIters: 10, StartBags: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		concepts = append(concepts, c)
+	}
+	exclude := idsOf(db, "car", 1)
+	many, err := db.RetrieveMany(concepts, 5, exclude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(many) != len(concepts) {
+		t.Fatalf("got %d rankings for %d concepts", len(many), len(concepts))
+	}
+	for i, c := range concepts {
+		want := db.RetrieveExcluding(c, 5, exclude)
+		if !reflect.DeepEqual(many[i], want) {
+			t.Fatalf("concept %d:\ngot  %v\nwant %v", i, many[i], want)
+		}
+	}
+
+	if _, err := db.RetrieveMany([]*Concept{nil}, 5, nil); err == nil {
+		t.Fatal("nil concept accepted")
+	}
+	bad, err := NewConcept([]float64{1, 2}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RetrieveMany([]*Concept{bad}, 5, nil); err == nil {
+		t.Fatal("dim-mismatched concept accepted")
+	}
+	if out, err := db.RetrieveMany(nil, 5, nil); err != nil || out != nil {
+		t.Fatalf("empty batch = %v, %v", out, err)
+	}
+}
+
 func TestRankAllCoversDatabase(t *testing.T) {
 	db := testDB(t, 3, "car", "pants")
 	concept, err := db.Train(idsOf(db, "car", 2), nil,
@@ -198,6 +286,27 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("rankings diverge after reload at %d", i)
 		}
+	}
+
+	// The zero-copy load must keep accepting new images (appends reallocate
+	// rather than touch the adopted block) and keep training end to end.
+	for _, it := range synth.ObjectsN(23, 1) {
+		if it.Label == "lamp" {
+			if err := back.AddImage(it.ID, it.Label, it.Image); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if back.Len() != db.Len()+1 {
+		t.Fatalf("post-load AddImage: len %d, want %d", back.Len(), db.Len()+1)
+	}
+	if got := back.RankAll(concept); len(got) != back.Len() {
+		t.Fatalf("post-load ranking covers %d of %d", len(got), back.Len())
+	}
+
+	// VerifyOnLoad on an intact file must succeed.
+	if _, err := LoadDatabase(path, Options{VerifyOnLoad: true}); err != nil {
+		t.Fatalf("VerifyOnLoad on intact store: %v", err)
 	}
 }
 
@@ -351,5 +460,29 @@ func TestExplainSurvivesSaveLoad(t *testing.T) {
 	}
 	if ex.Region == "" {
 		t.Fatalf("region names lost through persistence")
+	}
+}
+
+func TestDatabaseClose(t *testing.T) {
+	db := testDB(t, 2, "car")
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close on in-memory database: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "db.milret")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDatabase(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != db.Len() {
+		t.Fatalf("loaded %d of %d", loaded.Len(), db.Len())
+	}
+	if err := loaded.Close(); err != nil {
+		t.Fatalf("Close on loaded database: %v", err)
+	}
+	if err := loaded.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
 	}
 }
