@@ -9,6 +9,7 @@ import (
 	"milret/internal/experiments"
 	"milret/internal/feature"
 	"milret/internal/gray"
+	"milret/internal/mat"
 	"milret/internal/mil"
 	"milret/internal/retrieval"
 	"milret/internal/synth"
@@ -311,6 +312,71 @@ func BenchmarkRank50k(b *testing.B) { benchFlatRank(b, 50_000, 4, 64) }
 func BenchmarkTopK1k(b *testing.B)  { benchFlatTopK(b, 1_000, 40, 100, 20) }
 func BenchmarkTopK10k(b *testing.B) { benchFlatTopK(b, 10_000, 10, 100, 20) }
 func BenchmarkTopK50k(b *testing.B) { benchFlatTopK(b, 50_000, 4, 64, 20) }
+
+// Delete-heavy workload: the same 10k corpus with 30% of the bags
+// tombstoned (below the auto-compaction threshold shape: deletes spread
+// evenly so dead rows accumulate). The pair with BenchmarkTopK10k measures
+// the scan-time cost of carrying tombstones; BenchmarkTopKCompacted10k is
+// the same live set after an explicit Compact, the floor the tombstoned
+// scan should stay near.
+func benchDeletedDB(n, inst, dim int, compact bool) (*retrieval.Database, *core.Concept) {
+	db, concept := benchCorpusDB(n, inst, dim)
+	for i := 0; i < n; i++ {
+		if i%10 < 3 {
+			if err := db.Delete(fmt.Sprintf("img-%06d", i)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if compact {
+		db.Compact()
+	}
+	return db, concept
+}
+
+func BenchmarkTopKDeleted10k(b *testing.B) {
+	db, concept := benchDeletedDB(10_000, 10, 100, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		retrieval.TopK(db, concept, 20, retrieval.Options{})
+	}
+}
+
+func BenchmarkTopKCompacted10k(b *testing.B) {
+	db, concept := benchDeletedDB(10_000, 10, 100, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		retrieval.TopK(db, concept, 20, retrieval.Options{})
+	}
+}
+
+// BenchmarkMutationChurn measures the write path itself: an add, a label
+// update and a delete per iteration against a 10k-bag database (auto-
+// compaction included when its threshold trips).
+func BenchmarkMutationChurn(b *testing.B) {
+	db, _ := benchCorpusDB(10_000, 10, 100)
+	r := rand.New(rand.NewSource(9))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("churn-%09d", i)
+		bag := &mil.Bag{ID: id, Instances: []mat.Vector{make(mat.Vector, 100)}}
+		for k := range bag.Instances[0] {
+			bag.Instances[0][k] = r.NormFloat64()
+		}
+		if err := db.Add(retrieval.Item{ID: id, Label: "churn", Bag: bag}); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.Update(retrieval.Item{ID: id, Label: "churn2", Bag: bag}); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.Delete(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // Naive-path comparators at the same corpora (the ≥2× acceptance pair is
 // BenchmarkTopK10k vs BenchmarkTopKNaive10k).

@@ -13,14 +13,18 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"image/png"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"milret"
@@ -63,20 +67,58 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	dbPath := fs.String("db", "db.milret", "database path")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
-	fastLoad := fs.Bool("fast-load", false, "skip the data checksum: zero-copy O(images) open")
+	fastLoad := fs.Bool("fast-load", false, "skip the synchronous data checksum: zero-copy O(images) open, verified in the background (see /v1/healthz)")
+	readOnly := fs.Bool("readonly", false, "refuse DELETE/PUT mutations")
 	fs.Parse(args)
 
 	db, err := milret.LoadDatabase(*dbPath, milret.Options{VerifyOnLoad: !*fastLoad})
 	if err != nil {
 		return err
 	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		db.Close()
+		return err
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	fmt.Printf("serving %d images on http://%s (POST /v1/query)\n", db.Len(), ln.Addr())
+	return serveUntilSignal(db, ln, *readOnly, sig)
+}
+
+// serveUntilSignal runs the HTTP server on ln until a signal arrives (or
+// the listener fails), then shuts down gracefully: in-flight requests are
+// drained (bounded by a timeout), pending mutations are flushed to the
+// write-ahead log, and the database releases its memory mapping.
+func serveUntilSignal(db *milret.Database, ln net.Listener, readOnly bool, sig <-chan os.Signal) error {
+	h := server.New(db)
+	h.ReadOnly = readOnly
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           server.New(db),
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("serving %d images on http://%s (POST /v1/query)\n", db.Len(), *addr)
-	return srv.ListenAndServe()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	var err error
+	select {
+	case err = <-errc:
+		// The listener failed outright; nothing is serving anymore.
+	case s := <-sig:
+		fmt.Printf("received %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err = srv.Shutdown(ctx)
+		cancel()
+		<-errc // Serve has returned http.ErrServerClosed
+	}
+	if ferr := db.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := db.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func cmdGen(args []string) error {

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"milret"
+	"milret/internal/store"
+	"milret/internal/synth"
+)
+
+// buildTestStore featurizes a tiny corpus straight through the library (no
+// PNG round trip) and saves it where the serve command can load it.
+func buildTestStore(t *testing.T, path string) {
+	t.Helper()
+	db, err := milret.NewDatabase(milret.Options{Resolution: 6, Regions: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range synth.ObjectsN(13, 2) {
+		switch it.Label {
+		case "car", "lamp":
+			if err := db.AddImage(it.ID, it.Label, it.Image); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeGracefulShutdown drives the serve loop end to end: real
+// listener, real HTTP traffic, a mutation, then a signal — the server must
+// drain, flush the acknowledged mutation to the WAL, release the store
+// mapping, and return nil.
+func TestServeGracefulShutdown(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.milret")
+	buildTestStore(t, dbPath)
+
+	db, err := milret.LoadDatabase(dbPath, milret.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- serveUntilSignal(db, ln, false, sig) }()
+
+	base := fmt.Sprintf("http://%s", ln.Addr())
+	get := func(path string) (*http.Response, error) {
+		for i := 0; i < 100; i++ {
+			resp, err := http.Get(base + path)
+			if err == nil {
+				return resp, nil
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		return http.Get(base + path)
+	}
+	resp, err := get("/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" {
+		t.Fatalf("health = %v", health)
+	}
+
+	// Mutate over HTTP; the 200 acknowledges durability.
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/images/object-car-00", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", dresp.StatusCode)
+	}
+
+	sig <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+
+	// The connection is refused after shutdown.
+	if _, err := http.Get(base + "/v1/healthz"); err == nil {
+		t.Fatal("server still accepting after shutdown")
+	}
+	// The acknowledged mutation survived into the store+WAL pair.
+	back, err := milret.LoadDatabase(dbPath, milret.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if _, ok := back.Label("object-car-00"); ok {
+		t.Fatal("mutation lost across shutdown")
+	}
+	if _, _, wrecs, err := store.ReadWAL(store.WALPath(dbPath)); err != nil || len(wrecs) != 1 {
+		t.Fatalf("WAL after shutdown: %d recs, %v", len(wrecs), err)
+	}
+}
+
+// A listener failure (closed underneath the server) must also unwind the
+// loop and close the database rather than hanging.
+func TestServeListenerFailure(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.milret")
+	buildTestStore(t, dbPath)
+	db, err := milret.LoadDatabase(dbPath, milret.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- serveUntilSignal(db, ln, true, sig) }()
+	ln.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("listener failure reported no error")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve loop hung on listener failure")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -111,16 +112,16 @@ func (c *Concept) BagDist(b *mil.Bag) float64 {
 // index of the instance achieving it — the region that "represents the
 // user's concept" for this image, which is the interpretability hook the
 // whole multiple-instance framing buys (§1.2). The index is -1 for an
-// empty bag.
+// empty bag (distance +Inf).
+//
+// The whole bag is scored in one batched kernel call
+// (mat.MinWeightedSqDistVecs) with within-bag early abandonment when the
+// weights permit it, instead of a full kernel evaluation per instance —
+// this is the naive fallback scan's hot loop, and the batched path keeps it
+// bit-identical to the flat columnar scan by sharing the kernel's block
+// order and pruning contract.
 func (c *Concept) BestInstance(b *mil.Bag) (dist float64, index int) {
-	index = -1
-	for j, inst := range b.Instances {
-		d := c.SqDistTo(inst)
-		if index < 0 || d < dist {
-			dist, index = d, j
-		}
-	}
-	return dist, index
+	return mat.MinWeightedSqDistVecs(c.Point, c.Weights, b.Instances, math.Inf(1), c.Weights.AllNonNegative())
 }
 
 // Train maximizes Diverse Density over the dataset and returns the best

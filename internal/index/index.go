@@ -21,10 +21,18 @@
 //     materializes the full distance slice before heaping; the worker heaps
 //     are merged at the end.
 //
+// Deletes are tombstones: Delete marks a bag dead in a bitmask and scans
+// skip it, leaving its rows as dead weight in the flat block until the owner
+// rebuilds the index (retrieval.Database.Compact). Skipping a dead bag is
+// semantically identical to excluding it, so tombstones never disturb
+// early-abandon cutoffs or the exactness of surviving results.
+//
 // The Index is a plain mutable structure with no internal locking: the owner
-// (retrieval.Database) serializes Append calls and takes Snapshot views under
-// its own lock. A Snapshot is safe to scan concurrently with later Appends
-// because appends only ever write past the snapshot's recorded lengths.
+// (retrieval.Database) serializes Append/Delete calls and takes Snapshot
+// views under its own lock. A Snapshot is safe to scan concurrently with
+// later Appends because appends only ever write past the snapshot's recorded
+// lengths, and safe against later Deletes because it copies the tombstone
+// mask.
 package index
 
 import (
@@ -50,6 +58,13 @@ type Index struct {
 	bagOffsets []int
 	ids        []string
 	labels     []string
+	// dead is a tombstone bitmask over bags (bit i set = bag i deleted).
+	// Dead bags keep their rows in the flat block — scans skip them — until
+	// the owner rebuilds the index (retrieval.Database.Compact). nil while
+	// nothing has been deleted, so the common append-only case pays nothing.
+	dead     []uint64
+	nDead    int
+	deadRows int
 }
 
 // New returns an empty index.
@@ -133,17 +148,65 @@ func FromFlat(dim int, data []float64, counts []int, ids, labels []string) (*Ind
 	return x, nil
 }
 
+// Delete tombstones bag i: its rows stay in the flat block but every scan
+// skips it from now on. Deleting an already-dead or out-of-range bag is an
+// error. The caller serializes Delete against Snapshot exactly like Append
+// (retrieval.Database holds the lock); snapshots taken before the delete
+// keep seeing the bag (they copied the mask), snapshots taken after do not.
+func (x *Index) Delete(i int) error {
+	if i < 0 || i >= len(x.ids) {
+		return fmt.Errorf("index: delete of bag %d outside [0, %d)", i, len(x.ids))
+	}
+	if x.isDead(i) {
+		return fmt.Errorf("index: bag %q (%d) already deleted", x.ids[i], i)
+	}
+	if need := len(x.ids)/64 + 1; len(x.dead) < need {
+		x.dead = append(x.dead, make([]uint64, need-len(x.dead))...)
+	}
+	x.dead[i>>6] |= 1 << uint(i&63)
+	x.nDead++
+	x.deadRows += x.bagOffsets[i+1] - x.bagOffsets[i]
+	return nil
+}
+
+func (x *Index) isDead(i int) bool {
+	w := i >> 6
+	return w < len(x.dead) && x.dead[w]&(1<<uint(i&63)) != 0
+}
+
+// IsDead reports whether bag i has been tombstoned.
+func (x *Index) IsDead(i int) bool { return x.isDead(i) }
+
+// Live returns the number of non-deleted bags.
+func (x *Index) Live() int { return len(x.ids) - x.nDead }
+
+// Dead returns the number of tombstoned bags.
+func (x *Index) Dead() int { return x.nDead }
+
+// DeadInstances returns the number of instance rows belonging to tombstoned
+// bags — the dead weight a Compact would reclaim from the flat block.
+func (x *Index) DeadInstances() int { return x.deadRows }
+
 // Snapshot returns a scan view of the current contents. The view stays
 // valid and immutable while the owner keeps appending: appends grow the
 // slices past the snapshot's lengths (or reallocate) but never rewrite the
-// elements a snapshot can see.
+// elements a snapshot can see. The tombstone mask is copied (it is the one
+// piece of state Delete mutates in place), so later deletes never affect an
+// already-taken snapshot.
 func (x *Index) Snapshot() Snapshot {
+	var dead []uint64
+	if x.nDead > 0 {
+		// Words past len(x.dead) are implicitly zero (bags appended since the
+		// last delete are alive), so copying the mask as-is is sufficient.
+		dead = append(dead, x.dead...)
+	}
 	return Snapshot{
 		dim:        x.dim,
 		data:       x.data[:len(x.data):len(x.data)],
 		bagOffsets: x.bagOffsets[:len(x.ids)+1],
 		ids:        x.ids[:len(x.ids)],
 		labels:     x.labels[:len(x.ids)],
+		dead:       dead,
 	}
 }
 
@@ -160,10 +223,29 @@ type Snapshot struct {
 	bagOffsets []int
 	ids        []string
 	labels     []string
+	dead       []uint64
 }
 
-// Len returns the number of bags in the snapshot.
+// Len returns the number of bags in the snapshot, tombstoned ones included.
 func (s Snapshot) Len() int { return len(s.ids) }
+
+// IsDead reports whether bag i is tombstoned in this snapshot. Skipping a
+// dead bag is exactly like excluding it: pruning cutoffs only ever tighten
+// from bags that produce results, so dropping a bag can never disturb the
+// distances or order of the survivors. Exported so the owner's fallback
+// (per-bag) scan shares the snapshot's tombstone view instead of copying
+// the live items per query.
+func (s Snapshot) IsDead(i int) bool { return s.isDead(i) }
+
+func (s Snapshot) isDead(i int) bool {
+	w := i >> 6
+	return w < len(s.dead) && s.dead[w]&(1<<uint(i&63)) != 0
+}
+
+// skip reports whether bag i is out of this scan: tombstoned or excluded.
+func (s Snapshot) skip(i int, exclude map[string]bool) bool {
+	return s.isDead(i) || exclude[s.ids[i]]
+}
 
 // Dim returns the instance dimensionality.
 func (s Snapshot) Dim() int { return s.dim }
@@ -282,7 +364,7 @@ func (s Snapshot) Rank(q Query, exclude map[string]bool, par int) []Result {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				if exclude[s.ids[i]] {
+				if s.skip(i, exclude) {
 					dists[i] = math.Inf(1)
 					continue
 				}
@@ -294,7 +376,7 @@ func (s Snapshot) Rank(q Query, exclude map[string]bool, par int) []Result {
 
 	results := make([]Result, 0, n)
 	for i := 0; i < n; i++ {
-		if exclude[s.ids[i]] {
+		if s.skip(i, exclude) {
 			continue
 		}
 		results = append(results, Result{ID: s.ids[i], Label: s.labels[i], Dist: dists[i]})
@@ -373,7 +455,7 @@ func (s Snapshot) TopK(q Query, k int, exclude map[string]bool, par int) []Resul
 			defer wg.Done()
 			h := make(resultMaxHeap, 0, k)
 			for i := lo; i < hi; i++ {
-				if exclude[s.ids[i]] {
+				if s.skip(i, exclude) {
 					continue
 				}
 				// Prune against the tightest published k-th best. Equality
@@ -496,7 +578,7 @@ func (s Snapshot) MultiTopK(qs []Query, k int, exclude map[string]bool, par int)
 			inf := math.Inf(1)
 			exact := dim <= mat.KernelBlock
 			for i := lo; i < hi; i++ {
-				if exclude[s.ids[i]] {
+				if s.skip(i, exclude) {
 					continue
 				}
 				// Per-concept cutoffs are loaded once per bag, exactly as a

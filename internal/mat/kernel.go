@@ -21,13 +21,15 @@
 // abandoned row is one block, and halving the block halves it — while full
 // evaluations (training, Rank) measure the same within noise.
 //
-// The block body appears twice below — once in the single-vector loop
-// (weightedSqDistPartial) and once in the row-scanning loop
-// (MinWeightedSqDistRows). The duplication is deliberate: the body is too
-// large for the inliner, and a call per block of dimensions would cost more than
-// the unroll buys. The two copies MUST stay textually identical — same
-// expressions, same fold order — and kernel_test.go enforces bit-identical
-// results across every entry point, so any divergence fails the suite.
+// The block body appears three times below — in the single-vector loop
+// (weightedSqDistPartial), in the flat row-scanning loop
+// (MinWeightedSqDistRows), and in the vector-of-slices loop
+// (MinWeightedSqDistVecs, the naive per-bag fallback). The duplication is
+// deliberate: the body is too large for the inliner, and a call per block of
+// dimensions would cost more than the unroll buys. The copies MUST stay
+// textually identical — same expressions, same fold order — and
+// kernel_test.go enforces bit-identical results across every entry point, so
+// any divergence fails the suite.
 //
 // The partial variants check the running sum against an abandon threshold
 // after every block. Because they share the block order, a non-abandoned
@@ -236,6 +238,83 @@ func WeightedSqDistFirstBlock(pblk, wblk []float64, nq int, row, thrs, out []flo
 		}
 	}
 	return mask
+}
+
+// MinWeightedSqDistVecs is MinWeightedSqDistRows for a bag whose instances
+// live in separate slices (the general in-memory case, where bags are built
+// one vector at a time rather than adopted from a flat block). It returns
+// the minimum blocked weighted squared distance from p to any of the
+// vectors together with the index achieving it (-1 for an empty slice), so
+// one call scores a whole bag — the per-instance kernel-call overhead and
+// the lost within-bag early abandonment were the naive fallback scan's
+// regression.
+//
+// Pruning follows the Rows contract exactly: each vector is abandoned once
+// its partial sum strictly exceeds min(best so far, cutoff), completed
+// vectors carry bit-identical kernel values, and ties keep the earliest
+// index (a later vector must be strictly smaller to displace the argmin), so
+// naive rankings stay bit-identical to the flat scan's.
+func MinWeightedSqDistVecs(p, w []float64, vecs []Vector, cutoff float64, prune bool) (float64, int) {
+	dim := len(p)
+	mustSameLen(dim, len(w))
+	if len(vecs) == 0 {
+		return math.Inf(1), -1
+	}
+	p = p[:dim:dim]
+	w = w[:dim:dim]
+	if !prune {
+		cutoff = math.Inf(1)
+		best := math.Inf(1)
+		bi := -1
+		for vi, vec := range vecs {
+			mustSameLen(dim, len(vec))
+			sum, _ := weightedSqDistPartial(p, vec, w, cutoff)
+			if sum < best || bi < 0 {
+				best, bi = sum, vi
+			}
+		}
+		return best, bi
+	}
+	best := math.Inf(1)
+	bi := -1
+vecLoop:
+	for vi, vec := range vecs {
+		mustSameLen(dim, len(vec))
+		row := vec[:dim:dim]
+		thr := best
+		if cutoff < thr {
+			thr = cutoff
+		}
+		var sum float64
+		i := 0
+		for ; i+KernelBlock <= dim; i += KernelBlock {
+			// Exact copy of the canonical block body in
+			// weightedSqDistPartial — keep in lockstep.
+			vb := (*[KernelBlock]float64)(p[i:])
+			ub := (*[KernelBlock]float64)(row[i:])
+			wb := (*[KernelBlock]float64)(w[i:])
+			d0 := vb[0] - ub[0]
+			d1 := vb[1] - ub[1]
+			d2 := vb[2] - ub[2]
+			d3 := vb[3] - ub[3]
+			s0 := wb[0]*d0*d0 + wb[2]*d2*d2
+			s1 := wb[1]*d1*d1 + wb[3]*d3*d3
+			sum += s0 + s1
+			if sum > thr {
+				continue vecLoop
+			}
+		}
+		if i < dim {
+			sum += tailSqDist(p[i:], row[i:], w[i:])
+			if sum > thr {
+				continue vecLoop
+			}
+		}
+		if sum < best || bi < 0 {
+			best, bi = sum, vi
+		}
+	}
+	return best, bi
 }
 
 // MinWeightedSqDistRows returns the minimum, over the row-major instance

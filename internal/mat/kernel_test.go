@@ -333,3 +333,99 @@ func BenchmarkWeightedSqDist100(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestMinVecsMatchesMinRows: the vector-of-slices loop (the naive per-bag
+// fallback) must carry the exact accumulation order and pruning decisions of
+// the flat row loop — same bits for the minimum, for prunable and
+// non-prunable weights, with and without cutoffs — and its argmin must keep
+// the earliest index on exact ties.
+func TestMinVecsMatchesMinRows(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(40)
+		nRows := r.Intn(6)
+		rows := make([]float64, nRows*dim)
+		for i := range rows {
+			rows[i] = r.NormFloat64()
+		}
+		if nRows >= 2 && r.Intn(2) == 0 {
+			copy(rows[(nRows-1)*dim:], rows[:dim]) // force an exact distance tie
+		}
+		vecs := make([]Vector, nRows)
+		for i := range vecs {
+			vecs[i] = Vector(rows[i*dim : (i+1)*dim])
+		}
+		negWeights := r.Intn(3) == 0
+		p, _, w := randTriple(r, dim, negWeights)
+		prune := Vector(w).AllNonNegative()
+
+		for _, pr := range []bool{false, prune} {
+			want := MinWeightedSqDistRows(p, w, rows, math.Inf(1), pr)
+			got, gotIdx := MinWeightedSqDistVecs(p, w, vecs, math.Inf(1), pr)
+			if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Logf("prune=%v: vecs min %v != rows min %v", pr, got, want)
+				return false
+			}
+			// Argmin: earliest index achieving the exact minimum.
+			wantIdx := -1
+			for i := 0; i < nRows; i++ {
+				if WeightedSqDistBlocked(p, rows[i*dim:(i+1)*dim], w) == want {
+					wantIdx = i
+					break
+				}
+			}
+			if gotIdx != wantIdx {
+				t.Logf("prune=%v: argmin %d != %d", pr, gotIdx, wantIdx)
+				return false
+			}
+		}
+		if !prune || nRows == 0 {
+			return true
+		}
+		want := MinWeightedSqDistRows(p, w, rows, math.Inf(1), true)
+		for _, cutoff := range []float64{want, want * 1.5, want * 0.5, 0} {
+			got, _ := MinWeightedSqDistVecs(p, w, vecs, cutoff, true)
+			if want <= cutoff {
+				if got != want {
+					t.Logf("cutoff %v: got %v want %v", cutoff, got, want)
+					return false
+				}
+			} else if !(got > cutoff) {
+				t.Logf("cutoff %v: got %v not above cutoff (true %v)", cutoff, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinVecsEdgeCases(t *testing.T) {
+	if got, idx := MinWeightedSqDistVecs([]float64{1}, []float64{1}, nil, 0, true); !math.IsInf(got, 1) || idx != -1 {
+		t.Fatalf("no vecs = (%v, %d), want (+Inf, -1)", got, idx)
+	}
+	// Zero allocations: the whole bag is scored in place.
+	p := []float64{1, 2, 3, 4, 5}
+	w := []float64{1, 1, 1, 1, 1}
+	vecs := []Vector{{0, 0, 0, 0, 0}, {1, 2, 3, 4, 5}}
+	if allocs := testing.AllocsPerRun(100, func() {
+		MinWeightedSqDistVecs(p, w, vecs, math.Inf(1), true)
+	}); allocs != 0 {
+		t.Fatalf("MinWeightedSqDistVecs allocates %.0f per call", allocs)
+	}
+	for _, fn := range []func(){
+		func() { MinWeightedSqDistVecs([]float64{1}, []float64{1, 2}, nil, 0, true) },
+		func() { MinWeightedSqDistVecs([]float64{1, 2}, []float64{1, 2}, []Vector{{1}}, 0, true) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid vecs geometry did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

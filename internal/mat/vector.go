@@ -227,6 +227,18 @@ func Equal(v, u Vector, tol float64) bool {
 	return true
 }
 
+// AllNonNegative reports whether every element of v is ≥ 0 — the
+// precondition for exact early abandonment in the blocked distance kernel
+// (partial sums of non-negative terms are monotone).
+func (v Vector) AllNonNegative() bool {
+	for _, x := range v {
+		if x < 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // IsFinite reports whether every element of v is finite (no NaN or ±Inf).
 func (v Vector) IsFinite() bool {
 	for _, x := range v {

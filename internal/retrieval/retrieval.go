@@ -10,6 +10,13 @@
 // early abandonment and fused per-worker top-k heaps. Scorers that only
 // implement BagDist fall back to the naive per-bag scan; both paths produce
 // bit-identical rankings (distances and ID tie-breaks).
+//
+// The database is mutable: Delete tombstones an item (scans skip it from
+// the next query on), Update swaps in a new bag/label atomically, and
+// Compact — triggered automatically once dead rows pass a threshold —
+// rebuilds the flat block without the tombstones. A ranking over a database
+// with tombstones is bit-identical to one over a database rebuilt from the
+// live items alone.
 package retrieval
 
 import (
@@ -52,14 +59,32 @@ type Item struct {
 // Database is an in-memory collection of items, safe for concurrent reads
 // and serialized writes. It maintains the flat scoring index incrementally:
 // Add appends the bag's instances to the columnar block in place, so queries
-// issued after Add returns see the new item without any rebuild.
+// issued after Add returns see the new item without any rebuild; Delete
+// tombstones the item in the index so queries skip it immediately, and
+// Update is a delete of the old version plus an append of the new one. Once
+// tombstoned rows outgrow compactFraction of the block the database compacts
+// itself (see Compact).
 type Database struct {
 	mu    sync.RWMutex
-	items []Item
+	items []Item // parallel to index slots; tombstoned slots stay in place
 	byID  map[string]int
 	dim   int
 	idx   *index.Index
 }
+
+// Compaction policy: rebuilding the flat block costs one pass over the live
+// instances, so it is deferred until the dead rows are a meaningful fraction
+// of a meaningful block. Mutation-heavy small databases stay un-compacted
+// (rebuilds there are cheap anyway and Compact can always be called
+// explicitly).
+const (
+	// compactFraction is the dead-instance share of the flat block above
+	// which Delete/Update trigger an automatic Compact.
+	compactFraction = 0.25
+	// compactMinDeadRows is the minimum number of dead instance rows before
+	// automatic compaction is considered at all.
+	compactMinDeadRows = 4096
+)
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database {
@@ -136,11 +161,111 @@ func (db *Database) Add(item Item) error {
 	return nil
 }
 
-// Len returns the number of items.
+// Delete removes the item with the given ID. The removal is a tombstone:
+// queries issued after Delete returns no longer see the item, its ID is
+// immediately reusable by Add, and the instance rows linger in the flat
+// block until enough dead weight accumulates to trigger a Compact.
+func (db *Database) Delete(id string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	i, ok := db.byID[id]
+	if !ok {
+		return fmt.Errorf("retrieval: delete of unknown item ID %q", id)
+	}
+	if err := db.idx.Delete(i); err != nil {
+		return err
+	}
+	delete(db.byID, id)
+	db.maybeCompactLocked()
+	return nil
+}
+
+// Update replaces the stored item carrying item.ID with the given bag and
+// label. It is a tombstone of the old version plus an append of the new one,
+// so concurrent queries see either the old or the new version, never both
+// and never neither.
+func (db *Database) Update(item Item) error {
+	if item.Bag == nil {
+		return fmt.Errorf("retrieval: item %q has nil bag", item.ID)
+	}
+	if err := item.Bag.Validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	i, ok := db.byID[item.ID]
+	if !ok {
+		return fmt.Errorf("retrieval: update of unknown item ID %q", item.ID)
+	}
+	if item.Bag.Dim() != db.dim {
+		return fmt.Errorf("retrieval: item %q dim %d, database dim %d", item.ID, item.Bag.Dim(), db.dim)
+	}
+	if err := db.idx.Append(item.ID, item.Label, item.Bag.Instances); err != nil {
+		return err
+	}
+	// The append cannot fail after validation, and Delete of a live in-range
+	// slot cannot fail either — the two-step swap is effectively atomic under
+	// the write lock.
+	if err := db.idx.Delete(i); err != nil {
+		return err
+	}
+	db.byID[item.ID] = len(db.items)
+	db.items = append(db.items, item)
+	db.maybeCompactLocked()
+	return nil
+}
+
+// Compact rebuilds the flat scoring index from the live items, reclaiming
+// the rows tombstoned by Delete/Update. Snapshots taken before the compact
+// keep scanning the old (immutable) block; queries issued afterwards scan
+// the fresh one. Rankings are unaffected: compaction preserves the live
+// items and their insertion order.
+func (db *Database) Compact() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.compactLocked()
+}
+
+func (db *Database) maybeCompactLocked() {
+	deadRows := db.idx.DeadInstances()
+	if deadRows < compactMinDeadRows {
+		return
+	}
+	if float64(deadRows) < compactFraction*float64(db.idx.Instances()) {
+		return
+	}
+	db.compactLocked()
+}
+
+func (db *Database) compactLocked() {
+	if db.idx.Dead() == 0 {
+		return
+	}
+	idx := index.New()
+	items := make([]Item, 0, db.idx.Live())
+	byID := make(map[string]int, db.idx.Live())
+	for i, it := range db.items {
+		if db.idx.IsDead(i) {
+			continue
+		}
+		if err := idx.Append(it.ID, it.Label, it.Bag.Instances); err != nil {
+			// Every live item was validated on its way in; a failure here is
+			// a programming error, not a recoverable condition.
+			panic(fmt.Sprintf("retrieval: compact re-append of %q: %v", it.ID, err))
+		}
+		byID[it.ID] = len(items)
+		items = append(items, it)
+	}
+	db.items = items
+	db.byID = byID
+	db.idx = idx
+}
+
+// Len returns the number of live items.
 func (db *Database) Len() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return len(db.items)
+	return db.idx.Live()
 }
 
 // Dim returns the feature dimensionality (0 while empty).
@@ -150,11 +275,23 @@ func (db *Database) Dim() int {
 	return db.dim
 }
 
-// Get returns the i-th item.
+// Get returns the i-th live item in insertion order.
 func (db *Database) Get(i int) Item {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.items[i]
+	if db.idx.Dead() == 0 {
+		return db.items[i]
+	}
+	live := -1
+	for j, it := range db.items {
+		if db.idx.IsDead(j) {
+			continue
+		}
+		if live++; live == i {
+			return it
+		}
+	}
+	panic(fmt.Sprintf("retrieval: Get(%d) of %d live items", i, live+1))
 }
 
 // ByID returns the item with the given ID.
@@ -168,33 +305,58 @@ func (db *Database) ByID(id string) (Item, bool) {
 	return db.items[i], true
 }
 
-// Items returns a snapshot copy of the item slice.
+// Items returns a snapshot copy of the live items in insertion order.
 func (db *Database) Items() []Item {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	out := make([]Item, len(db.items))
-	copy(out, db.items)
+	out := make([]Item, 0, db.idx.Live())
+	for i, it := range db.items {
+		if db.idx.IsDead(i) {
+			continue
+		}
+		out = append(out, it)
+	}
 	return out
 }
 
 // snapshot returns a consistent scan view of the flat index. The view stays
-// immutable under concurrent Adds (appends only write past its lengths).
+// immutable under concurrent Adds (appends only write past its lengths) and
+// Deletes (the tombstone mask is copied).
 func (db *Database) snapshot() index.Snapshot {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.idx.Snapshot()
 }
 
+// view returns a zero-copy scan view for the fallback per-bag path: the raw
+// item slots (dead ones included) plus an index snapshot whose tombstone
+// mask says which slots to skip. Aliasing db.items is safe for the same
+// reason the flat snapshot is: Add/Update only append slots, Delete only
+// flips mask bits (copied into the snapshot), so the elements a view can
+// see are never rewritten. This keeps the fallback scan from copying the
+// whole item slice on every query.
+func (db *Database) view() ([]Item, index.Snapshot) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := len(db.items)
+	return db.items[:n:n], db.idx.Snapshot()
+}
+
 // Stats summarizes the flat scoring index.
 type Stats struct {
-	// Items is the number of bags (images).
+	// Items is the number of live bags (images).
 	Items int
-	// Instances is the total instance (region vector) count.
+	// Instances is the live instance (region vector) count.
 	Instances int
 	// Dim is the feature dimensionality.
 	Dim int
-	// IndexBytes is the size of the flat instance block in bytes.
+	// IndexBytes is the size of the flat instance block in bytes, dead rows
+	// included (they occupy the block until compaction).
 	IndexBytes int64
+	// DeadItems and DeadInstances count tombstoned bags and their rows still
+	// occupying the block — the weight the next Compact reclaims.
+	DeadItems     int
+	DeadInstances int
 }
 
 // Stats reports the size of the flat scoring index.
@@ -202,10 +364,12 @@ func (db *Database) Stats() Stats {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return Stats{
-		Items:      db.idx.Len(),
-		Instances:  db.idx.Instances(),
-		Dim:        db.idx.Dim(),
-		IndexBytes: db.idx.Bytes(),
+		Items:         db.idx.Live(),
+		Instances:     db.idx.Instances() - db.idx.DeadInstances(),
+		Dim:           db.idx.Dim(),
+		IndexBytes:    db.idx.Bytes(),
+		DeadItems:     db.idx.Dead(),
+		DeadInstances: db.idx.DeadInstances(),
 	}
 }
 
@@ -250,8 +414,8 @@ func Rank(db *Database, s Scorer, opts Options) []Result {
 }
 
 // TopK returns the k best matches in ascending distance order without
-// sorting the whole database. On the flat path each scan worker fuses a
-// size-k max-heap into its scan; the fallback path heaps after a full scan.
+// sorting the whole database. On both paths each scan worker fuses a size-k
+// max-heap into its scan, so the full distance slice is never materialized.
 // For k ≥ database size it equals Rank.
 func TopK(db *Database, s Scorer, k int, opts Options) []Result {
 	if k <= 0 {
@@ -260,29 +424,57 @@ func TopK(db *Database, s Scorer, k int, opts Options) []Result {
 	if q, ok := query(db, s); ok {
 		return db.snapshot().TopK(q, k, opts.Exclude, opts.Parallelism)
 	}
-	results := scan(db, s, opts)
-	if k >= len(results) {
+	items, snap := db.view()
+	if k >= len(items) {
+		results := scan(db, s, opts)
 		sortResults(results)
 		return results
 	}
-	h := &resultMaxHeap{}
-	heap.Init(h)
-	for _, r := range results {
-		if h.Len() < k {
-			heap.Push(h, r)
-			continue
+	par := workerCount(opts.Parallelism, len(items))
+	heaps := make([]*resultMaxHeap, par)
+	var wg sync.WaitGroup
+	chunk := (len(items) + par - 1) / par
+	for w := 0; w < par; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(items))
+		if lo >= hi {
+			break
 		}
-		if worse(r, (*h)[0]) {
-			continue
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			h := make(resultMaxHeap, 0, min(k, hi-lo))
+			heaps[w] = &h
+			for i := lo; i < hi; i++ {
+				if snap.IsDead(i) || opts.Exclude[items[i].ID] {
+					continue
+				}
+				r := Result{ID: items[i].ID, Label: items[i].Label, Dist: s.BagDist(items[i].Bag)}
+				if h.Len() < k {
+					heap.Push(&h, r)
+					continue
+				}
+				if worse(r, h[0]) {
+					continue
+				}
+				h[0] = r
+				heap.Fix(&h, 0)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	merged := make([]Result, 0, par*k)
+	for _, h := range heaps {
+		if h != nil {
+			merged = append(merged, *h...)
 		}
-		(*h)[0] = r
-		heap.Fix(h, 0)
 	}
-	out := make([]Result, h.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(Result)
+	sortResults(merged)
+	if len(merged) > k {
+		merged = merged[:k]
 	}
-	return out
+	return merged
 }
 
 // TopKMany returns, for each scorer, its k best matches in ascending
@@ -324,30 +516,35 @@ func sortResults(results []Result) {
 	})
 }
 
-// scan computes distances for all non-excluded items via the generic
-// per-bag Scorer interface, splitting the database across workers. It is
-// the fallback for scorers that cannot expose point/weight geometry.
-func scan(db *Database, s Scorer, opts Options) []Result {
-	items := db.Items()
-	par := opts.Parallelism
+// workerCount clamps the requested scan parallelism to [1, n].
+func workerCount(requested, n int) int {
+	par := requested
 	if par <= 0 {
 		par = runtime.NumCPU()
 	}
-	if par > len(items) {
-		par = len(items)
+	if par > n {
+		par = n
 	}
 	if par < 1 {
 		par = 1
 	}
+	return par
+}
+
+// scan computes distances for all live, non-excluded items via the generic
+// per-bag Scorer interface, splitting the database across workers. It is
+// the fallback for scorers that cannot expose point/weight geometry; it
+// iterates the item slots zero-copy (see view) so a query costs no O(n)
+// item copy.
+func scan(db *Database, s Scorer, opts Options) []Result {
+	items, snap := db.view()
+	par := workerCount(opts.Parallelism, len(items))
 	dists := make([]float64, len(items))
 	var wg sync.WaitGroup
 	chunk := (len(items) + par - 1) / par
 	for w := 0; w < par; w++ {
 		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(items) {
-			hi = len(items)
-		}
+		hi := min(lo+chunk, len(items))
 		if lo >= hi {
 			break
 		}
@@ -355,7 +552,7 @@ func scan(db *Database, s Scorer, opts Options) []Result {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				if opts.Exclude[items[i].ID] {
+				if snap.IsDead(i) || opts.Exclude[items[i].ID] {
 					dists[i] = math.Inf(1)
 					continue
 				}
@@ -367,7 +564,7 @@ func scan(db *Database, s Scorer, opts Options) []Result {
 
 	results := make([]Result, 0, len(items))
 	for i, item := range items {
-		if opts.Exclude[item.ID] {
+		if snap.IsDead(i) || opts.Exclude[item.ID] {
 			continue
 		}
 		results = append(results, Result{ID: item.ID, Label: item.Label, Dist: dists[i]})

@@ -3,12 +3,15 @@
 // paper describes (a user iteratively queries with examples and refines
 // with feedback):
 //
-//	GET  /v1/images            → list of {id, label}
-//	GET  /v1/images/{id}       → one image's metadata
-//	POST /v1/query             → train on examples and rank
-//	POST /v1/retrieve/batch    → rank several concept geometries in one scan
-//	GET  /v1/stats             → flat scoring-index size metrics
-//	GET  /v1/healthz           → liveness probe
+//	GET    /v1/images            → list of {id, label}
+//	GET    /v1/images/{id}       → one image's metadata
+//	PUT    /v1/images/{id}       → update an image's label (and optionally
+//	                               its pixels, as base64 PNG)
+//	DELETE /v1/images/{id}       → remove an image
+//	POST   /v1/query             → train on examples and rank
+//	POST   /v1/retrieve/batch    → rank several concept geometries in one scan
+//	GET    /v1/stats             → scoring-index and mutation-lifecycle metrics
+//	GET    /v1/healthz           → liveness probe + data verification state
 //
 // The query request body:
 //
@@ -22,13 +25,21 @@
 //	}
 //
 // Training is CPU-bound (typically tens to hundreds of milliseconds at the
-// paper's scale), so queries run synchronously; concurrent queries are safe
-// because the database is immutable after construction.
+// paper's scale), so queries run synchronously; concurrent queries and
+// mutations are safe — the database serializes writes and queries scan
+// immutable snapshots. A successful DELETE/PUT response means the mutation
+// is durable: the handler flushes the database's mutation log (a no-op for
+// in-memory databases) before acknowledging. Set ReadOnly to refuse
+// mutations entirely.
 package server
 
 import (
+	"bytes"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
+	"image"
+	"image/png"
 	"net/http"
 	"strings"
 	"time"
@@ -36,7 +47,7 @@ import (
 	"milret"
 )
 
-// Server serves a fixed database.
+// Server serves a database over HTTP, including its mutation lifecycle.
 type Server struct {
 	db  *milret.Database
 	mux *http.ServeMux
@@ -45,6 +56,8 @@ type Server struct {
 	// MaxBatchConcepts bounds how many concepts one /v1/retrieve/batch
 	// request may carry (default 64).
 	MaxBatchConcepts int
+	// ReadOnly refuses DELETE/PUT mutations with 403.
+	ReadOnly bool
 }
 
 // New builds a server around the database.
@@ -126,17 +139,37 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// handleHealth reports liveness plus the backing store's data-verification
+// state: "verified", "pending" (a background checksum of a fast-loaded
+// block is still running) or "corrupt". A corrupt block degrades the probe
+// to 503 — results served from it cannot be trusted, and orchestrators
+// should rotate the replica out.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "images": s.db.Len()})
+	status, verr := s.db.Verification()
+	body := map[string]any{"status": "ok", "images": s.db.Len(), "data": status.String()}
+	code := http.StatusOK
+	if status == milret.VerifyCorrupt {
+		body["status"] = "degraded"
+		if verr != nil {
+			body["error"] = verr.Error()
+		}
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
 }
 
 // StatsResponse is the /v1/stats reply: the size of the flat columnar
-// scoring index every query scans.
+// scoring index every query scans, plus the mutation-lifecycle counters
+// (tombstoned dead weight and journal depth).
 type StatsResponse struct {
-	Images     int   `json:"images"`
-	Instances  int   `json:"instances"`
-	Dim        int   `json:"dim"`
-	IndexBytes int64 `json:"index_bytes"`
+	Images           int   `json:"images"`
+	Instances        int   `json:"instances"`
+	Dim              int   `json:"dim"`
+	IndexBytes       int64 `json:"index_bytes"`
+	DeadImages       int   `json:"dead_images,omitempty"`
+	DeadInstances    int   `json:"dead_instances,omitempty"`
+	PendingMutations int   `json:"pending_mutations,omitempty"`
+	WALMutations     int   `json:"wal_mutations,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -146,10 +179,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.db.Stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Images:     st.Images,
-		Instances:  st.Instances,
-		Dim:        st.Dim,
-		IndexBytes: st.IndexBytes,
+		Images:           st.Images,
+		Instances:        st.Instances,
+		Dim:              st.Dim,
+		IndexBytes:       st.IndexBytes,
+		DeadImages:       st.DeadImages,
+		DeadInstances:    st.DeadInstances,
+		PendingMutations: st.PendingMutations,
+		WALMutations:     st.WALMutations,
 	})
 }
 
@@ -166,18 +203,97 @@ func (s *Server) handleImages(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, infos)
 }
 
+// UpdateImageRequest is the PUT /v1/images/{id} body. Label replaces the
+// stored label; PNGBase64, when present, replaces the stored image pixels
+// (the PNG is re-featurized server-side).
+type UpdateImageRequest struct {
+	Label     string `json:"label"`
+	PNGBase64 string `json:"png_base64,omitempty"`
+}
+
 func (s *Server) handleImage(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET only"})
+	id := strings.TrimPrefix(r.URL.Path, "/v1/images/")
+	switch r.Method {
+	case http.MethodGet:
+		label, ok := s.db.Label(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorBody{fmt.Sprintf("no image %q", id)})
+			return
+		}
+		writeJSON(w, http.StatusOK, ImageInfo{ID: id, Label: label})
+	case http.MethodDelete:
+		s.handleDeleteImage(w, r, id)
+	case http.MethodPut:
+		s.handleUpdateImage(w, r, id)
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET, PUT or DELETE only"})
+	}
+}
+
+// mutable gates the mutation endpoints and reports whether to proceed.
+func (s *Server) mutable(w http.ResponseWriter) bool {
+	if s.ReadOnly {
+		writeJSON(w, http.StatusForbidden, errorBody{"server is read-only"})
+		return false
+	}
+	return true
+}
+
+// ack makes a successful mutation durable before acknowledging it: the
+// database's pending mutation journal is flushed to the write-ahead log (a
+// no-op for unbound in-memory databases). A flush failure is reported as
+// 500 — the mutation is applied in memory but not persisted.
+func (s *Server) ack(w http.ResponseWriter, body any) {
+	if err := s.db.Flush(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{fmt.Sprintf("flush: %v", err)})
 		return
 	}
-	id := strings.TrimPrefix(r.URL.Path, "/v1/images/")
-	label, ok := s.db.Label(id)
-	if !ok {
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleDeleteImage(w http.ResponseWriter, r *http.Request, id string) {
+	if !s.mutable(w) {
+		return
+	}
+	if err := s.db.DeleteImage(id); err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
+		return
+	}
+	s.ack(w, map[string]any{"deleted": id, "images": s.db.Len()})
+}
+
+func (s *Server) handleUpdateImage(w http.ResponseWriter, r *http.Request, id string) {
+	if !s.mutable(w) {
+		return
+	}
+	var req UpdateImageRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad request: %v", err)})
+		return
+	}
+	var img image.Image
+	if req.PNGBase64 != "" {
+		raw, err := base64.StdEncoding.DecodeString(req.PNGBase64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad png_base64: %v", err)})
+			return
+		}
+		if img, err = png.Decode(bytes.NewReader(raw)); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad PNG: %v", err)})
+			return
+		}
+	}
+	if _, ok := s.db.Label(id); !ok {
 		writeJSON(w, http.StatusNotFound, errorBody{fmt.Sprintf("no image %q", id)})
 		return
 	}
-	writeJSON(w, http.StatusOK, ImageInfo{ID: id, Label: label})
+	if err := s.db.UpdateImage(id, req.Label, img); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	s.ack(w, ImageInfo{ID: id, Label: req.Label})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {

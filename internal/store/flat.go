@@ -30,11 +30,13 @@ package store
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"sync"
 	"unsafe"
 
 	"milret/internal/mat"
@@ -66,8 +68,13 @@ func flatPad(end int) int {
 	return (8 - end%8) % 8
 }
 
-// WriteFlatFile writes all records to path atomically in the flat columnar
-// format. Record bags must be valid and share dimensionality dim.
+// WriteFlatFile writes all records to path atomically and durably in the
+// flat columnar format: temp file in the same directory, fsync, rename,
+// directory fsync. Durability matters because the incremental-save path
+// removes the fsynced mutation log right after a snapshot rewrite — the
+// snapshot must be on stable storage before the log that duplicates its
+// contents disappears. Record bags must be valid and share dimensionality
+// dim.
 func WriteFlatFile(path string, dim int, recs []Record) error {
 	tmp, err := os.CreateTemp(pathDir(path), ".milret-store-*")
 	if err != nil {
@@ -78,10 +85,18 @@ func WriteFlatFile(path string, dim int, recs []Record) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	syncDir(path)
+	return nil
 }
 
 func writeFlat(w io.Writer, dim int, recs []Record) error {
@@ -186,6 +201,9 @@ type FlatDB struct {
 	// Counts is the per-record instance count (parallel to Records).
 	Counts []int
 
+	// mu serializes VerifyData against Close so a background verification
+	// (milret runs one after a fast load) can never race the munmap.
+	mu       sync.Mutex
 	mapped   []byte // retained memory mapping backing Data, nil otherwise
 	raw      []byte // file bytes backing Data (zero-copy), nil if converted
 	dataOff  int
@@ -193,23 +211,39 @@ type FlatDB struct {
 	verified bool
 }
 
+// ErrClosed is returned by operations on a FlatDB whose mapping has been
+// released by Close.
+var ErrClosed = errors.New("store: flat store closed")
+
 // ZeroCopy reports whether Data aliases the file bytes directly (as opposed
 // to a converted copy).
-func (f *FlatDB) ZeroCopy() bool { return f.raw != nil }
+func (f *FlatDB) ZeroCopy() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.raw != nil
+}
 
 // Mapped reports whether Data is backed by a live memory mapping.
-func (f *FlatDB) Mapped() bool { return f.mapped != nil }
+func (f *FlatDB) Mapped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mapped != nil
+}
 
 // VerifyData checksums the data block against the stored CRC. On the
 // zero-copy path this is the integrity check OpenFlatFile defers to keep
 // open O(items); converted opens have already verified during conversion,
-// so repeated calls are free.
+// so repeated calls are free. Safe to call from a background goroutine: a
+// concurrent Close blocks until the checksum pass finishes, and VerifyData
+// after Close returns ErrClosed instead of touching the released mapping.
 func (f *FlatDB) VerifyData() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.verified {
 		return nil
 	}
 	if f.raw == nil {
-		return fmt.Errorf("store: VerifyData on a closed flat store")
+		return fmt.Errorf("VerifyData: %w", ErrClosed)
 	}
 	got := crc32.ChecksumIEEE(f.raw[f.dataOff : f.dataOff+len(f.Data)*8])
 	if got != f.dataSum {
@@ -225,6 +259,8 @@ func (f *FlatDB) VerifyData() error {
 // the FlatDB (or drop it without Close) — an unreferenced mapping stays
 // valid for the life of the process and is page-cache backed.
 func (f *FlatDB) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.mapped == nil {
 		return nil
 	}

@@ -1,0 +1,267 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func walOps(r *rand.Rand, dim int) []WALRecord {
+	return []WALRecord{
+		{Op: WALAdd, Rec: randRecord(r, "img-a", "sunset", dim, 3)},
+		{Op: WALAdd, Rec: randRecord(r, "img-b", "", dim, 1)},
+		{Op: WALUpdate, Rec: randRecord(r, "img-a", "dusk", dim, 2)},
+		{Op: WALDelete, Rec: Record{ID: "img-b"}},
+	}
+}
+
+func writeWAL(t *testing.T, path string, dim int, ops []WALRecord) {
+	t.Helper()
+	w, err := CreateWAL(path, dim, WALFingerprint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if err := w.Append(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sameOps compares decoded WAL records against the originals (bags by
+// value).
+func sameOps(t *testing.T, got, want []WALRecord) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Op != want[i].Op || got[i].Rec.ID != want[i].Rec.ID || got[i].Rec.Label != want[i].Rec.Label {
+			t.Fatalf("record %d: got (%v %q %q), want (%v %q %q)", i,
+				got[i].Op, got[i].Rec.ID, got[i].Rec.Label, want[i].Op, want[i].Rec.ID, want[i].Rec.Label)
+		}
+		if want[i].Op == WALDelete {
+			continue
+		}
+		if !reflect.DeepEqual(got[i].Rec.Bag.Instances, want[i].Rec.Bag.Instances) {
+			t.Fatalf("record %d: instances diverged", i)
+		}
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	dim := 6
+	ops := walOps(r, dim)
+	path := filepath.Join(t.TempDir(), "db.milret.wal")
+	writeWAL(t, path, dim, ops)
+
+	gotDim, _, got, err := ReadWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDim != dim {
+		t.Fatalf("dim = %d, want %d", gotDim, dim)
+	}
+	sameOps(t, got, ops)
+}
+
+func TestWALOpenAppends(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	dim := 4
+	ops := walOps(r, dim)
+	path := filepath.Join(t.TempDir(), "w.wal")
+	writeWAL(t, path, dim, ops[:2])
+
+	w, err := OpenWAL(path, dim, WALFingerprint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 2 {
+		t.Fatalf("Count after open = %d, want 2", w.Count())
+	}
+	for _, op := range ops[2:] {
+		if err := w.Append(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, got, err := ReadWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOps(t, got, ops)
+
+	if _, err := OpenWAL(path, dim+1, WALFingerprint{}); err == nil {
+		t.Fatal("dim mismatch accepted on open")
+	}
+	// Opening a missing log creates it with just a header.
+	fresh := filepath.Join(t.TempDir(), "fresh.wal")
+	w2, err := OpenWAL(fresh, dim, WALFingerprint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Count() != 0 {
+		t.Fatalf("fresh log Count = %d", w2.Count())
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, got, err := ReadWAL(fresh); err != nil || len(got) != 0 {
+		t.Fatalf("fresh log read: %d recs, %v", len(got), err)
+	}
+}
+
+// A crash mid-append leaves a torn tail: every truncation point of the
+// final record must recover the intact prefix without error, and OpenWAL
+// must truncate the torn bytes so appending resumes cleanly.
+func TestWALTornTailRecovery(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	dim := 3
+	ops := walOps(r, dim)
+	path := filepath.Join(t.TempDir(), "w.wal")
+	writeWAL(t, path, dim, ops)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, prefixLen, err := scanWAL(path)
+	if err != nil || prefixLen != int64(len(full)) {
+		t.Fatalf("clean scan: len %d vs %d, %v", prefixLen, len(full), err)
+	}
+
+	// Find the start of the final record by writing only the first 3 ops.
+	short := filepath.Join(t.TempDir(), "short.wal")
+	writeWAL(t, short, dim, ops[:3])
+	shortRaw, err := os.ReadFile(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastStart := len(shortRaw)
+
+	for cut := lastStart + 1; cut < len(full); cut += (len(full) - lastStart) / 7 {
+		torn := filepath.Join(t.TempDir(), "torn.wal")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, got, err := ReadWAL(torn)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		sameOps(t, got, ops[:3])
+
+		// Reopen for append: the torn bytes are truncated and a new record
+		// lands on a clean boundary.
+		w, err := OpenWAL(torn, dim, WALFingerprint{})
+		if err != nil {
+			t.Fatalf("cut at %d: open: %v", cut, err)
+		}
+		if w.Count() != 3 {
+			t.Fatalf("cut at %d: Count = %d", cut, w.Count())
+		}
+		if err := w.Append(ops[3]); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, _, got, err = ReadWAL(torn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameOps(t, got, ops)
+	}
+}
+
+// Damage before the end of the log is bit rot, not a crash artifact:
+// readers must refuse to replay past it.
+func TestWALMidLogCorruption(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	dim := 3
+	ops := walOps(r, dim)
+	path := filepath.Join(t.TempDir(), "w.wal")
+	writeWAL(t, path, dim, ops)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte inside the second record's frame (well before the tail).
+	short := filepath.Join(t.TempDir(), "short.wal")
+	writeWAL(t, short, dim, ops[:1])
+	sr, _ := os.ReadFile(short)
+	corrupt := append([]byte(nil), raw...)
+	corrupt[len(sr)+6] ^= 0xA5
+	bad := filepath.Join(t.TempDir(), "bad.wal")
+	if err := os.WriteFile(bad, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadWAL(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-log corruption not detected: %v", err)
+	}
+	if _, err := OpenWAL(bad, dim, WALFingerprint{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("OpenWAL accepted corrupt log: %v", err)
+	}
+
+	// A corrupt final record (CRC flip in the tail) is treated as torn.
+	tail := append([]byte(nil), raw...)
+	tail[len(tail)-1] ^= 0xFF
+	tornPath := filepath.Join(t.TempDir(), "torn-crc.wal")
+	if err := os.WriteFile(tornPath, tail, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, got, err := ReadWAL(tornPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOps(t, got, ops[:3])
+}
+
+func TestWALHeaderValidation(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       []byte("MILRETW1\x01"),
+		"bad magic":   append([]byte("NOTAWAL!"), make([]byte, 8)...),
+		"bad version": append([]byte(WALMagic), []byte{9, 0, 0, 0, 4, 0, 0, 0}...),
+		"zero dim":    append([]byte(WALMagic), []byte{1, 0, 0, 0, 0, 0, 0, 0}...),
+	}
+	for name, raw := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := ReadWAL(p); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := CreateWAL(filepath.Join(dir, "x"), 0, WALFingerprint{}); err == nil {
+		t.Error("CreateWAL accepted dim 0")
+	}
+}
+
+func TestWALPathHelpers(t *testing.T) {
+	if got := WALPath("/x/db.milret"); got != "/x/db.milret.wal" {
+		t.Fatalf("WALPath = %q", got)
+	}
+	// RemoveWAL on a missing log is a no-op.
+	if err := RemoveWAL(filepath.Join(t.TempDir(), "nope.milret")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.milret")
+	writeWAL(t, WALPath(path), 2, nil)
+	if err := RemoveWAL(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(WALPath(path)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("log survived RemoveWAL: %v", err)
+	}
+}

@@ -27,10 +27,13 @@
 package milret
 
 import (
+	"errors"
 	"fmt"
 	"image"
 	"math"
+	"os"
 	"sort"
+	"sync"
 
 	"milret/internal/core"
 	"milret/internal/eval"
@@ -110,8 +113,10 @@ type Options struct {
 	// before serving from it. The default fast open validates structure and
 	// the metadata checksum but adopts the (possibly memory-mapped) float
 	// block without reading it, so opening is O(images) rather than
-	// O(instances·dims); set VerifyOnLoad when end-to-end integrity matters
-	// more than open latency. It has no effect on AddImage/Save.
+	// O(instances·dims), and a background goroutine checksums the block
+	// after the load (see Database.Verification); set VerifyOnLoad when
+	// end-to-end integrity must be established before the first query. It
+	// has no effect on AddImage/Save.
 	VerifyOnLoad bool
 }
 
@@ -146,7 +151,11 @@ type TrainOptions struct {
 }
 
 // Database is a content-addressable image collection ready for
-// example-based retrieval.
+// example-based retrieval. It is mutable: images are added, updated and
+// deleted at any point in its life, and when the database is bound to a
+// store file (by LoadDatabase or a first Save) every mutation is journaled
+// so Save persists incrementally through the mutation log instead of
+// rewriting the whole flat block (see Save, Flush, Compact).
 type Database struct {
 	opts feature.Options
 	db   *retrieval.Database
@@ -154,15 +163,113 @@ type Database struct {
 	// opened by LoadDatabase from a flat file, so Close can release the
 	// memory mapping.
 	flat *store.FlatDB
+
+	// pmu guards the persistence journal: mutators append the op they just
+	// applied, Save/Flush drain it to the WAL or fold everything into a
+	// fresh flat snapshot. Holding pmu across the retrieval op keeps journal
+	// order identical to database order, so a replay reconstructs the same
+	// state.
+	pmu sync.Mutex
+	// basePath is the flat store file this database was loaded from or last
+	// fully saved to; "" for a purely in-memory database. With a basePath
+	// set, mutations are journaled in pending until flushed.
+	basePath string
+	// walCount is the number of mutation records already durable in the
+	// WAL at basePath+".wal".
+	walCount int
+	// pending holds mutations applied in memory but not yet persisted.
+	pending []store.WALRecord
+	// wal is the open log writer for basePath, held across flushes so a
+	// flush costs one buffered append plus an fsync instead of re-reading
+	// the whole log; nil until the first flush and after every rewrite.
+	wal *store.WALWriter
+
+	// vmu guards the background data-verification outcome (see
+	// VerifyStatus).
+	vmu        sync.Mutex
+	verifyStat VerifyStatus
+	verifyErr  error
 }
 
-// Close releases resources backing a database opened by LoadDatabase — in
-// particular the memory mapping adopted from a flat store. A closed
-// database must not be used again. Databases built with
-// NewDatabase/AddImage hold no external resources, so Close is a no-op for
-// them; it is also safe to never call Close and let the mapping live for
-// the process lifetime (it is read-only and page-cache backed).
+// Persistence-folding policy: an oversized mutation log makes reopening
+// slow (every record is replayed), so Save and Flush fold the log into a
+// fresh flat snapshot once it outgrows half the live database (but never
+// for trivially small logs).
+const walFoldMinOps = 64
+
+// VerifyStatus reports how far data-integrity verification of a loaded
+// store has progressed.
+type VerifyStatus int
+
+const (
+	// VerifyVerified: the instance block's checksum has been confirmed (or
+	// the database never adopted an unverified block).
+	VerifyVerified VerifyStatus = iota
+	// VerifyPending: a background checksum pass is still running.
+	VerifyPending
+	// VerifyCorrupt: the stored checksum did not match — the adopted block
+	// is damaged and results from it cannot be trusted.
+	VerifyCorrupt
+)
+
+func (s VerifyStatus) String() string {
+	switch s {
+	case VerifyVerified:
+		return "verified"
+	case VerifyPending:
+		return "pending"
+	case VerifyCorrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
+// Verification reports the data-integrity state of the backing store. A
+// database opened with the fast (non-verifying) load starts as
+// VerifyPending while a background goroutine checksums the adopted block;
+// it settles to VerifyVerified or VerifyCorrupt (with the checksum error).
+// Databases built in memory, loaded with VerifyOnLoad, or loaded from the
+// legacy per-record format (which verifies on read) are VerifyVerified from
+// the start.
+func (d *Database) Verification() (VerifyStatus, error) {
+	d.vmu.Lock()
+	defer d.vmu.Unlock()
+	return d.verifyStat, d.verifyErr
+}
+
+// verifyInBackground checksums the adopted block off the critical path and
+// records the outcome. A concurrent Close is safe: FlatDB serializes
+// VerifyData against Close and returns store.ErrClosed afterwards, in which
+// case the verdict stays pending (the mapping is gone, there is nothing
+// left to attest).
+func (d *Database) verifyInBackground(flat *store.FlatDB) {
+	d.verifyStat = VerifyPending
+	go func() {
+		err := flat.VerifyData()
+		d.vmu.Lock()
+		defer d.vmu.Unlock()
+		switch {
+		case err == nil:
+			d.verifyStat = VerifyVerified
+		case errors.Is(err, store.ErrClosed):
+			// Closed before the pass finished; leave the status pending.
+		default:
+			d.verifyStat = VerifyCorrupt
+			d.verifyErr = err
+		}
+	}()
+}
+
+// Close releases resources backing the database: the memory mapping
+// adopted from a flat store by LoadDatabase and the open mutation-log
+// writer, if any. Pending (unflushed) mutations are NOT persisted — call
+// Save or Flush first. A closed database must not be used again; it is
+// safe to never call Close and let the mapping live for the process
+// lifetime (it is read-only and page-cache backed).
 func (d *Database) Close() error {
+	d.pmu.Lock()
+	d.closeWALLocked()
+	d.pmu.Unlock()
 	if d.flat == nil {
 		return nil
 	}
@@ -197,7 +304,73 @@ func (d *Database) AddImage(id, label string, img image.Image) error {
 	if err != nil {
 		return err
 	}
-	return d.db.Add(retrieval.Item{ID: id, Label: label, Bag: bag})
+	d.pmu.Lock()
+	defer d.pmu.Unlock()
+	if err := d.db.Add(retrieval.Item{ID: id, Label: label, Bag: bag}); err != nil {
+		return err
+	}
+	d.journalLocked(store.WALRecord{Op: store.WALAdd, Rec: store.Record{ID: id, Label: label, Bag: bag}})
+	return nil
+}
+
+// DeleteImage removes the image with the given id. Queries issued after
+// DeleteImage returns no longer see it; the deletion becomes durable on the
+// next Save or Flush. The removal is a tombstone in the scoring index — the
+// database compacts itself once enough dead weight accumulates — and
+// rankings afterwards are bit-identical to a database that never contained
+// the image.
+func (d *Database) DeleteImage(id string) error {
+	d.pmu.Lock()
+	defer d.pmu.Unlock()
+	if err := d.db.Delete(id); err != nil {
+		return err
+	}
+	d.journalLocked(store.WALRecord{Op: store.WALDelete, Rec: store.Record{ID: id}})
+	return nil
+}
+
+// UpdateImage replaces the stored image under id: the new img is
+// preprocessed into a fresh bag and swapped in atomically together with the
+// new label. A nil img keeps the existing bag and updates the label only.
+// The id must already exist (use AddImage for new images); the update
+// becomes durable on the next Save or Flush.
+func (d *Database) UpdateImage(id, label string, img image.Image) error {
+	if id == "" {
+		return fmt.Errorf("milret: empty image ID")
+	}
+	var bag *mil.Bag
+	if img != nil {
+		g := gray.FromImage(img)
+		b, err := feature.BagFromImage(id, g, d.opts)
+		if err != nil {
+			return err
+		}
+		bag = b
+	}
+	d.pmu.Lock()
+	defer d.pmu.Unlock()
+	if bag == nil {
+		it, ok := d.db.ByID(id)
+		if !ok {
+			return fmt.Errorf("milret: update of unknown image %q", id)
+		}
+		bag = it.Bag
+	}
+	if err := d.db.Update(retrieval.Item{ID: id, Label: label, Bag: bag}); err != nil {
+		return err
+	}
+	d.journalLocked(store.WALRecord{Op: store.WALUpdate, Rec: store.Record{ID: id, Label: label, Bag: bag}})
+	return nil
+}
+
+// journalLocked records one applied mutation for the next Save/Flush.
+// In-memory databases (no basePath yet) skip the journal: their first Save
+// writes a full snapshot anyway.
+func (d *Database) journalLocked(rec store.WALRecord) {
+	if d.basePath == "" {
+		return
+	}
+	d.pending = append(d.pending, rec)
 }
 
 // Len returns the number of stored images.
@@ -405,35 +578,172 @@ func convertResults(rs []retrieval.Result) []Result {
 	return out
 }
 
-// Save writes the database (all bags and labels) to path in the flat
-// columnar store format: all instance vectors are serialized as one
-// contiguous block mirroring the in-memory scoring index, so reopening is a
-// single sequential read. The write is atomic.
+// Save persists the database to path. The first save to a path (and any
+// save to a path the database is not bound to) writes a full flat columnar
+// snapshot atomically and binds the database to it. Subsequent saves to the
+// same path are incremental: the mutations applied since the last save are
+// appended to the mutation log alongside the snapshot (path+".wal") and
+// fsynced — cost proportional to the changes, not the database. Once the
+// log outgrows half the live database, Save folds everything into a fresh
+// snapshot and removes the log. A mutation is durable (it survives a crash
+// and reopen) exactly when the Save or Flush covering it has returned.
 func (d *Database) Save(path string) error {
+	d.pmu.Lock()
+	defer d.pmu.Unlock()
+	return d.saveLocked(path)
+}
+
+// Flush persists the pending mutations to the bound store, exactly like
+// Save to the bound path. It is a no-op (and returns nil) for a database
+// not yet bound by LoadDatabase or Save.
+func (d *Database) Flush() error {
+	d.pmu.Lock()
+	defer d.pmu.Unlock()
+	if d.basePath == "" {
+		return nil
+	}
+	return d.saveLocked(d.basePath)
+}
+
+// Compact rewrites the scoring index without its tombstones and, when the
+// database is bound to a store file, folds the mutation log into a fresh
+// flat snapshot (removing the log). Rankings are unaffected.
+func (d *Database) Compact() error {
+	d.db.Compact()
+	d.pmu.Lock()
+	defer d.pmu.Unlock()
+	if d.basePath == "" {
+		return nil
+	}
+	return d.rewriteLocked(d.basePath)
+}
+
+func (d *Database) saveLocked(path string) error {
+	if path == d.basePath {
+		total := d.walCount + len(d.pending)
+		if total <= walFoldMinOps || total <= d.db.Len()/2 {
+			return d.flushLocked()
+		}
+	}
+	return d.rewriteLocked(path)
+}
+
+// rewriteLocked writes a full flat snapshot of the live items to path
+// (atomically and durably: temp file + fsync + rename), removes any
+// mutation log alongside it, and rebinds the journal to the fresh
+// snapshot. Should the removal be lost to a crash between the two steps,
+// the leftover log fails its snapshot-fingerprint check on the next open
+// and is ignored — never replayed over a snapshot that already contains
+// its mutations.
+func (d *Database) rewriteLocked(path string) error {
 	items := d.db.Items()
 	recs := make([]store.Record, len(items))
 	for i, it := range items {
 		recs[i] = store.Record{ID: it.ID, Label: it.Label, Bag: it.Bag}
 	}
-	return store.WriteFlatFile(path, d.opts.Dim(), recs)
+	if err := store.WriteFlatFile(path, d.opts.Dim(), recs); err != nil {
+		return err
+	}
+	d.closeWALLocked()
+	if err := store.RemoveWAL(path); err != nil {
+		return err
+	}
+	d.basePath = path
+	d.walCount = 0
+	d.pending = nil
+	return nil
 }
 
-// Stats summarizes the database's flat scoring index.
+func (d *Database) closeWALLocked() {
+	if d.wal != nil {
+		d.wal.Close()
+		d.wal = nil
+	}
+}
+
+// flushLocked appends the pending mutations to the bound mutation log and
+// fsyncs — with the writer held open across flushes, the steady-state cost
+// is the appended bytes plus one fsync, independent of the log's size. The
+// first flush opens (or creates) the log, validating it against the
+// snapshot's fingerprint and the journal's record count; a log that is
+// corrupt, stale, or out of sync cannot be trusted, so the whole state is
+// folded into a fresh snapshot instead.
+func (d *Database) flushLocked() error {
+	if len(d.pending) == 0 {
+		return nil
+	}
+	if d.wal == nil {
+		fp, err := store.SnapshotFingerprint(d.basePath)
+		if err != nil {
+			return err
+		}
+		w, err := store.OpenWAL(store.WALPath(d.basePath), d.opts.Dim(), fp)
+		if errors.Is(err, store.ErrCorrupt) || errors.Is(err, store.ErrStaleWAL) {
+			return d.rewriteLocked(d.basePath)
+		}
+		if err != nil {
+			return err
+		}
+		if w.Count() != d.walCount {
+			w.Close()
+			return d.rewriteLocked(d.basePath)
+		}
+		d.wal = w
+	}
+	for _, rec := range d.pending {
+		if err := d.wal.Append(rec); err != nil {
+			d.closeWALLocked()
+			return err
+		}
+	}
+	if err := d.wal.Sync(); err != nil {
+		d.closeWALLocked()
+		return err
+	}
+	d.walCount += len(d.pending)
+	d.pending = nil
+	return nil
+}
+
+// Stats summarizes the database's flat scoring index and mutation
+// lifecycle.
 type Stats struct {
-	// Images is the number of stored images (bags).
+	// Images is the number of live stored images (bags).
 	Images int
-	// Instances is the total region-vector count across all bags.
+	// Instances is the live region-vector count across all bags.
 	Instances int
 	// Dim is the feature dimensionality.
 	Dim int
-	// IndexBytes is the size of the flat instance block in bytes.
+	// IndexBytes is the size of the flat instance block in bytes, including
+	// rows tombstoned by DeleteImage/UpdateImage until the next compaction.
 	IndexBytes int64
+	// DeadImages and DeadInstances count tombstoned bags and their rows
+	// still occupying the scoring block.
+	DeadImages    int
+	DeadInstances int
+	// PendingMutations is the number of applied mutations not yet persisted
+	// (drained by Save/Flush); WALMutations is the number already durable in
+	// the mutation log. Both are 0 for unbound in-memory databases.
+	PendingMutations int
+	WALMutations     int
 }
 
 // Stats reports the size of the underlying flat scoring index.
 func (d *Database) Stats() Stats {
 	s := d.db.Stats()
-	return Stats{Images: s.Items, Instances: s.Instances, Dim: s.Dim, IndexBytes: s.IndexBytes}
+	d.pmu.Lock()
+	pending, walOps := len(d.pending), d.walCount
+	d.pmu.Unlock()
+	return Stats{
+		Images:           s.Items,
+		Instances:        s.Instances,
+		Dim:              s.Dim,
+		IndexBytes:       s.IndexBytes,
+		DeadImages:       s.DeadItems,
+		DeadInstances:    s.DeadInstances,
+		PendingMutations: pending,
+		WALMutations:     walOps,
+	}
 }
 
 // LoadDatabase reads a database saved by Save — either the current flat
@@ -441,11 +751,15 @@ func (d *Database) Stats() Stats {
 // zero-copy: the instance block is adopted (memory-mapped where the
 // platform allows) straight into the scoring index without decoding or
 // copying a single float, so open is O(images); see Options.VerifyOnLoad
-// for the integrity trade-off. If opts.Resolution is unset, the sampling
-// resolution is inferred from the stored feature dimensionality (h²), so
-// stores built at any resolution reopen without extra configuration; an
-// explicitly set resolution must match the file, so images added later
-// remain comparable.
+// for the integrity trade-off (without it, a background goroutine checksums
+// the adopted block after the load — see Verification). If a mutation log
+// sits alongside the snapshot (path+".wal", written by incremental Save),
+// its add/delete/update records are replayed over the snapshot, so a
+// reopened database carries every acknowledged mutation. If
+// opts.Resolution is unset, the sampling resolution is inferred from the
+// stored feature dimensionality (h²), so stores built at any resolution
+// reopen without extra configuration; an explicitly set resolution must
+// match the file, so images added later remain comparable.
 func LoadDatabase(path string, opts Options) (*Database, error) {
 	recs, flat, err := store.OpenAnyFile(path)
 	if err != nil {
@@ -490,18 +804,73 @@ func LoadDatabase(path string, opts Options) (*Database, error) {
 		}
 		d.db = db
 		d.flat = flat
-		return d, nil
+	} else {
+		for _, rec := range recs {
+			if rec.Bag.Dim() != d.opts.Dim() {
+				return nil, fmt.Errorf("milret: stored dim %d does not match options dim %d",
+					rec.Bag.Dim(), d.opts.Dim())
+			}
+			if err := d.db.Add(retrieval.Item{ID: rec.ID, Label: rec.Label, Bag: rec.Bag}); err != nil {
+				return nil, err
+			}
+		}
 	}
-	for _, rec := range recs {
-		if rec.Bag.Dim() != d.opts.Dim() {
-			return nil, fmt.Errorf("milret: stored dim %d does not match options dim %d",
-				rec.Bag.Dim(), d.opts.Dim())
-		}
-		if err := d.db.Add(retrieval.Item{ID: rec.ID, Label: rec.Label, Bag: rec.Bag}); err != nil {
-			return nil, err
-		}
+	if err := d.replayWAL(path); err != nil {
+		return fail(err)
+	}
+	d.basePath = path
+	if flat != nil && !opts.VerifyOnLoad {
+		d.verifyInBackground(flat)
 	}
 	return d, nil
+}
+
+// replayWAL applies the mutation log alongside the snapshot, if one
+// exists. A log bound to a different snapshot generation (its fingerprint
+// does not match the file at path) is stale — a fold crashed after
+// renaming the new snapshot but before removing the log, whose mutations
+// the snapshot therefore already contains — and is skipped entirely; the
+// next Save folds it away. For a log that does match, replay is strict: a
+// record the database rejects (duplicate add, delete of an unknown ID,
+// dimension mismatch) means the pair is inconsistent and the load fails
+// rather than guessing.
+func (d *Database) replayWAL(path string) error {
+	walPath := store.WALPath(path)
+	if _, err := os.Stat(walPath); errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	dim, fp, wrecs, err := store.ReadWAL(walPath)
+	if err != nil {
+		return err
+	}
+	snapFP, err := store.SnapshotFingerprint(path)
+	if err != nil {
+		return err
+	}
+	if fp != snapFP {
+		return nil // stale log from an interrupted fold; already folded in
+	}
+	if len(wrecs) > 0 && dim != d.opts.Dim() {
+		return fmt.Errorf("milret: WAL dim %d does not match store dim %d", dim, d.opts.Dim())
+	}
+	for i, wr := range wrecs {
+		var err error
+		switch wr.Op {
+		case store.WALAdd:
+			err = d.db.Add(retrieval.Item{ID: wr.Rec.ID, Label: wr.Rec.Label, Bag: wr.Rec.Bag})
+		case store.WALDelete:
+			err = d.db.Delete(wr.Rec.ID)
+		case store.WALUpdate:
+			err = d.db.Update(retrieval.Item{ID: wr.Rec.ID, Label: wr.Rec.Label, Bag: wr.Rec.Bag})
+		default:
+			err = fmt.Errorf("unknown op %v", wr.Op)
+		}
+		if err != nil {
+			return fmt.Errorf("milret: replaying WAL record %d (%v %q): %w", i, wr.Op, wr.Rec.ID, err)
+		}
+	}
+	d.walCount = len(wrecs)
+	return nil
 }
 
 // Explanation describes why an image matched a concept: the sub-region
