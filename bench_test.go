@@ -249,10 +249,14 @@ func benchCenters(r *rand.Rand, dim int) [][]float64 {
 }
 
 func benchCorpusDB(n, inst, dim int) (*retrieval.Database, *core.Concept) {
+	return benchCorpusDBSharded(n, inst, dim, 1)
+}
+
+func benchCorpusDBSharded(n, inst, dim, shards int) (*retrieval.Database, *core.Concept) {
 	const nCats = benchCorpusCats
 	r := rand.New(rand.NewSource(42))
 	centers := benchCenters(r, dim)
-	db := retrieval.NewDatabase()
+	db := retrieval.NewDatabaseSharded(shards)
 	for i := 0; i < n; i++ {
 		cat := i % nCats
 		bag := &mil.Bag{ID: fmt.Sprintf("img-%06d", i)}
@@ -370,6 +374,55 @@ func BenchmarkMutationChurn(b *testing.B) {
 			b.Fatal(err)
 		}
 		if err := db.Update(retrieval.Item{ID: id, Label: "churn2", Bag: bag}); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.Delete(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Sharded scans (index.Sharded via retrieval.NewDatabaseSharded) ---
+//
+// The same 10k corpus spread over 1, 2 and 4 shards: the shards fan out
+// with a shared top-k cutoff and results are bit-identical to the 1-shard
+// scan (property-tested in internal/retrieval), so the trio measures pure
+// fan-out overhead/win at identical output. On single-core CI the variants
+// should track each other closely; multi-core hardware is where the
+// per-shard goroutines separate.
+func benchShardedTopK(b *testing.B, shards int) {
+	db, concept := benchCorpusDBSharded(10_000, 10, 100, shards)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		retrieval.TopK(db, concept, 20, retrieval.Options{})
+	}
+}
+
+func BenchmarkTopKSharded10kx1(b *testing.B) { benchShardedTopK(b, 1) }
+func BenchmarkTopKSharded10kx2(b *testing.B) { benchShardedTopK(b, 2) }
+func BenchmarkTopKSharded10kx4(b *testing.B) { benchShardedTopK(b, 4) }
+
+// BenchmarkShardChurn10k is BenchmarkMutationChurn over a 4-shard database:
+// each iteration's add, label-only update and delete land in one shard's
+// lock while the other shards stay untouched — the write path the per-shard
+// locking is designed to keep cheap. The label update exercises the O(1)
+// in-place swap rather than tombstone-and-re-append.
+func BenchmarkShardChurn10k(b *testing.B) {
+	db, _ := benchCorpusDBSharded(10_000, 10, 100, 4)
+	r := rand.New(rand.NewSource(9))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("churn-%09d", i)
+		bag := &mil.Bag{ID: id, Instances: []mat.Vector{make(mat.Vector, 100)}}
+		for k := range bag.Instances[0] {
+			bag.Instances[0][k] = r.NormFloat64()
+		}
+		if err := db.Add(retrieval.Item{ID: id, Label: "churn", Bag: bag}); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.UpdateLabel(id, "churn2"); err != nil {
 			b.Fatal(err)
 		}
 		if err := db.Delete(id); err != nil {

@@ -83,7 +83,7 @@ func cmdServe(args []string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
-	fmt.Printf("serving %d images on http://%s (POST /v1/query)\n", db.Len(), ln.Addr())
+	fmt.Printf("serving %d images (%d shards) on http://%s (POST /v1/query)\n", db.Len(), db.ShardCount(), ln.Addr())
 	return serveUntilSignal(db, ln, *readOnly, sig)
 }
 
@@ -213,9 +213,10 @@ func cmdBuild(args []string) error {
 	dbPath := fs.String("db", "db.milret", "output database path")
 	resolution := fs.Int("resolution", 10, "sampling resolution h")
 	regions := fs.Int("regions", 20, "region family size: 9, 20 or 42")
+	shards := fs.Int("shards", 1, "shard count: >1 writes a MILRETS1 manifest plus one snapshot/WAL pair per shard")
 	fs.Parse(args)
 
-	db, err := milret.NewDatabase(milret.Options{Resolution: *resolution, Regions: *regions})
+	db, err := milret.NewDatabase(milret.Options{Resolution: *resolution, Regions: *regions, Shards: *shards})
 	if err != nil {
 		return err
 	}
@@ -249,7 +250,11 @@ func cmdBuild(args []string) error {
 	if err := db.Save(*dbPath); err != nil {
 		return err
 	}
-	fmt.Printf("featurized %d images into %s\n", db.Len(), *dbPath)
+	if db.ShardCount() > 1 {
+		fmt.Printf("featurized %d images into %s (%d shards)\n", db.Len(), *dbPath, db.ShardCount())
+	} else {
+		fmt.Printf("featurized %d images into %s\n", db.Len(), *dbPath)
+	}
 	return nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"milret/internal/store"
 )
 
 func TestSplitIDs(t *testing.T) {
@@ -89,6 +91,37 @@ func TestGenBuildQueryPipeline(t *testing.T) {
 	}
 	if _, err := os.Stat(dbPath); err != nil {
 		t.Fatalf("build produced no database: %v", err)
+	}
+	if err := cmdQuery([]string{"-db", dbPath, "-pos", "object-car-00", "-neg", "object-lamp-00", "-k", "3", "-mode", "identical"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEval([]string{"-db", dbPath, "-target", "car", "-rounds", "1", "-mode", "identical"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Building with -shards writes a MILRETS1 manifest whose database queries
+// and evaluates exactly like a single-file build.
+func TestBuildShardedPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow CLI pipeline test")
+	}
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "corpus")
+	dbPath := filepath.Join(dir, "db.milret")
+	if err := cmdGen([]string{"-kind", "objects", "-dir", corpus, "-per-category", "2", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdBuild([]string{"-dir", corpus, "-db", dbPath, "-regions", "9", "-resolution", "6", "-shards", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := store.IsManifest(dbPath); err != nil || !ok {
+		t.Fatalf("sharded build did not write a manifest: %v %v", ok, err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := os.Stat(store.ShardPath(dbPath, i)); err != nil {
+			t.Fatalf("shard %d snapshot missing: %v", i, err)
+		}
 	}
 	if err := cmdQuery([]string{"-db", dbPath, "-pos", "object-car-00", "-neg", "object-lamp-00", "-k", "3", "-mode", "identical"}); err != nil {
 		t.Fatal(err)

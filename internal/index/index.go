@@ -65,6 +65,13 @@ type Index struct {
 	dead     []uint64
 	nDead    int
 	deadRows int
+	// labelsShared marks the labels slice as aliased by at least one
+	// snapshot, so UpdateLabel must clone it before mutating an element
+	// (copy-on-write; appends are always safe because snapshots never read
+	// past their recorded length). Atomic because Snapshot runs under the
+	// owner's read lock: concurrent snapshotters may set it simultaneously,
+	// while UpdateLabel inspects it only under the owner's write lock.
+	labelsShared atomic.Bool
 }
 
 // New returns an empty index.
@@ -169,6 +176,27 @@ func (x *Index) Delete(i int) error {
 	return nil
 }
 
+// UpdateLabel swaps bag i's label in place — the metadata-only counterpart
+// of a tombstone-and-re-append Update: no instance rows move, no dead weight
+// accumulates. Snapshots alias the labels slice, so the first label update
+// after a Snapshot clones it (O(bags) string headers) and later updates
+// mutate the clone directly; snapshots taken before the update keep the old
+// label, ones taken after see the new one.
+func (x *Index) UpdateLabel(i int, label string) error {
+	if i < 0 || i >= len(x.ids) {
+		return fmt.Errorf("index: label update of bag %d outside [0, %d)", i, len(x.ids))
+	}
+	if x.isDead(i) {
+		return fmt.Errorf("index: label update of deleted bag %q (%d)", x.ids[i], i)
+	}
+	if x.labelsShared.Load() {
+		x.labels = append([]string(nil), x.labels...)
+		x.labelsShared.Store(false)
+	}
+	x.labels[i] = label
+	return nil
+}
+
 func (x *Index) isDead(i int) bool {
 	w := i >> 6
 	return w < len(x.dead) && x.dead[w]&(1<<uint(i&63)) != 0
@@ -200,6 +228,7 @@ func (x *Index) Snapshot() Snapshot {
 		// last delete are alive), so copying the mask as-is is sufficient.
 		dead = append(dead, x.dead...)
 	}
+	x.labelsShared.Store(true)
 	return Snapshot{
 		dim:        x.dim,
 		data:       x.data[:len(x.data):len(x.data)],
@@ -342,6 +371,15 @@ func parallelism(requested, nBags int) int {
 // per-bag scan: within a bag, early abandonment only prunes against the
 // bag's own running best, which cannot change the minimum.
 func (s Snapshot) Rank(q Query, exclude map[string]bool, par int) []Result {
+	results := s.rankCandidates(q, exclude, par)
+	sortResults(results)
+	return results
+}
+
+// rankCandidates is Rank without the final sort: every live, non-excluded
+// bag scored exactly, in scan order. The sharded fan-out concatenates the
+// per-shard candidate lists and sorts once.
+func (s Snapshot) rankCandidates(q Query, exclude map[string]bool, par int) []Result {
 	n := s.Len()
 	if n == 0 {
 		return nil
@@ -381,7 +419,6 @@ func (s Snapshot) Rank(q Query, exclude map[string]bool, par int) []Result {
 		}
 		results = append(results, Result{ID: s.ids[i], Label: s.labels[i], Dist: dists[i]})
 	}
-	sortResults(results)
 	return results
 }
 
@@ -435,11 +472,33 @@ func (s Snapshot) TopK(q Query, k int, exclude map[string]bool, par int) []Resul
 	if k >= n {
 		return s.Rank(q, exclude, par)
 	}
+	merged := s.topKCandidates(q, k, exclude, par, newSharedCutoff())
+	sortResults(merged)
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}
+
+// topKCandidates runs the worker-heap top-k scan and returns the merged
+// (unsorted) contents of the per-worker heaps. The shared cutoff is supplied
+// by the caller so several shards can tighten one bound together: a shard's
+// published k-th best is the k-th smallest of a subset of the global
+// candidate set, hence an upper bound on the global k-th best, so the
+// cross-shard pruning argument is exactly the cross-worker one (see
+// sharedCutoff). The caller sorts the concatenated candidates and truncates
+// to k; any global top-k member survives in its shard's heap, and pruned
+// bags report overshot distances strictly above the cutoff, so they can
+// never displace a survivor.
+func (s Snapshot) topKCandidates(q Query, k int, exclude map[string]bool, par int, shared *sharedCutoff) []Result {
+	n := s.Len()
+	if n == 0 {
+		return nil
+	}
 	q.check(s.dim)
 	prune := q.prunable()
 	par = parallelism(par, n)
 	heaps := make([]resultMaxHeap, par)
-	shared := newSharedCutoff()
 	var wg sync.WaitGroup
 	chunk := (n + par - 1) / par
 	for w := 0; w < par; w++ {
@@ -478,10 +537,6 @@ func (s Snapshot) TopK(q Query, k int, exclude map[string]bool, par int) []Resul
 	merged := make([]Result, 0, par*k)
 	for _, h := range heaps {
 		merged = append(merged, h...)
-	}
-	sortResults(merged)
-	if len(merged) > k {
-		merged = merged[:k]
 	}
 	return merged
 }
@@ -532,6 +587,32 @@ func (s Snapshot) MultiTopK(qs []Query, k int, exclude map[string]bool, par int)
 		}
 		return outs
 	}
+	shared := make([]*sharedCutoff, nq)
+	for qi := range shared {
+		shared[qi] = newSharedCutoff()
+	}
+	cands := s.multiTopKCandidates(qs, k, exclude, par, shared)
+	for qi, merged := range cands {
+		sortResults(merged)
+		if len(merged) > k {
+			merged = merged[:k]
+		}
+		outs[qi] = merged
+	}
+	return outs
+}
+
+// multiTopKCandidates is the batched scan core behind MultiTopK: per query,
+// the merged (unsorted) per-worker heap contents. Like topKCandidates, the
+// per-query shared cutoffs come from the caller so shards can share them;
+// len(qs) must not exceed mat.ScreenMaxConcepts (the caller chunks).
+func (s Snapshot) multiTopKCandidates(qs []Query, k int, exclude map[string]bool, par int, shared []*sharedCutoff) [][]Result {
+	nq := len(qs)
+	outs := make([][]Result, nq)
+	n := s.Len()
+	if n == 0 {
+		return outs
+	}
 	prune := make([]bool, nq)
 	for qi, q := range qs {
 		q.check(s.dim)
@@ -548,10 +629,6 @@ func (s Snapshot) MultiTopK(qs []Query, k int, exclude map[string]bool, par int)
 	}
 	pblk, wblk := mat.ScreenBlocks(points, weights)
 	par = parallelism(par, n)
-	shared := make([]*sharedCutoff, nq)
-	for qi := range shared {
-		shared[qi] = newSharedCutoff()
-	}
 	// heaps[w][qi] is worker w's current best-k for query qi.
 	heaps := make([][]resultMaxHeap, par)
 	var wg sync.WaitGroup
@@ -648,10 +725,6 @@ func (s Snapshot) MultiTopK(qs []Query, k int, exclude map[string]bool, par int)
 			if hs != nil {
 				merged = append(merged, hs[qi]...)
 			}
-		}
-		sortResults(merged)
-		if len(merged) > k {
-			merged = merged[:k]
 		}
 		outs[qi] = merged
 	}

@@ -11,21 +11,33 @@
 // implement BagDist fall back to the naive per-bag scan; both paths produce
 // bit-identical rankings (distances and ID tie-breaks).
 //
+// The database is sharded: it holds N independent shards (N fixed at
+// construction, 1 by default), each owning its own flat block, tombstone
+// mask and lock, with items placed by a hash of their ID. Scans fan out one
+// goroutine per shard sharing a single atomic top-k cutoff and merge the
+// per-shard heaps (index.Sharded), so results are bit-identical to a
+// 1-shard database over the same bags while mutations, snapshots and
+// compaction stay confined to one shard's lock — compacting or appending in
+// one shard never blocks the others.
+//
 // The database is mutable: Delete tombstones an item (scans skip it from
-// the next query on), Update swaps in a new bag/label atomically, and
-// Compact — triggered automatically once dead rows pass a threshold —
-// rebuilds the flat block without the tombstones. A ranking over a database
-// with tombstones is bit-identical to one over a database rebuilt from the
-// live items alone.
+// the next query on), Update swaps in a new bag/label atomically,
+// UpdateLabel swaps the label alone without touching the flat block, and
+// Compact — triggered automatically per shard once its dead rows pass a
+// threshold — rebuilds only that shard's block without the tombstones. A
+// ranking over a database with tombstones is bit-identical to one over a
+// database rebuilt from the live items alone.
 package retrieval
 
 import (
 	"container/heap"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"milret/internal/index"
 	"milret/internal/mil"
@@ -56,81 +68,189 @@ type Item struct {
 	Bag   *mil.Bag
 }
 
-// Database is an in-memory collection of items, safe for concurrent reads
-// and serialized writes. It maintains the flat scoring index incrementally:
-// Add appends the bag's instances to the columnar block in place, so queries
-// issued after Add returns see the new item without any rebuild; Delete
-// tombstones the item in the index so queries skip it immediately, and
-// Update is a delete of the old version plus an append of the new one. Once
-// tombstoned rows outgrow compactFraction of the block the database compacts
-// itself (see Compact).
-type Database struct {
+// shard is one independently locked slice of the database: its own item
+// slots, ID map and flat scoring index. All state for an item lives in
+// exactly one shard (chosen by hashing its ID), so a mutation takes exactly
+// one shard lock and a compaction rebuilds exactly one flat block while the
+// other shards keep serving reads and writes.
+type shard struct {
 	mu    sync.RWMutex
-	items []Item // parallel to index slots; tombstoned slots stay in place
+	items []Item   // parallel to index slots; tombstoned slots stay in place
+	seqs  []uint64 // global insertion sequence per slot (orders Items/Get)
 	byID  map[string]int
-	dim   int
 	idx   *index.Index
+	// itemsShared marks items as aliased by a fallback-scan view, so an
+	// in-place label swap must clone the slice first (copy-on-write, same
+	// discipline as the index's label column). Atomic because views are
+	// taken under the shard's read lock, where several snapshotters may set
+	// it concurrently; UpdateLabel inspects it under the write lock.
+	itemsShared atomic.Bool
 }
 
-// Compaction policy: rebuilding the flat block costs one pass over the live
-// instances, so it is deferred until the dead rows are a meaningful fraction
-// of a meaningful block. Mutation-heavy small databases stay un-compacted
-// (rebuilds there are cheap anyway and Compact can always be called
-// explicitly).
+// Database is a collection of items sharded across N independently locked
+// shards, safe for concurrent reads and writes. Each shard maintains its
+// flat scoring index incrementally: Add appends the bag's instances to its
+// shard's columnar block in place, so queries issued after Add returns see
+// the new item without any rebuild; Delete tombstones the item in its shard
+// so queries skip it immediately, and Update is a delete of the old version
+// plus an append of the new one. Once a shard's tombstoned rows outgrow
+// compactFraction of its block, that shard compacts itself (see Compact)
+// without blocking the others.
+type Database struct {
+	shards []*shard
+	// dim is the feature dimensionality, fixed by the first Add (0 while
+	// empty); atomic so scans read it without any shard lock.
+	dim atomic.Int64
+	// seq numbers insertions globally so Items/Get present one insertion
+	// order across shards.
+	seq atomic.Uint64
+}
+
+// Compaction policy: rebuilding a shard's flat block costs one pass over its
+// live instances, so it is deferred until the dead rows are a meaningful
+// fraction of a meaningful block. Mutation-heavy small shards stay
+// un-compacted (rebuilds there are cheap anyway and Compact can always be
+// called explicitly).
 const (
-	// compactFraction is the dead-instance share of the flat block above
-	// which Delete/Update trigger an automatic Compact.
+	// compactFraction is the dead-instance share of a shard's flat block
+	// above which Delete/Update trigger an automatic compact of that shard.
 	compactFraction = 0.25
-	// compactMinDeadRows is the minimum number of dead instance rows before
-	// automatic compaction is considered at all.
+	// compactMinDeadRows is the minimum number of dead instance rows in a
+	// shard before automatic compaction is considered at all.
 	compactMinDeadRows = 4096
 )
 
-// NewDatabase returns an empty database.
-func NewDatabase() *Database {
-	return &Database{byID: make(map[string]int), idx: index.New()}
+// NewDatabase returns an empty single-shard database.
+func NewDatabase() *Database { return NewDatabaseSharded(1) }
+
+// NewDatabaseSharded returns an empty database with nShards independent
+// shards (values below 1 are treated as 1). The shard count is fixed for the
+// database's lifetime: items are placed by a hash of their ID, so the count
+// determines placement. Rankings are independent of the shard count —
+// sharded scans are bit-identical to a 1-shard database over the same bags —
+// it only sets how many flat blocks the data is spread over, and thus the
+// granularity of locking, compaction and persistence.
+func NewDatabaseSharded(nShards int) *Database {
+	if nShards < 1 {
+		nShards = 1
+	}
+	db := &Database{shards: make([]*shard, nShards)}
+	for i := range db.shards {
+		db.shards[i] = &shard{byID: make(map[string]int), idx: index.New()}
+	}
+	return db
 }
 
-// NewDatabaseFromFlat constructs a database whose scoring index adopts the
-// given row-major instance block instead of re-copying every bag — the
-// zero-copy open path. items[i].Bag's instances must be, in order, views
-// into data (the store's flat loader guarantees this); construction does
-// O(items) validation and never touches the instance floats, so opening a
-// saved database costs O(bags) instead of O(instances·dim). Later Adds
+// ShardCount returns the number of shards (≥ 1).
+func (db *Database) ShardCount() int { return len(db.shards) }
+
+// shardIndexFor returns the shard an ID hashes to among n shards.
+func shardIndexFor(id string, n int) int {
+	if n == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(n))
+}
+
+// ShardFor returns the index of the shard that holds (or would hold) the
+// given item ID — the placement function, exposed so persistence can route
+// per-shard mutation logs the same way the database routes mutations.
+func (db *Database) ShardFor(id string) int { return shardIndexFor(id, len(db.shards)) }
+
+func (db *Database) shardFor(id string) *shard { return db.shards[db.ShardFor(id)] }
+
+// ensureDim fixes the database dimensionality on first use; it reports
+// false when d conflicts with an already-fixed dimensionality.
+func (db *Database) ensureDim(d int) bool {
+	for {
+		cur := db.dim.Load()
+		if cur == int64(d) {
+			return true
+		}
+		if cur != 0 {
+			return false
+		}
+		if db.dim.CompareAndSwap(0, int64(d)) {
+			return true
+		}
+	}
+}
+
+// FlatShard is one shard's content for NewDatabaseFromFlats: the decoded
+// items plus the row-major instance block their bags view into.
+type FlatShard struct {
+	Items []Item
+	Data  []float64
+}
+
+// NewDatabaseFromFlat constructs a single-shard database whose scoring index
+// adopts the given row-major instance block instead of re-copying every bag
+// — the zero-copy open path. items[i].Bag's instances must be, in order,
+// views into data (the store's flat loader guarantees this); construction
+// does O(items) validation and never touches the instance floats, so opening
+// a saved database costs O(bags) instead of O(instances·dim). Later Adds
 // behave exactly as on an incrementally built database.
 func NewDatabaseFromFlat(items []Item, dim int, data []float64) (*Database, error) {
-	db := NewDatabase()
-	if len(items) == 0 {
-		if len(data) != 0 {
-			return nil, fmt.Errorf("retrieval: %d floats adopted with no items", len(data))
+	return NewDatabaseFromFlats([]FlatShard{{Items: items, Data: data}}, dim)
+}
+
+// NewDatabaseFromFlats constructs a database with one shard per entry, each
+// shard adopting its own flat block zero-copy (see NewDatabaseFromFlat).
+// Every item must hash to the shard that carries it — the placement
+// invariant Save preserves when it writes one snapshot per shard — so that
+// lookups and mutation routing find it again.
+func NewDatabaseFromFlats(flats []FlatShard, dim int) (*Database, error) {
+	db := NewDatabaseSharded(len(flats))
+	nItems := 0
+	for _, fs := range flats {
+		nItems += len(fs.Items)
+	}
+	if nItems == 0 {
+		for si, fs := range flats {
+			if len(fs.Data) != 0 {
+				return nil, fmt.Errorf("retrieval: shard %d adopts %d floats with no items", si, len(fs.Data))
+			}
 		}
 		return db, nil
 	}
-	counts := make([]int, len(items))
-	ids := make([]string, len(items))
-	labels := make([]string, len(items))
-	for i, it := range items {
-		if it.Bag == nil {
-			return nil, fmt.Errorf("retrieval: item %q has nil bag", it.ID)
+	for si, fs := range flats {
+		sh := db.shards[si]
+		counts := make([]int, len(fs.Items))
+		ids := make([]string, len(fs.Items))
+		labels := make([]string, len(fs.Items))
+		for i, it := range fs.Items {
+			if it.Bag == nil {
+				return nil, fmt.Errorf("retrieval: item %q has nil bag", it.ID)
+			}
+			if d := it.Bag.Dim(); d != dim {
+				return nil, fmt.Errorf("retrieval: item %q dim %d, database dim %d", it.ID, d, dim)
+			}
+			if home := db.ShardFor(it.ID); home != si {
+				return nil, fmt.Errorf("retrieval: shard %d carries item %q, which hashes to shard %d of %d",
+					si, it.ID, home, len(flats))
+			}
+			if _, dup := sh.byID[it.ID]; dup {
+				return nil, fmt.Errorf("retrieval: duplicate item ID %q", it.ID)
+			}
+			sh.byID[it.ID] = i
+			counts[i] = len(it.Bag.Instances)
+			ids[i] = it.ID
+			labels[i] = it.Label
 		}
-		if d := it.Bag.Dim(); d != dim {
-			return nil, fmt.Errorf("retrieval: item %q dim %d, database dim %d", it.ID, d, dim)
+		idx, err := index.FromFlat(dim, fs.Data, counts, ids, labels)
+		if err != nil {
+			return nil, err
 		}
-		if _, dup := db.byID[it.ID]; dup {
-			return nil, fmt.Errorf("retrieval: duplicate item ID %q", it.ID)
+		sh.items = append(sh.items, fs.Items...)
+		sh.seqs = make([]uint64, len(fs.Items))
+		for i := range sh.seqs {
+			sh.seqs[i] = db.seq.Add(1)
 		}
-		db.byID[it.ID] = i
-		counts[i] = len(it.Bag.Instances)
-		ids[i] = it.ID
-		labels[i] = it.Label
+		sh.idx = idx
 	}
-	idx, err := index.FromFlat(dim, data, counts, ids, labels)
-	if err != nil {
-		return nil, err
-	}
-	db.items = append(db.items, items...)
-	db.dim = dim
-	db.idx = idx
+	db.dim.Store(int64(dim))
 	return db, nil
 }
 
@@ -143,40 +263,42 @@ func (db *Database) Add(item Item) error {
 	if err := item.Bag.Validate(); err != nil {
 		return err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, dup := db.byID[item.ID]; dup {
+	sh := db.shardFor(item.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.byID[item.ID]; dup {
 		return fmt.Errorf("retrieval: duplicate item ID %q", item.ID)
 	}
-	if db.dim == 0 {
-		db.dim = item.Bag.Dim()
-	} else if item.Bag.Dim() != db.dim {
-		return fmt.Errorf("retrieval: item %q dim %d, database dim %d", item.ID, item.Bag.Dim(), db.dim)
+	if !db.ensureDim(item.Bag.Dim()) {
+		return fmt.Errorf("retrieval: item %q dim %d, database dim %d", item.ID, item.Bag.Dim(), db.Dim())
 	}
-	if err := db.idx.Append(item.ID, item.Label, item.Bag.Instances); err != nil {
+	if err := sh.idx.Append(item.ID, item.Label, item.Bag.Instances); err != nil {
 		return err
 	}
-	db.byID[item.ID] = len(db.items)
-	db.items = append(db.items, item)
+	sh.byID[item.ID] = len(sh.items)
+	sh.items = append(sh.items, item)
+	sh.seqs = append(sh.seqs, db.seq.Add(1))
 	return nil
 }
 
 // Delete removes the item with the given ID. The removal is a tombstone:
 // queries issued after Delete returns no longer see the item, its ID is
-// immediately reusable by Add, and the instance rows linger in the flat
-// block until enough dead weight accumulates to trigger a Compact.
+// immediately reusable by Add, and the instance rows linger in its shard's
+// flat block until enough dead weight accumulates to trigger a compact of
+// that shard.
 func (db *Database) Delete(id string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	i, ok := db.byID[id]
+	sh := db.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	i, ok := sh.byID[id]
 	if !ok {
 		return fmt.Errorf("retrieval: delete of unknown item ID %q", id)
 	}
-	if err := db.idx.Delete(i); err != nil {
+	if err := sh.idx.Delete(i); err != nil {
 		return err
 	}
-	delete(db.byID, id)
-	db.maybeCompactLocked()
+	delete(sh.byID, id)
+	sh.maybeCompactLocked()
 	return nil
 }
 
@@ -191,61 +313,105 @@ func (db *Database) Update(item Item) error {
 	if err := item.Bag.Validate(); err != nil {
 		return err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	i, ok := db.byID[item.ID]
+	sh := db.shardFor(item.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	i, ok := sh.byID[item.ID]
 	if !ok {
 		return fmt.Errorf("retrieval: update of unknown item ID %q", item.ID)
 	}
-	if item.Bag.Dim() != db.dim {
-		return fmt.Errorf("retrieval: item %q dim %d, database dim %d", item.ID, item.Bag.Dim(), db.dim)
+	if dim := db.dim.Load(); item.Bag.Dim() != int(dim) {
+		return fmt.Errorf("retrieval: item %q dim %d, database dim %d", item.ID, item.Bag.Dim(), dim)
 	}
-	if err := db.idx.Append(item.ID, item.Label, item.Bag.Instances); err != nil {
+	if err := sh.idx.Append(item.ID, item.Label, item.Bag.Instances); err != nil {
 		return err
 	}
 	// The append cannot fail after validation, and Delete of a live in-range
 	// slot cannot fail either — the two-step swap is effectively atomic under
-	// the write lock.
-	if err := db.idx.Delete(i); err != nil {
+	// the shard's write lock.
+	if err := sh.idx.Delete(i); err != nil {
 		return err
 	}
-	db.byID[item.ID] = len(db.items)
-	db.items = append(db.items, item)
-	db.maybeCompactLocked()
+	sh.byID[item.ID] = len(sh.items)
+	sh.items = append(sh.items, item)
+	sh.seqs = append(sh.seqs, db.seq.Add(1))
+	sh.maybeCompactLocked()
 	return nil
 }
 
-// Compact rebuilds the flat scoring index from the live items, reclaiming
-// the rows tombstoned by Delete/Update. Snapshots taken before the compact
-// keep scanning the old (immutable) block; queries issued afterwards scan
-// the fresh one. Rankings are unaffected: compaction preserves the live
-// items and their insertion order.
-func (db *Database) Compact() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.compactLocked()
+// UpdateLabel swaps the label stored with an item without touching its bag —
+// the metadata-only counterpart of Update: no instance rows move, no
+// tombstone accumulates, no compaction debt, and the storage cost is
+// constant (a label-only journal record). Queries issued after UpdateLabel
+// returns report the new label; in-flight queries report the old one — both
+// the index's label column and the item slots are copy-on-write against
+// live scan views, so the first label update after a query re-clones the
+// shard's label column and item slots (O(bags in shard) header copies,
+// amortized to O(1) across a batch of updates between queries).
+func (db *Database) UpdateLabel(id, label string) error {
+	sh := db.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	i, ok := sh.byID[id]
+	if !ok {
+		return fmt.Errorf("retrieval: label update of unknown item ID %q", id)
+	}
+	if err := sh.idx.UpdateLabel(i, label); err != nil {
+		return err
+	}
+	if sh.itemsShared.Load() {
+		sh.items = append([]Item(nil), sh.items...)
+		sh.itemsShared.Store(false)
+	}
+	sh.items[i].Label = label
+	return nil
 }
 
-func (db *Database) maybeCompactLocked() {
-	deadRows := db.idx.DeadInstances()
+// Compact rebuilds every shard's flat scoring index from its live items,
+// reclaiming the rows tombstoned by Delete/Update. Each shard is rebuilt
+// under its own lock, one at a time, so the database keeps serving: scans
+// and mutations proceed on every shard but the one mid-rebuild. Snapshots
+// taken before the compact keep scanning the old (immutable) blocks; queries
+// issued afterwards scan the fresh ones. Rankings are unaffected: compaction
+// preserves the live items and their insertion order.
+func (db *Database) Compact() {
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		sh.compactLocked()
+		sh.mu.Unlock()
+	}
+}
+
+// CompactShard rebuilds a single shard's flat block (no-op when the shard
+// carries no tombstones), leaving the other shards untouched.
+func (db *Database) CompactShard(i int) {
+	sh := db.shards[i]
+	sh.mu.Lock()
+	sh.compactLocked()
+	sh.mu.Unlock()
+}
+
+func (sh *shard) maybeCompactLocked() {
+	deadRows := sh.idx.DeadInstances()
 	if deadRows < compactMinDeadRows {
 		return
 	}
-	if float64(deadRows) < compactFraction*float64(db.idx.Instances()) {
+	if float64(deadRows) < compactFraction*float64(sh.idx.Instances()) {
 		return
 	}
-	db.compactLocked()
+	sh.compactLocked()
 }
 
-func (db *Database) compactLocked() {
-	if db.idx.Dead() == 0 {
+func (sh *shard) compactLocked() {
+	if sh.idx.Dead() == 0 {
 		return
 	}
 	idx := index.New()
-	items := make([]Item, 0, db.idx.Live())
-	byID := make(map[string]int, db.idx.Live())
-	for i, it := range db.items {
-		if db.idx.IsDead(i) {
+	items := make([]Item, 0, sh.idx.Live())
+	seqs := make([]uint64, 0, sh.idx.Live())
+	byID := make(map[string]int, sh.idx.Live())
+	for i, it := range sh.items {
+		if sh.idx.IsDead(i) {
 			continue
 		}
 		if err := idx.Append(it.ID, it.Label, it.Bag.Instances); err != nil {
@@ -255,63 +421,106 @@ func (db *Database) compactLocked() {
 		}
 		byID[it.ID] = len(items)
 		items = append(items, it)
+		seqs = append(seqs, sh.seqs[i])
 	}
-	db.items = items
-	db.byID = byID
-	db.idx = idx
+	sh.items = items
+	sh.seqs = seqs
+	sh.byID = byID
+	sh.idx = idx
+	sh.itemsShared.Store(false)
 }
 
 // Len returns the number of live items.
 func (db *Database) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.idx.Live()
+	n := 0
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		n += sh.idx.Live()
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Dim returns the feature dimensionality (0 while empty).
-func (db *Database) Dim() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.dim
+func (db *Database) Dim() int { return int(db.dim.Load()) }
+
+// liveOrdered collects the live items of every shard tagged with their
+// insertion sequence and returns them in global insertion order.
+func (db *Database) liveOrdered() []Item {
+	type tagged struct {
+		seq  uint64
+		item Item
+	}
+	var all []tagged
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		for i, it := range sh.items {
+			if sh.idx.IsDead(i) {
+				continue
+			}
+			all = append(all, tagged{sh.seqs[i], it})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	out := make([]Item, len(all))
+	for i, tg := range all {
+		out[i] = tg.item
+	}
+	return out
 }
 
-// Get returns the i-th live item in insertion order.
+// Get returns the i-th live item in insertion order. On a single-shard,
+// tombstone-free database (the append-only common case) this is one O(1)
+// slot read; otherwise the live items are collected and ordered, so
+// iterating a large multi-shard or tombstoned database is cheaper through
+// Items() than through repeated Gets.
 func (db *Database) Get(i int) Item {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.idx.Dead() == 0 {
-		return db.items[i]
-	}
-	live := -1
-	for j, it := range db.items {
-		if db.idx.IsDead(j) {
-			continue
-		}
-		if live++; live == i {
+	if len(db.shards) == 1 {
+		sh := db.shards[0]
+		sh.mu.RLock()
+		if sh.idx.Dead() == 0 {
+			if i < 0 || i >= len(sh.items) {
+				sh.mu.RUnlock()
+				panic(fmt.Sprintf("retrieval: Get(%d) of %d live items", i, len(sh.items)))
+			}
+			it := sh.items[i]
+			sh.mu.RUnlock()
 			return it
 		}
+		sh.mu.RUnlock()
 	}
-	panic(fmt.Sprintf("retrieval: Get(%d) of %d live items", i, live+1))
+	items := db.liveOrdered()
+	if i < 0 || i >= len(items) {
+		panic(fmt.Sprintf("retrieval: Get(%d) of %d live items", i, len(items)))
+	}
+	return items[i]
 }
 
 // ByID returns the item with the given ID.
 func (db *Database) ByID(id string) (Item, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	i, ok := db.byID[id]
+	sh := db.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	i, ok := sh.byID[id]
 	if !ok {
 		return Item{}, false
 	}
-	return db.items[i], true
+	return sh.items[i], true
 }
 
 // Items returns a snapshot copy of the live items in insertion order.
-func (db *Database) Items() []Item {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]Item, 0, db.idx.Live())
-	for i, it := range db.items {
-		if db.idx.IsDead(i) {
+func (db *Database) Items() []Item { return db.liveOrdered() }
+
+// ShardItems returns a snapshot copy of shard i's live items in that shard's
+// insertion order — the per-shard slice persistence snapshots.
+func (db *Database) ShardItems(i int) []Item {
+	sh := db.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	out := make([]Item, 0, sh.idx.Live())
+	for j, it := range sh.items {
+		if sh.idx.IsDead(j) {
 			continue
 		}
 		out = append(out, it)
@@ -319,30 +528,62 @@ func (db *Database) Items() []Item {
 	return out
 }
 
-// snapshot returns a consistent scan view of the flat index. The view stays
-// immutable under concurrent Adds (appends only write past its lengths) and
-// Deletes (the tombstone mask is copied).
-func (db *Database) snapshot() index.Snapshot {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.idx.Snapshot()
+// snapshot returns a consistent scan view of every shard's flat index. Each
+// shard's view stays immutable under concurrent Adds (appends only write
+// past its lengths) and Deletes (the tombstone mask is copied); the shards
+// are snapshotted one lock at a time, so a scan sees each individual
+// mutation atomically (a mutation touches exactly one shard) even though two
+// mutations on different shards may straddle the snapshot.
+func (db *Database) snapshot() index.Sharded {
+	view := make(index.Sharded, len(db.shards))
+	for i, sh := range db.shards {
+		sh.mu.RLock()
+		view[i] = sh.idx.Snapshot()
+		sh.mu.RUnlock()
+	}
+	return view
 }
 
-// view returns a zero-copy scan view for the fallback per-bag path: the raw
-// item slots (dead ones included) plus an index snapshot whose tombstone
-// mask says which slots to skip. Aliasing db.items is safe for the same
-// reason the flat snapshot is: Add/Update only append slots, Delete only
-// flips mask bits (copied into the snapshot), so the elements a view can
-// see are never rewritten. This keeps the fallback scan from copying the
-// whole item slice on every query.
-func (db *Database) view() ([]Item, index.Snapshot) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	n := len(db.items)
-	return db.items[:n:n], db.idx.Snapshot()
+// shardView is one shard's zero-copy view for the fallback per-bag path: the
+// raw item slots (dead ones included) plus an index snapshot whose tombstone
+// mask says which slots to skip.
+type shardView struct {
+	items []Item
+	snap  index.Snapshot
 }
 
-// Stats summarizes the flat scoring index.
+// views returns the fallback scan views of every shard. Aliasing sh.items is
+// safe for the same reason the flat snapshot is: Add/Update only append
+// slots, Delete only flips mask bits (copied into the snapshot), and
+// UpdateLabel clones the slice before mutating a label (itemsShared). This
+// keeps the fallback scan from copying the whole item slice on every query.
+func (db *Database) views() []shardView {
+	out := make([]shardView, len(db.shards))
+	for i, sh := range db.shards {
+		sh.mu.RLock()
+		n := len(sh.items)
+		out[i] = shardView{items: sh.items[:n:n], snap: sh.idx.Snapshot()}
+		sh.itemsShared.Store(true)
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// ShardStats summarizes one shard's flat scoring index.
+type ShardStats struct {
+	// Items is the shard's live bag count; Instances its live instance rows.
+	Items     int
+	Instances int
+	// IndexBytes is the size of the shard's flat instance block in bytes,
+	// dead rows included.
+	IndexBytes int64
+	// DeadItems and DeadInstances count tombstoned bags and their rows still
+	// occupying the shard's block — the weight its next compact reclaims.
+	DeadItems     int
+	DeadInstances int
+}
+
+// Stats summarizes the flat scoring indexes across all shards.
 type Stats struct {
 	// Items is the number of live bags (images).
 	Items int
@@ -350,27 +591,41 @@ type Stats struct {
 	Instances int
 	// Dim is the feature dimensionality.
 	Dim int
-	// IndexBytes is the size of the flat instance block in bytes, dead rows
-	// included (they occupy the block until compaction).
+	// IndexBytes is the total size of the flat instance blocks in bytes,
+	// dead rows included (they occupy the blocks until compaction).
 	IndexBytes int64
 	// DeadItems and DeadInstances count tombstoned bags and their rows still
-	// occupying the block — the weight the next Compact reclaims.
+	// occupying the blocks — the weight compaction reclaims.
 	DeadItems     int
 	DeadInstances int
+	// Shards breaks the same counters down per shard; the totals above are
+	// exactly the column sums.
+	Shards []ShardStats
 }
 
-// Stats reports the size of the flat scoring index.
+// Stats reports the size of the flat scoring indexes, per shard and in
+// total. The totals are computed by summing the per-shard rows, so the
+// sum-equals-total invariant holds by construction.
 func (db *Database) Stats() Stats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return Stats{
-		Items:         db.idx.Live(),
-		Instances:     db.idx.Instances() - db.idx.DeadInstances(),
-		Dim:           db.idx.Dim(),
-		IndexBytes:    db.idx.Bytes(),
-		DeadItems:     db.idx.Dead(),
-		DeadInstances: db.idx.DeadInstances(),
+	st := Stats{Dim: db.Dim(), Shards: make([]ShardStats, len(db.shards))}
+	for i, sh := range db.shards {
+		sh.mu.RLock()
+		ss := ShardStats{
+			Items:         sh.idx.Live(),
+			Instances:     sh.idx.Instances() - sh.idx.DeadInstances(),
+			IndexBytes:    sh.idx.Bytes(),
+			DeadItems:     sh.idx.Dead(),
+			DeadInstances: sh.idx.DeadInstances(),
+		}
+		sh.mu.RUnlock()
+		st.Shards[i] = ss
+		st.Items += ss.Items
+		st.Instances += ss.Instances
+		st.IndexBytes += ss.IndexBytes
+		st.DeadItems += ss.DeadItems
+		st.DeadInstances += ss.DeadInstances
 	}
+	return st
 }
 
 // Result is one ranked database entry: the item's ID and label plus Dist,
@@ -414,9 +669,10 @@ func Rank(db *Database, s Scorer, opts Options) []Result {
 }
 
 // TopK returns the k best matches in ascending distance order without
-// sorting the whole database. On both paths each scan worker fuses a size-k
-// max-heap into its scan, so the full distance slice is never materialized.
-// For k ≥ database size it equals Rank.
+// sorting the whole database. On the flat path the shards fan out sharing
+// one atomic cutoff (index.Sharded); on the fallback path each shard's scan
+// workers fuse size-k max-heaps, so the full distance slice is never
+// materialized either way. For k ≥ database size it equals Rank.
 func TopK(db *Database, s Scorer, k int, opts Options) []Result {
 	if k <= 0 {
 		return nil
@@ -424,19 +680,40 @@ func TopK(db *Database, s Scorer, k int, opts Options) []Result {
 	if q, ok := query(db, s); ok {
 		return db.snapshot().TopK(q, k, opts.Exclude, opts.Parallelism)
 	}
-	items, snap := db.view()
-	if k >= len(items) {
-		results := scan(db, s, opts)
+	views := db.views()
+	total := 0
+	for _, v := range views {
+		total += len(v.items)
+	}
+	if k >= total {
+		results := scanViews(views, s, opts)
 		sortResults(results)
 		return results
 	}
-	par := workerCount(opts.Parallelism, len(items))
+	merged := make([]Result, 0, (len(views)+1)*k)
+	for _, v := range views {
+		merged = append(merged, fallbackTopKShard(v, s, k, opts)...)
+	}
+	sortResults(merged)
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}
+
+// fallbackTopKShard runs the per-bag fallback top-k over one shard view with
+// per-worker heaps and returns the merged (unsorted) worker candidates.
+func fallbackTopKShard(v shardView, s Scorer, k int, opts Options) []Result {
+	if len(v.items) == 0 {
+		return nil
+	}
+	par := workerCount(opts.Parallelism, len(v.items))
 	heaps := make([]*resultMaxHeap, par)
 	var wg sync.WaitGroup
-	chunk := (len(items) + par - 1) / par
+	chunk := (len(v.items) + par - 1) / par
 	for w := 0; w < par; w++ {
 		lo := w * chunk
-		hi := min(lo+chunk, len(items))
+		hi := min(lo+chunk, len(v.items))
 		if lo >= hi {
 			break
 		}
@@ -446,10 +723,10 @@ func TopK(db *Database, s Scorer, k int, opts Options) []Result {
 			h := make(resultMaxHeap, 0, min(k, hi-lo))
 			heaps[w] = &h
 			for i := lo; i < hi; i++ {
-				if snap.IsDead(i) || opts.Exclude[items[i].ID] {
+				if v.snap.IsDead(i) || opts.Exclude[v.items[i].ID] {
 					continue
 				}
-				r := Result{ID: items[i].ID, Label: items[i].Label, Dist: s.BagDist(items[i].Bag)}
+				r := Result{ID: v.items[i].ID, Label: v.items[i].Label, Dist: s.BagDist(v.items[i].Bag)}
 				if h.Len() < k {
 					heap.Push(&h, r)
 					continue
@@ -470,19 +747,15 @@ func TopK(db *Database, s Scorer, k int, opts Options) []Result {
 			merged = append(merged, *h...)
 		}
 	}
-	sortResults(merged)
-	if len(merged) > k {
-		merged = merged[:k]
-	}
 	return merged
 }
 
 // TopKMany returns, for each scorer, its k best matches in ascending
 // distance order — element i equals TopK(db, scorers[i], k, opts) exactly.
-// When every scorer exposes point/weight geometry the flat index is scanned
-// once for the whole batch (index.MultiTopK), loading each instance row
-// into cache one time for all concepts instead of streaming the block once
-// per concept; otherwise each scorer falls back to its own scan.
+// When every scorer exposes point/weight geometry the flat shards are
+// scanned once for the whole batch (index.Sharded.MultiTopK), loading each
+// instance row into cache one time for all concepts instead of streaming the
+// blocks once per concept; otherwise each scorer falls back to its own scan.
 func TopKMany(db *Database, scorers []Scorer, k int, opts Options) [][]Result {
 	if len(scorers) == 0 {
 		return nil
@@ -532,19 +805,38 @@ func workerCount(requested, n int) int {
 }
 
 // scan computes distances for all live, non-excluded items via the generic
-// per-bag Scorer interface, splitting the database across workers. It is
-// the fallback for scorers that cannot expose point/weight geometry; it
-// iterates the item slots zero-copy (see view) so a query costs no O(n)
-// item copy.
+// per-bag Scorer interface. It is the fallback for scorers that cannot
+// expose point/weight geometry; it iterates the item slots zero-copy (see
+// views) so a query costs no O(n) item copy.
 func scan(db *Database, s Scorer, opts Options) []Result {
-	items, snap := db.view()
-	par := workerCount(opts.Parallelism, len(items))
-	dists := make([]float64, len(items))
+	return scanViews(db.views(), s, opts)
+}
+
+func scanViews(views []shardView, s Scorer, opts Options) []Result {
+	total := 0
+	for _, v := range views {
+		total += len(v.items)
+	}
+	results := make([]Result, 0, total)
+	for _, v := range views {
+		results = append(results, scanShard(v, s, opts)...)
+	}
+	return results
+}
+
+// scanShard scores one shard's live, non-excluded items, splitting the shard
+// across workers.
+func scanShard(v shardView, s Scorer, opts Options) []Result {
+	if len(v.items) == 0 {
+		return nil
+	}
+	par := workerCount(opts.Parallelism, len(v.items))
+	dists := make([]float64, len(v.items))
 	var wg sync.WaitGroup
-	chunk := (len(items) + par - 1) / par
+	chunk := (len(v.items) + par - 1) / par
 	for w := 0; w < par; w++ {
 		lo := w * chunk
-		hi := min(lo+chunk, len(items))
+		hi := min(lo+chunk, len(v.items))
 		if lo >= hi {
 			break
 		}
@@ -552,19 +844,19 @@ func scan(db *Database, s Scorer, opts Options) []Result {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				if snap.IsDead(i) || opts.Exclude[items[i].ID] {
+				if v.snap.IsDead(i) || opts.Exclude[v.items[i].ID] {
 					dists[i] = math.Inf(1)
 					continue
 				}
-				dists[i] = s.BagDist(items[i].Bag)
+				dists[i] = s.BagDist(v.items[i].Bag)
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
 
-	results := make([]Result, 0, len(items))
-	for i, item := range items {
-		if snap.IsDead(i) || opts.Exclude[item.ID] {
+	results := make([]Result, 0, len(v.items))
+	for i, item := range v.items {
+		if v.snap.IsDead(i) || opts.Exclude[item.ID] {
 			continue
 		}
 		results = append(results, Result{ID: item.ID, Label: item.Label, Dist: dists[i]})

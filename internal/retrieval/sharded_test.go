@@ -1,0 +1,437 @@
+package retrieval
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"milret/internal/mat"
+)
+
+// mirrorPair applies the same construction to a 1-shard and an N-shard
+// database so scans over the two can be compared bit-for-bit.
+type mirrorPair struct {
+	single  *Database
+	sharded *Database
+}
+
+func (p mirrorPair) add(t testing.TB, it Item) {
+	t.Helper()
+	if err := p.single.Add(it); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.sharded.Add(it); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randMirror(t testing.TB, r *rand.Rand, n, dim, maxInst, nShards int) mirrorPair {
+	p := mirrorPair{single: NewDatabase(), sharded: NewDatabaseSharded(nShards)}
+	for i := 0; i < n; i++ {
+		nInst := 1 + r.Intn(maxInst)
+		vecs := make([]mat.Vector, nInst)
+		for j := range vecs {
+			vecs[j] = randVec(r, dim)
+		}
+		p.add(t, item(fmt.Sprintf("img-%03d", i), fmt.Sprintf("cat%d", i%3), vecs...))
+	}
+	return p
+}
+
+// The tentpole acceptance property: an N-shard database ranks bit-identically
+// to a 1-shard database over the same bags — Rank, TopK and TopKMany, flat
+// and naive paths — through random interleavings of adds, deletes, updates
+// and label swaps, and after compacting random individual shards.
+func TestQuickShardedMatchesSingleShard(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(24)
+		n := 2 + r.Intn(40)
+		nShards := 2 + r.Intn(4)
+		p := randMirror(t, r, n, dim, 4, nShards)
+
+		// Mutation storm applied to both databases.
+		for m := 0; m < r.Intn(2*n); m++ {
+			id := fmt.Sprintf("img-%03d", r.Intn(n))
+			switch r.Intn(4) {
+			case 0:
+				e1, e2 := p.single.Delete(id), p.sharded.Delete(id)
+				if (e1 == nil) != (e2 == nil) {
+					t.Fatalf("delete divergence for %s: %v vs %v", id, e1, e2)
+				}
+			case 1:
+				if _, ok := p.single.ByID(id); ok {
+					vecs := []mat.Vector{randVec(r, dim), randVec(r, dim)}
+					p2 := item(id, "updated", vecs...)
+					if err := p.single.Update(p2); err != nil {
+						t.Fatal(err)
+					}
+					if err := p.sharded.Update(p2); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 2:
+				if _, ok := p.single.ByID(id); ok {
+					lb := fmt.Sprintf("relabel-%d", m)
+					if err := p.single.UpdateLabel(id, lb); err != nil {
+						t.Fatal(err)
+					}
+					if err := p.sharded.UpdateLabel(id, lb); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 3:
+				p.add(t, item(fmt.Sprintf("new-%03d", m), "added", randVec(r, dim)))
+			}
+		}
+		// Compact a random subset of the sharded database's shards only — the
+		// single-shard mirror keeps its tombstones, so the comparison also
+		// proves per-shard compaction is invisible to rankings.
+		for si := 0; si < p.sharded.ShardCount(); si++ {
+			if r.Intn(2) == 0 {
+				p.sharded.CompactShard(si)
+			}
+		}
+
+		naive, flat := randScorerPair(r, dim)
+		exclude := map[string]bool{}
+		for _, it := range p.single.Items() {
+			if r.Intn(6) == 0 {
+				exclude[it.ID] = true
+			}
+		}
+		opts := Options{Exclude: exclude, Parallelism: 1 + r.Intn(8)}
+		if !reflect.DeepEqual(Rank(p.sharded, flat, opts), Rank(p.single, flat, opts)) {
+			t.Log("sharded flat Rank diverged")
+			return false
+		}
+		if !reflect.DeepEqual(Rank(p.sharded, naive, opts), Rank(p.single, naive, opts)) {
+			t.Log("sharded naive Rank diverged")
+			return false
+		}
+		for _, k := range []int{1, n / 2, n + 5} {
+			if k < 1 {
+				k = 1
+			}
+			if !reflect.DeepEqual(TopK(p.sharded, flat, k, opts), TopK(p.single, flat, k, opts)) {
+				t.Logf("sharded flat TopK(%d) diverged", k)
+				return false
+			}
+			if !reflect.DeepEqual(TopK(p.sharded, naive, k, opts), TopK(p.single, naive, k, opts)) {
+				t.Logf("sharded naive TopK(%d) diverged", k)
+				return false
+			}
+		}
+		_, flat2 := randScorerPair(r, dim)
+		scorers := []Scorer{flat, flat2}
+		k := 1 + r.Intn(n)
+		if !reflect.DeepEqual(TopKMany(p.sharded, scorers, k, opts), TopKMany(p.single, scorers, k, opts)) {
+			t.Logf("sharded TopKMany(%d) diverged", k)
+			return false
+		}
+		// Metadata views agree too: same live items in the same insertion
+		// order, regardless of which shard each landed in.
+		if !reflect.DeepEqual(p.sharded.Items(), p.single.Items()) {
+			t.Log("sharded Items order diverged")
+			return false
+		}
+		return p.sharded.Len() == p.single.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Per-shard stats must sum exactly to the database totals — the /v1/stats
+// invariant — across mutations and partial compaction.
+func TestShardedStatsSumToTotals(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	db := NewDatabaseSharded(4)
+	for i := 0; i < 200; i++ {
+		if err := db.Add(item(fmt.Sprintf("img-%03d", i), "l", randVec(r, 6), randVec(r, 6))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i += 3 {
+		if err := db.Delete(fmt.Sprintf("img-%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.CompactShard(1)
+	st := db.Stats()
+	if len(st.Shards) != 4 {
+		t.Fatalf("got %d shard rows", len(st.Shards))
+	}
+	var sum ShardStats
+	for _, ss := range st.Shards {
+		sum.Items += ss.Items
+		sum.Instances += ss.Instances
+		sum.IndexBytes += ss.IndexBytes
+		sum.DeadItems += ss.DeadItems
+		sum.DeadInstances += ss.DeadInstances
+	}
+	if sum.Items != st.Items || sum.Instances != st.Instances || sum.IndexBytes != st.IndexBytes ||
+		sum.DeadItems != st.DeadItems || sum.DeadInstances != st.DeadInstances {
+		t.Fatalf("per-shard stats do not sum to totals:\nshards sum %+v\ntotals     %+v", sum, st)
+	}
+	// And the totals cross-check against the database's own accessors.
+	if st.Items != db.Len() {
+		t.Fatalf("stats items %d, Len %d", st.Items, db.Len())
+	}
+	if st.Shards[1].DeadItems != 0 {
+		t.Fatal("compacted shard still reports dead items")
+	}
+	if st.DeadItems == 0 {
+		t.Fatal("uncompacted shards lost their tombstone counters")
+	}
+}
+
+// Compacting one shard must not block reads or writes on the others: while
+// shard compactions run in a loop, mutators and scanners on all shards make
+// progress, the race detector stays silent, and the final state matches a
+// rebuild.
+func TestShardCompactionDoesNotBlockOthers(t *testing.T) {
+	const dim = 6
+	r := rand.New(rand.NewSource(11))
+	_, flat := randScorerPair(r, dim)
+	db := NewDatabaseSharded(4)
+	for i := 0; i < 100; i++ {
+		if err := db.Add(item(fmt.Sprintf("base-%03d", i), "l", randVec(r, dim))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Dedicated compactor hammering each shard in turn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				db.CompactShard(i % db.ShardCount())
+			}
+		}
+	}()
+	// Scanners.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res := Rank(db, flat, Options{Parallelism: 1 + g})
+				for i := 1; i < len(res); i++ {
+					if res[i].Dist < res[i-1].Dist {
+						t.Errorf("torn rank: %v after %v", res[i], res[i-1])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	// Mutators across all shards.
+	var mut sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		mut.Add(1)
+		go func(w int) {
+			defer mut.Done()
+			r := rand.New(rand.NewSource(int64(500 + w)))
+			for i := 0; i < 60; i++ {
+				id := fmt.Sprintf("w%d-%02d", w, i)
+				if err := db.Add(item(id, "l", randVec(r, dim))); err != nil {
+					t.Errorf("Add %s: %v", id, err)
+					return
+				}
+				switch i % 4 {
+				case 0:
+					if err := db.Delete(id); err != nil {
+						t.Errorf("Delete %s: %v", id, err)
+						return
+					}
+				case 1:
+					if err := db.Update(item(id, "upd", randVec(r, dim))); err != nil {
+						t.Errorf("Update %s: %v", id, err)
+						return
+					}
+				case 2:
+					if err := db.UpdateLabel(id, "relabeled"); err != nil {
+						t.Errorf("UpdateLabel %s: %v", id, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	mut.Wait()
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	rebuilt := NewDatabase()
+	for _, it := range db.Items() {
+		if err := rebuilt.Add(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(Rank(db, flat, Options{}), Rank(rebuilt, flat, Options{})) {
+		t.Fatal("sharded database diverged from rebuild after concurrent compaction")
+	}
+}
+
+// Concurrent label updates against queries: labels are copy-on-write, so the
+// race detector must stay silent and every query sees a consistent label for
+// each result (one of the values that item has legitimately carried).
+func TestConcurrentLabelUpdatesVersusQueries(t *testing.T) {
+	const dim = 4
+	r := rand.New(rand.NewSource(3))
+	_, flat := randScorerPair(r, dim)
+	db := NewDatabaseSharded(3)
+	const n = 30
+	for i := 0; i < n; i++ {
+		if err := db.Add(item(fmt.Sprintf("img-%02d", i), "v0", randVec(r, dim))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, res := range Rank(db, flat, Options{Parallelism: 1 + g}) {
+					if len(res.Label) < 2 || res.Label[0] != 'v' {
+						t.Errorf("torn label %q", res.Label)
+						return
+					}
+				}
+				_ = db.Items()
+			}
+		}(g)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("img-%02d", (w*7+i)%n)
+				if err := db.UpdateLabel(id, fmt.Sprintf("v%d", i+1)); err != nil {
+					t.Errorf("UpdateLabel %s: %v", id, err)
+					return
+				}
+			}
+			if w == 0 {
+				close(stop)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	st := db.Stats()
+	if st.DeadItems != 0 || st.DeadInstances != 0 {
+		t.Fatalf("label updates left tombstones: %+v", st)
+	}
+}
+
+func TestUpdateLabelSemantics(t *testing.T) {
+	db := buildDB(t, item("a", "x", mat.Vector{0, 0}), item("b", "y", mat.Vector{1, 0}))
+	if err := db.UpdateLabel("ghost", "z"); err == nil {
+		t.Fatal("label update of unknown ID accepted")
+	}
+	if err := db.UpdateLabel("b", "y2"); err != nil {
+		t.Fatal(err)
+	}
+	it, _ := db.ByID("b")
+	if it.Label != "y2" {
+		t.Fatalf("label after update: %q", it.Label)
+	}
+	res := Rank(db, pointScorer{mat.Vector{1, 0}}, Options{})
+	if res[0].ID != "b" || res[0].Label != "y2" {
+		t.Fatalf("rank after label update: %+v", res)
+	}
+	st := db.Stats()
+	if st.DeadItems != 0 || st.DeadInstances != 0 || st.Items != 2 {
+		t.Fatalf("label update cost tombstones: %+v", st)
+	}
+	if err := db.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.UpdateLabel("b", "y3"); err == nil {
+		t.Fatal("label update of deleted ID accepted")
+	}
+}
+
+// NewDatabaseFromFlats must enforce the hash-placement invariant so ByID and
+// mutation routing can find every adopted item.
+func TestNewDatabaseFromFlatsPlacement(t *testing.T) {
+	dim := 2
+	mk := func(ids ...string) FlatShard {
+		var fs FlatShard
+		for _, id := range ids {
+			v := mat.Vector{1, 2}
+			fs.Items = append(fs.Items, item(id, "l", v))
+			fs.Data = append(fs.Data, v...)
+		}
+		// Re-point the bags at the shared block, as the store loader does.
+		off := 0
+		for _, it := range fs.Items {
+			for j := range it.Bag.Instances {
+				it.Bag.Instances[j] = mat.Vector(fs.Data[off : off+dim : off+dim])
+				off += dim
+			}
+		}
+		return fs
+	}
+
+	// Correct placement: split IDs by their hash over 2 shards.
+	ids := []string{"a", "b", "c", "d", "e", "f", "g"}
+	byShard := [2][]string{}
+	for _, id := range ids {
+		byShard[shardIndexFor(id, 2)] = append(byShard[shardIndexFor(id, 2)], id)
+	}
+	db, err := NewDatabaseFromFlats([]FlatShard{mk(byShard[0]...), mk(byShard[1]...)}, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != len(ids) || db.ShardCount() != 2 {
+		t.Fatalf("adopted %d items over %d shards", db.Len(), db.ShardCount())
+	}
+	for _, id := range ids {
+		if _, ok := db.ByID(id); !ok {
+			t.Fatalf("adopted item %q not resolvable", id)
+		}
+	}
+	// Post-adoption mutations keep working.
+	if err := db.Add(item("zz", "l", mat.Vector{3, 4})); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Misplaced item: everything in shard 0 cannot be right for 2 shards
+	// unless all IDs happen to hash there — ids above span both shards.
+	if _, err := NewDatabaseFromFlats([]FlatShard{mk(ids...), {}}, dim); err == nil {
+		t.Fatal("misplaced items accepted")
+	}
+}

@@ -10,7 +10,8 @@
 //	DELETE /v1/images/{id}       → remove an image
 //	POST   /v1/query             → train on examples and rank
 //	POST   /v1/retrieve/batch    → rank several concept geometries in one scan
-//	GET    /v1/stats             → scoring-index and mutation-lifecycle metrics
+//	GET    /v1/stats             → scoring-index and mutation-lifecycle metrics,
+//	                               in total and per shard
 //	GET    /v1/healthz           → liveness probe + data verification state
 //
 // The query request body:
@@ -158,18 +159,33 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, body)
 }
 
-// StatsResponse is the /v1/stats reply: the size of the flat columnar
-// scoring index every query scans, plus the mutation-lifecycle counters
-// (tombstoned dead weight and journal depth).
-type StatsResponse struct {
+// ShardStatsResponse is one shard's row in the /v1/stats reply: the same
+// live/dead/journal counters as the totals, scoped to that shard's flat
+// block and mutation log. The totals are exactly the column sums — the
+// invariant the stats regression tests pin down.
+type ShardStatsResponse struct {
 	Images           int   `json:"images"`
 	Instances        int   `json:"instances"`
-	Dim              int   `json:"dim"`
 	IndexBytes       int64 `json:"index_bytes"`
 	DeadImages       int   `json:"dead_images,omitempty"`
 	DeadInstances    int   `json:"dead_instances,omitempty"`
 	PendingMutations int   `json:"pending_mutations,omitempty"`
 	WALMutations     int   `json:"wal_mutations,omitempty"`
+}
+
+// StatsResponse is the /v1/stats reply: the size of the flat columnar
+// scoring indexes every query scans, plus the mutation-lifecycle counters
+// (tombstoned dead weight and journal depth), in total and per shard.
+type StatsResponse struct {
+	Images           int                  `json:"images"`
+	Instances        int                  `json:"instances"`
+	Dim              int                  `json:"dim"`
+	IndexBytes       int64                `json:"index_bytes"`
+	DeadImages       int                  `json:"dead_images,omitempty"`
+	DeadInstances    int                  `json:"dead_instances,omitempty"`
+	PendingMutations int                  `json:"pending_mutations,omitempty"`
+	WALMutations     int                  `json:"wal_mutations,omitempty"`
+	Shards           []ShardStatsResponse `json:"shards"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -178,7 +194,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.db.Stats()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Images:           st.Images,
 		Instances:        st.Instances,
 		Dim:              st.Dim,
@@ -187,7 +203,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		DeadInstances:    st.DeadInstances,
 		PendingMutations: st.PendingMutations,
 		WALMutations:     st.WALMutations,
-	})
+		Shards:           make([]ShardStatsResponse, len(st.Shards)),
+	}
+	for i, row := range st.Shards {
+		resp.Shards[i] = ShardStatsResponse{
+			Images:           row.Images,
+			Instances:        row.Instances,
+			IndexBytes:       row.IndexBytes,
+			DeadImages:       row.DeadImages,
+			DeadInstances:    row.DeadInstances,
+			PendingMutations: row.PendingMutations,
+			WALMutations:     row.WALMutations,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleImages(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,181 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.milret")
+	names := []string{"db.milret.shard0", "db.milret.shard1", "db.milret.shard2"}
+	if err := WriteManifest(path, names); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := IsManifest(path)
+	if err != nil || !ok {
+		t.Fatalf("IsManifest = %v, %v", ok, err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, len(names))
+	for i, n := range names {
+		want[i] = filepath.Join(dir, n)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("manifest paths:\ngot  %v\nwant %v", got, want)
+	}
+	// The canonical shard naming round-trips through ShardPath.
+	for i := range names {
+		if ShardPath(path, i) != want[i] {
+			t.Fatalf("ShardPath(%d) = %q, want %q", i, ShardPath(path, i), want[i])
+		}
+	}
+}
+
+func TestManifestValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m")
+	if err := WriteManifest(path, nil); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+	if err := WriteManifest(path, []string{"../escape"}); err == nil {
+		t.Fatal("path traversal in shard name accepted")
+	}
+	if err := WriteManifest(path, []string{"a/b"}); err == nil {
+		t.Fatal("separator in shard name accepted")
+	}
+
+	// A flat store file is not a manifest.
+	flat := filepath.Join(dir, "flat")
+	if err := WriteFlatFile(flat, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := IsManifest(flat); err != nil || ok {
+		t.Fatalf("flat file detected as manifest: %v, %v", ok, err)
+	}
+	if _, err := ReadManifest(flat); err == nil {
+		t.Fatal("flat file read as manifest")
+	}
+
+	// Corruption: any flipped byte must surface ErrCorrupt (or a magic
+	// error), never a silent misread.
+	if err := WriteManifest(path, []string{"s0", "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := len(ManifestMagic); off < len(raw); off++ {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x5A
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadManifest(path); err == nil {
+			t.Fatalf("corruption at offset %d accepted", off)
+		}
+	}
+	// Truncations at every boundary fail loudly too.
+	for cut := 0; cut < len(raw); cut += 3 {
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadManifest(path); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// Group commit: N goroutines each append one record and Sync concurrently;
+// every record must be durable afterwards while the file sees far fewer
+// fsyncs than committers would have paid individually. The fsync count is
+// observed indirectly: SyncTo's leader protocol allows at most one in-flight
+// fsync, so with all committers overlapping, completions arrive in batches.
+func TestWALGroupCommit(t *testing.T) {
+	dim := 2
+	path := filepath.Join(t.TempDir(), "g.wal")
+	w, err := CreateWAL(path, dim, WALFingerprint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const committers = 32
+	var wg sync.WaitGroup
+	var failures atomic.Int32
+	start := make(chan struct{})
+	for g := 0; g < committers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			rec := WALRecord{Op: WALLabel, Rec: Record{ID: "img", Label: "v"}}
+			if err := w.Append(rec); err != nil {
+				failures.Add(1)
+				return
+			}
+			if err := w.SyncTo(w.AppendSeq()); err != nil {
+				failures.Add(1)
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d committers failed", failures.Load())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, recs, err := ReadWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != committers {
+		t.Fatalf("recovered %d records, want %d", len(recs), committers)
+	}
+	// The writer is closed: both halves of the API must refuse.
+	if err := w.Append(WALRecord{Op: WALDelete, Rec: Record{ID: "x"}}); !errors.Is(err, ErrWALClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+}
+
+// A label record round-trips through the log byte-exactly and rejects
+// malformed frames.
+func TestWALLabelRecord(t *testing.T) {
+	dim := 3
+	path := filepath.Join(t.TempDir(), "l.wal")
+	w, err := CreateWAL(path, dim, WALFingerprint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(WALRecord{Op: WALLabel, Rec: Record{ID: "img-1", Label: ""}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(WALRecord{Op: WALLabel, Rec: Record{ID: "img-2", Label: "new label"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, recs, err := ReadWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Rec.Label != "" || recs[1].Rec.Label != "new label" ||
+		recs[0].Rec.ID != "img-1" || recs[1].Rec.ID != "img-2" {
+		t.Fatalf("label records: %+v", recs)
+	}
+	for _, rec := range recs {
+		if rec.Op != WALLabel || rec.Rec.Bag != nil {
+			t.Fatalf("label record shape: %+v", rec)
+		}
+	}
+}

@@ -15,9 +15,15 @@
 //	        op 1 (add)    body: record payload (see below)
 //	        op 2 (delete) body: uint16 idLen | id
 //	        op 3 (update) body: record payload
+//	        op 4 (label)  body: uint16 idLen | id | uint16 labelLen | label
 //	record payload (shared with the V1 stream format):
 //	        uint16 idLen | id | uint16 labelLen | label | uint32 nInst |
 //	        nInst × (uint16 nameLen | name) | nInst × dim × float64
+//
+// Op 4 is the metadata-only fast path: a label change journals a few dozen
+// bytes instead of re-encoding the full bag. (Logs containing op 4 are not
+// readable by pre-label readers, which stop with an "unknown op" error — a
+// loud failure, never silent misreplay.)
 //
 // Every record carries its own CRC-32 (IEEE) over the whole frame. Recovery
 // distinguishes two failure shapes:
@@ -54,6 +60,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
 )
 
 // WALMagic identifies mutation-log files.
@@ -119,6 +126,10 @@ const (
 	// WALUpdate replaces the record carrying the frame's ID with the
 	// frame's bag and label.
 	WALUpdate WALOp = 3
+	// WALLabel swaps the label of the record carrying the frame's ID,
+	// leaving its bag untouched — a metadata-only record a few dozen bytes
+	// long, the journal half of O(1) label updates.
+	WALLabel WALOp = 4
 )
 
 func (op WALOp) String() string {
@@ -129,24 +140,54 @@ func (op WALOp) String() string {
 		return "delete"
 	case WALUpdate:
 		return "update"
+	case WALLabel:
+		return "label"
 	}
 	return fmt.Sprintf("op(%d)", uint8(op))
 }
 
 // WALRecord is one decoded mutation. For WALAdd/WALUpdate, Rec carries the
-// full record; for WALDelete only Rec.ID is meaningful.
+// full record; for WALDelete only Rec.ID is meaningful, and for WALLabel
+// only Rec.ID and Rec.Label are.
 type WALRecord struct {
 	Op  WALOp
 	Rec Record
 }
 
-// WALWriter appends mutation records to a log file.
+// WALWriter appends mutation records to a log file. It is safe for
+// concurrent use, and Sync is a group commit: concurrent callers waiting for
+// durability share a single fsync — one caller becomes the leader, flushes
+// everything appended so far and fsyncs once, and every waiter whose records
+// that fsync covered is acknowledged together. Under write-heavy
+// concurrency the fsync count is one per batch instead of one per mutation.
 type WALWriter struct {
-	f   *os.File
-	w   *bufio.Writer
 	dim int
-	n   int
+
+	// mu guards the file, the buffered writer and the append counters.
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	n        int
+	appended uint64 // records appended so far (monotonic)
+	closed   bool
+
+	// smu guards the group-commit state; the leader releases it around the
+	// fsync so followers can queue up on cond for the next batch.
+	smu     sync.Mutex
+	cond    *sync.Cond
+	syncing bool
+	synced  uint64 // highest append count covered by a completed fsync
+	syncErr error  // sticky: once an fsync fails, no later ack may succeed
 }
+
+func newWALWriter(f *os.File, dim, n int) *WALWriter {
+	w := &WALWriter{f: f, w: bufio.NewWriter(f), dim: dim, n: n}
+	w.cond = sync.NewCond(&w.smu)
+	return w
+}
+
+// ErrWALClosed is returned by appends and syncs on a closed writer.
+var ErrWALClosed = errors.New("store: WAL writer closed")
 
 // CreateWAL creates (or truncates) a mutation log for records of the given
 // dimensionality, bound to the snapshot generation identified by fp, and
@@ -162,7 +203,7 @@ func CreateWAL(path string, dim int, fp WALFingerprint) (*WALWriter, error) {
 		return nil, err
 	}
 	syncDir(path)
-	w := &WALWriter{f: f, w: bufio.NewWriter(f), dim: dim}
+	w := newWALWriter(f, dim, 0)
 	if _, err := w.w.WriteString(WALMagic); err != nil {
 		f.Close()
 		return nil, err
@@ -178,6 +219,13 @@ func CreateWAL(path string, dim int, fp WALFingerprint) (*WALWriter, error) {
 		return nil, err
 	}
 	if err := binary.Write(w.w, binary.LittleEndian, fp.SnapTail); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Land the header immediately (no fsync yet) so the buffer only ever
+	// holds record bytes and a sync that covers zero records — group-commit
+	// fast path — never leaves a headerless file behind.
+	if err := w.w.Flush(); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -216,14 +264,28 @@ func OpenWAL(path string, dim int, fp WALFingerprint) (*WALWriter, error) {
 		f.Close()
 		return nil, err
 	}
-	return &WALWriter{f: f, w: bufio.NewWriter(f), dim: dim, n: len(recs)}, nil
+	return newWALWriter(f, dim, len(recs)), nil
 }
 
 // Count returns the number of records in the log, replayed and appended.
-func (w *WALWriter) Count() int { return w.n }
+func (w *WALWriter) Count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
 
-// Append buffers one mutation record. Call Sync to make it durable; a
-// mutation is acknowledged only once Sync returns.
+// AppendSeq returns the current append count — the sequence number SyncTo
+// waits on. A caller that appends records and then needs them durable reads
+// AppendSeq after its last Append and passes it to SyncTo; any fsync
+// covering that count acknowledges the records, whoever issued it.
+func (w *WALWriter) AppendSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appended
+}
+
+// Append buffers one mutation record. Call Sync (or SyncTo) to make it
+// durable; a mutation is acknowledged only once that returns.
 func (w *WALWriter) Append(rec WALRecord) error {
 	var frame []byte
 	switch rec.Op {
@@ -243,8 +305,23 @@ func (w *WALWriter) Append(rec WALRecord) error {
 		frame = append(frame, byte(WALDelete))
 		frame = binary.LittleEndian.AppendUint16(frame, uint16(len(rec.Rec.ID)))
 		frame = append(frame, rec.Rec.ID...)
+	case WALLabel:
+		if len(rec.Rec.ID) > math.MaxUint16 || len(rec.Rec.Label) > math.MaxUint16 {
+			return fmt.Errorf("store: WAL label: id/label too long")
+		}
+		frame = make([]byte, 0, 5+len(rec.Rec.ID)+len(rec.Rec.Label))
+		frame = append(frame, byte(WALLabel))
+		frame = binary.LittleEndian.AppendUint16(frame, uint16(len(rec.Rec.ID)))
+		frame = append(frame, rec.Rec.ID...)
+		frame = binary.LittleEndian.AppendUint16(frame, uint16(len(rec.Rec.Label)))
+		frame = append(frame, rec.Rec.Label...)
 	default:
 		return fmt.Errorf("store: unknown WAL op %d", rec.Op)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWALClosed
 	}
 	if err := binary.Write(w.w, binary.LittleEndian, uint32(len(frame))); err != nil {
 		return err
@@ -256,20 +333,81 @@ func (w *WALWriter) Append(rec WALRecord) error {
 		return err
 	}
 	w.n++
+	w.appended++
 	return nil
 }
 
-// Sync flushes buffered records and forces them to stable storage.
-func (w *WALWriter) Sync() error {
-	if err := w.w.Flush(); err != nil {
-		return err
+// Sync flushes buffered records and forces them to stable storage. It is the
+// group-commit entry point: concurrent Syncs share fsyncs (see SyncTo).
+func (w *WALWriter) Sync() error { return w.SyncTo(w.AppendSeq()) }
+
+// SyncTo blocks until an fsync covering the first seq appended records has
+// completed, and returns its outcome. At most one caller fsyncs at a time:
+// the first uncovered caller becomes the leader, flushes the buffer and
+// fsyncs once; every caller whose records that pass covered returns as soon
+// as it lands. Callers arriving during an in-flight fsync wait for the next
+// one — two fsyncs cover any number of concurrent committers. A failed fsync
+// is sticky: after one, every SyncTo fails until the writer is discarded,
+// because a record buffered across a failed fsync can no longer be promised
+// to reach stable storage.
+func (w *WALWriter) SyncTo(seq uint64) error {
+	w.smu.Lock()
+	defer w.smu.Unlock()
+	for {
+		if w.syncErr != nil {
+			return w.syncErr
+		}
+		if w.synced >= seq {
+			return nil
+		}
+		if w.syncing {
+			w.cond.Wait()
+			continue
+		}
+		w.syncing = true
+		w.smu.Unlock()
+
+		w.mu.Lock()
+		target := w.appended
+		var err error
+		if w.closed {
+			err = ErrWALClosed
+		} else {
+			err = w.w.Flush()
+		}
+		f := w.f
+		w.mu.Unlock()
+		if err == nil {
+			// The fsync runs outside both locks: followers keep appending
+			// into the buffer for the next batch while this one lands.
+			err = f.Sync()
+		}
+
+		w.smu.Lock()
+		w.syncing = false
+		if err != nil {
+			w.syncErr = err
+		} else if target > w.synced {
+			w.synced = target
+		}
+		w.cond.Broadcast()
 	}
-	return w.f.Sync()
 }
 
-// Close flushes, syncs and closes the log file.
+// Close flushes, syncs and closes the log file. It must not race in-flight
+// Syncs: callers serialize Close behind their own commits (milret holds its
+// persistence lock and generation counter for this).
 func (w *WALWriter) Close() error {
-	err := w.Sync()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	err := w.w.Flush()
+	if serr := w.f.Sync(); err == nil {
+		err = serr
+	}
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}
@@ -377,6 +515,20 @@ func decodeWALFrame(frame []byte, dim int) (WALRecord, error) {
 			return WALRecord{}, fmt.Errorf("%w: WAL delete frame is %d bytes, want %d", ErrCorrupt, len(body), 2+n)
 		}
 		return WALRecord{Op: WALDelete, Rec: Record{ID: string(body[2 : 2+n])}}, nil
+	case WALLabel:
+		if len(body) < 4 {
+			return WALRecord{}, fmt.Errorf("%w: WAL label frame underrun", ErrCorrupt)
+		}
+		n := int(binary.LittleEndian.Uint16(body))
+		if len(body) < 2+n+2 {
+			return WALRecord{}, fmt.Errorf("%w: WAL label frame underrun", ErrCorrupt)
+		}
+		id := string(body[2 : 2+n])
+		m := int(binary.LittleEndian.Uint16(body[2+n:]))
+		if len(body) != 4+n+m {
+			return WALRecord{}, fmt.Errorf("%w: WAL label frame is %d bytes, want %d", ErrCorrupt, len(body), 4+n+m)
+		}
+		return WALRecord{Op: WALLabel, Rec: Record{ID: id, Label: string(body[4+n : 4+n+m])}}, nil
 	}
 	return WALRecord{}, fmt.Errorf("%w: unknown WAL op %d", ErrCorrupt, frame[0])
 }

@@ -32,6 +32,7 @@ import (
 	"image"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -118,6 +119,16 @@ type Options struct {
 	// end-to-end integrity must be established before the first query. It
 	// has no effect on AddImage/Save.
 	VerifyOnLoad bool
+	// Shards is the number of independent shards the database spreads its
+	// images over (0 and 1 both mean a single shard). Each shard owns its
+	// own flat scoring block, lock, tombstone mask, snapshot file and
+	// mutation log, so scans fan out across shards, compaction rewrites one
+	// shard at a time, and persistence touches only the shards that
+	// changed. Rankings are independent of the shard count. The count is
+	// fixed at construction; LoadDatabase takes it from the stored file
+	// (a MILRETS1 manifest carries its shard count, single-file stores open
+	// as one shard) and ignores this field.
+	Shards int
 }
 
 func (o Options) toFeature() feature.Options {
@@ -151,38 +162,61 @@ type TrainOptions struct {
 }
 
 // Database is a content-addressable image collection ready for
-// example-based retrieval. It is mutable: images are added, updated and
-// deleted at any point in its life, and when the database is bound to a
-// store file (by LoadDatabase or a first Save) every mutation is journaled
-// so Save persists incrementally through the mutation log instead of
-// rewriting the whole flat block (see Save, Flush, Compact).
+// example-based retrieval, spread over one or more shards (Options.Shards).
+// It is mutable: images are added, updated and deleted at any point in its
+// life, and when the database is bound to a store path (by LoadDatabase or a
+// first Save) every mutation is journaled per shard so Save persists
+// incrementally through per-shard mutation logs instead of rewriting flat
+// blocks (see Save, Flush, Compact). A single-shard database persists as one
+// flat file; a sharded one as a MILRETS1 manifest plus one snapshot/log pair
+// per shard.
 type Database struct {
 	opts feature.Options
 	db   *retrieval.Database
-	// flat retains the zero-copy store backing this database when it was
-	// opened by LoadDatabase from a flat file, so Close can release the
-	// memory mapping.
-	flat *store.FlatDB
+	// flats retains the zero-copy stores backing this database when it was
+	// opened by LoadDatabase from flat files (one per adopted shard), so
+	// Close can release the memory mappings.
+	flats []*store.FlatDB
 
 	// pmu guards the persistence journal: mutators append the op they just
-	// applied, Save/Flush drain it to the WAL or fold everything into a
-	// fresh flat snapshot. Holding pmu across the retrieval op keeps journal
-	// order identical to database order, so a replay reconstructs the same
-	// state.
+	// applied to their shard's pending list, Save/Flush drain the lists to
+	// the shard WALs or fold oversized shards into fresh snapshots. Holding
+	// pmu across the retrieval op keeps journal order identical to database
+	// order per shard, so a replay reconstructs the same state.
 	pmu sync.Mutex
-	// basePath is the flat store file this database was loaded from or last
+	// basePath is the store path this database was loaded from or last
 	// fully saved to; "" for a purely in-memory database. With a basePath
-	// set, mutations are journaled in pending until flushed.
+	// set, mutations are journaled in pending until flushed. For a
+	// single-shard database basePath is the flat file itself; for a sharded
+	// one it is the manifest, with shard i's snapshot at shardPaths[i].
 	basePath string
-	// walCount is the number of mutation records already durable in the
-	// WAL at basePath+".wal".
-	walCount int
-	// pending holds mutations applied in memory but not yet persisted.
-	pending []store.WALRecord
-	// wal is the open log writer for basePath, held across flushes so a
-	// flush costs one buffered append plus an fsync instead of re-reading
-	// the whole log; nil until the first flush and after every rewrite.
-	wal *store.WALWriter
+	// shardPaths[i] is shard i's snapshot file. Saves to a fresh path use
+	// the canonical store.ShardPath names, but a database loaded from a
+	// manifest keeps the paths the manifest actually resolved to — the
+	// manifest accepts arbitrary bare names (e.g. after the manifest file
+	// was renamed), and folding through recomputed canonical names would
+	// write mutations to orphan files the manifest never references.
+	shardPaths []string
+	// walCounts[i] is the number of mutation records already durable in
+	// shard i's log; -1 marks a shard whose log state is unknown (a failed
+	// sync), forcing a fold on the next flush.
+	walCounts []int
+	// pending[i] holds shard i's mutations applied in memory but not yet
+	// persisted.
+	pending [][]store.WALRecord
+	// wals[i] is the open log writer for shard i, held across flushes so a
+	// flush costs buffered appends plus one (group-committed) fsync per
+	// touched shard; nil until the shard's first flush and after every
+	// fold.
+	wals []*store.WALWriter
+	// walGens[i] is shard i's log generation: a fresh value (drawn from
+	// genSeq, which never repeats) every time a fold or rewrite supersedes
+	// the shard's log. A flusher that staged records under one generation
+	// and then lost its fsync checks the shard's generation: if it moved,
+	// a fold — which snapshots the full in-memory state, records included —
+	// covered those records and the flush is retroactively durable.
+	walGens []uint64
+	genSeq  uint64
 
 	// vmu guards the background data-verification outcome (see
 	// VerifyStatus).
@@ -237,15 +271,20 @@ func (d *Database) Verification() (VerifyStatus, error) {
 	return d.verifyStat, d.verifyErr
 }
 
-// verifyInBackground checksums the adopted block off the critical path and
+// verifyInBackground checksums the adopted blocks off the critical path and
 // records the outcome. A concurrent Close is safe: FlatDB serializes
 // VerifyData against Close and returns store.ErrClosed afterwards, in which
 // case the verdict stays pending (the mapping is gone, there is nothing
 // left to attest).
-func (d *Database) verifyInBackground(flat *store.FlatDB) {
+func (d *Database) verifyInBackground(flats []*store.FlatDB) {
 	d.verifyStat = VerifyPending
 	go func() {
-		err := flat.VerifyData()
+		var err error
+		for _, flat := range flats {
+			if err = flat.VerifyData(); err != nil {
+				break
+			}
+		}
 		d.vmu.Lock()
 		defer d.vmu.Unlock()
 		switch {
@@ -260,27 +299,31 @@ func (d *Database) verifyInBackground(flat *store.FlatDB) {
 	}()
 }
 
-// Close releases resources backing the database: the memory mapping
-// adopted from a flat store by LoadDatabase and the open mutation-log
-// writer, if any. Pending (unflushed) mutations are NOT persisted — call
+// Close releases resources backing the database: the memory mappings
+// adopted from flat stores by LoadDatabase and the open mutation-log
+// writers, if any. Pending (unflushed) mutations are NOT persisted — call
 // Save or Flush first. A closed database must not be used again; it is
-// safe to never call Close and let the mapping live for the process
-// lifetime (it is read-only and page-cache backed).
+// safe to never call Close and let the mappings live for the process
+// lifetime (they are read-only and page-cache backed).
 func (d *Database) Close() error {
 	d.pmu.Lock()
-	d.closeWALLocked()
+	d.closeWALsLocked()
 	d.pmu.Unlock()
-	if d.flat == nil {
-		return nil
+	flats := d.flats
+	d.flats = nil
+	var err error
+	for _, f := range flats {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 	}
-	f := d.flat
-	d.flat = nil
-	return f.Close()
+	return err
 }
 
 // NewDatabase returns an empty database with the given preprocessing
 // options. The options are fixed for the database's lifetime: every image
-// must be featurized identically for distances to be meaningful.
+// must be featurized identically for distances to be meaningful, and the
+// shard count determines item placement.
 func NewDatabase(opts Options) (*Database, error) {
 	fo := opts.toFeature()
 	if opts.Regions != 0 {
@@ -288,8 +331,12 @@ func NewDatabase(opts Options) (*Database, error) {
 			return nil, fmt.Errorf("milret: %w", err)
 		}
 	}
-	return &Database{opts: fo, db: retrieval.NewDatabase()}, nil
+	return &Database{opts: fo, db: retrieval.NewDatabaseSharded(opts.Shards)}, nil
 }
+
+// ShardCount returns the number of shards the database spreads its images
+// over (≥ 1).
+func (d *Database) ShardCount() int { return d.db.ShardCount() }
 
 // AddImage preprocesses img (any stdlib image; color is converted to gray
 // scale) and stores its bag under the unique id. The label is optional
@@ -331,31 +378,34 @@ func (d *Database) DeleteImage(id string) error {
 
 // UpdateImage replaces the stored image under id: the new img is
 // preprocessed into a fresh bag and swapped in atomically together with the
-// new label. A nil img keeps the existing bag and updates the label only.
-// The id must already exist (use AddImage for new images); the update
-// becomes durable on the next Save or Flush.
+// new label. A nil img keeps the existing bag and updates the label only —
+// a metadata-only operation: the label is swapped in place (no instance
+// rows move, no tombstone accumulates; the swap is copy-on-write against
+// in-flight scans, so its in-memory cost is amortized O(1) — see
+// retrieval.Database.UpdateLabel) and the journal records a label-only WAL
+// entry a few dozen bytes long instead of re-encoding the bag. The id must
+// already exist (use AddImage for new images); the update becomes durable
+// on the next Save or Flush.
 func (d *Database) UpdateImage(id, label string, img image.Image) error {
 	if id == "" {
 		return fmt.Errorf("milret: empty image ID")
 	}
-	var bag *mil.Bag
-	if img != nil {
-		g := gray.FromImage(img)
-		b, err := feature.BagFromImage(id, g, d.opts)
-		if err != nil {
+	if img == nil {
+		d.pmu.Lock()
+		defer d.pmu.Unlock()
+		if err := d.db.UpdateLabel(id, label); err != nil {
 			return err
 		}
-		bag = b
+		d.journalLocked(store.WALRecord{Op: store.WALLabel, Rec: store.Record{ID: id, Label: label}})
+		return nil
+	}
+	g := gray.FromImage(img)
+	bag, err := feature.BagFromImage(id, g, d.opts)
+	if err != nil {
+		return err
 	}
 	d.pmu.Lock()
 	defer d.pmu.Unlock()
-	if bag == nil {
-		it, ok := d.db.ByID(id)
-		if !ok {
-			return fmt.Errorf("milret: update of unknown image %q", id)
-		}
-		bag = it.Bag
-	}
 	if err := d.db.Update(retrieval.Item{ID: id, Label: label, Bag: bag}); err != nil {
 		return err
 	}
@@ -363,14 +413,16 @@ func (d *Database) UpdateImage(id, label string, img image.Image) error {
 	return nil
 }
 
-// journalLocked records one applied mutation for the next Save/Flush.
+// journalLocked records one applied mutation for the next Save/Flush,
+// routed to the pending list of the shard that holds the mutated image.
 // In-memory databases (no basePath yet) skip the journal: their first Save
-// writes a full snapshot anyway.
+// writes full snapshots anyway.
 func (d *Database) journalLocked(rec store.WALRecord) {
 	if d.basePath == "" {
 		return
 	}
-	d.pending = append(d.pending, rec)
+	si := d.db.ShardFor(rec.Rec.ID)
+	d.pending[si] = append(d.pending[si], rec)
 }
 
 // Len returns the number of stored images.
@@ -579,35 +631,46 @@ func convertResults(rs []retrieval.Result) []Result {
 }
 
 // Save persists the database to path. The first save to a path (and any
-// save to a path the database is not bound to) writes a full flat columnar
-// snapshot atomically and binds the database to it. Subsequent saves to the
-// same path are incremental: the mutations applied since the last save are
-// appended to the mutation log alongside the snapshot (path+".wal") and
-// fsynced — cost proportional to the changes, not the database. Once the
-// log outgrows half the live database, Save folds everything into a fresh
-// snapshot and removes the log. A mutation is durable (it survives a crash
-// and reopen) exactly when the Save or Flush covering it has returned.
+// save to a path the database is not bound to) writes full flat columnar
+// snapshots atomically and binds the database to them: one flat file at
+// path for a single-shard database, or one snapshot per shard plus a
+// MILRETS1 manifest at path for a sharded one. Subsequent saves to the same
+// path are incremental and per-shard: each shard's mutations applied since
+// the last save are appended to that shard's mutation log
+// (snapshot+".wal") and fsynced — cost proportional to the changes, and
+// only in the shards that changed. Once a shard's log outgrows half its
+// live items, Save folds that shard alone into a fresh snapshot and removes
+// its log; the other shards' files are untouched. A mutation is durable (it
+// survives a crash and reopen) exactly when the Save or Flush covering it
+// has returned.
+//
+// Concurrent Saves and Flushes group-commit: their log appends are
+// serialized, but the fsyncs that acknowledge them are shared (one fsync
+// per batch per touched shard, not one per caller — see store.WALWriter).
 func (d *Database) Save(path string) error {
-	d.pmu.Lock()
-	defer d.pmu.Unlock()
-	return d.saveLocked(path)
+	if path == "" {
+		return fmt.Errorf("milret: empty store path")
+	}
+	return d.persist(path)
 }
 
 // Flush persists the pending mutations to the bound store, exactly like
 // Save to the bound path. It is a no-op (and returns nil) for a database
 // not yet bound by LoadDatabase or Save.
 func (d *Database) Flush() error {
-	d.pmu.Lock()
-	defer d.pmu.Unlock()
-	if d.basePath == "" {
-		return nil
-	}
-	return d.saveLocked(d.basePath)
+	// The empty path means "whatever the database is bound to when the
+	// stage runs": stageLocked resolves it under the journal lock, so a
+	// concurrent Save to a new path can never race Flush into rewriting
+	// (and re-binding to) the old one.
+	return d.persist("")
 }
 
-// Compact rewrites the scoring index without its tombstones and, when the
-// database is bound to a store file, folds the mutation log into a fresh
-// flat snapshot (removing the log). Rankings are unaffected.
+// Compact rewrites every shard's scoring index without its tombstones and,
+// when the database is bound to a store path, folds all mutation logs into
+// fresh snapshots (removing the logs). Rankings are unaffected. Shards
+// whose dead rows crossed the auto-compaction threshold have already been
+// compacted individually on the way here; Compact is the explicit
+// everything-now variant.
 func (d *Database) Compact() error {
 	d.db.Compact()
 	d.pmu.Lock()
@@ -618,95 +681,294 @@ func (d *Database) Compact() error {
 	return d.rewriteLocked(d.basePath)
 }
 
-func (d *Database) saveLocked(path string) error {
-	if path == d.basePath {
-		total := d.walCount + len(d.pending)
-		if total <= walFoldMinOps || total <= d.db.Len()/2 {
-			return d.flushLocked()
-		}
-	}
-	return d.rewriteLocked(path)
+// syncTarget is one shard's staged-but-unsynced flush: the writer and the
+// append sequence that must be covered by an fsync before the flush may be
+// acknowledged, plus the shard's log generation at stage time (to tell a
+// genuinely lost fsync apart from one a later fold made moot).
+type syncTarget struct {
+	shard int
+	w     *store.WALWriter
+	seq   uint64
+	gen   uint64
 }
 
-// rewriteLocked writes a full flat snapshot of the live items to path
-// (atomically and durably: temp file + fsync + rename), removes any
-// mutation log alongside it, and rebinds the journal to the fresh
-// snapshot. Should the removal be lost to a crash between the two steps,
-// the leftover log fails its snapshot-fingerprint check on the next open
-// and is ignored — never replayed over a snapshot that already contains
-// its mutations.
+// persist implements Save/Flush: stage under the journal lock (append
+// pending records to shard logs, folding any shard that is oversized or
+// whose log cannot be trusted), then sync the touched logs outside the
+// lock so concurrent persists share fsyncs (group commit). Every staged
+// target is synced even when staging stopped early on an error — a shard
+// whose pending list was drained into its log must get its fsync, or a
+// later, otherwise-clean persist would acknowledge durability the records
+// never had.
+func (d *Database) persist(path string) error {
+	d.pmu.Lock()
+	targets, stageErr := d.stageLocked(path)
+	d.pmu.Unlock()
+	var syncErr error
+	var failed []syncTarget
+	for _, tg := range targets {
+		if serr := tg.w.SyncTo(tg.seq); serr != nil {
+			failed = append(failed, tg)
+			if syncErr == nil {
+				syncErr = serr
+			}
+		}
+	}
+	if syncErr != nil {
+		d.pmu.Lock()
+		lost := false
+		for _, tg := range failed {
+			if d.walGens[tg.shard] != tg.gen {
+				// This shard's log was superseded by a fold or rewrite,
+				// which snapshotted the full in-memory state — these
+				// records included — atomically and durably; the lost
+				// fsync is moot for this shard.
+				continue
+			}
+			// The shard's log state on disk is unknown; distrust it so the
+			// next flush folds the shard into a fresh snapshot.
+			lost = true
+			if d.wals[tg.shard] == tg.w {
+				d.closeShardWALLocked(tg.shard)
+			}
+			d.walCounts[tg.shard] = -1
+		}
+		d.pmu.Unlock()
+		if !lost {
+			syncErr = nil
+		}
+	}
+	if stageErr != nil {
+		return stageErr
+	}
+	return syncErr
+}
+
+// stageLocked routes Save(path): a save to a foreign path is a full rewrite
+// and rebind; a save to the bound path (which the empty path resolves to —
+// Flush's spelling, resolved under the lock) flushes each shard's pending
+// records into its log — folding the shard instead when the log would
+// outgrow half the shard's live items (or cannot be trusted) — and returns
+// the logs that must be fsynced. On error the targets staged so far are
+// still returned; the caller must sync them.
+func (d *Database) stageLocked(path string) ([]syncTarget, error) {
+	if path == "" {
+		if d.basePath == "" {
+			return nil, nil
+		}
+		path = d.basePath
+	}
+	if path != d.basePath {
+		return nil, d.rewriteLocked(path)
+	}
+	st := d.db.Stats()
+	var targets []syncTarget
+	for si := range d.pending {
+		if len(d.pending[si]) == 0 {
+			continue
+		}
+		total := d.walCounts[si] + len(d.pending[si])
+		if d.walCounts[si] >= 0 && total > walFoldMinOps && total > st.Shards[si].Items/2 {
+			if err := d.foldShardLocked(si); err != nil {
+				return targets, err
+			}
+			continue
+		}
+		tg, err := d.flushShardLocked(si)
+		if err != nil {
+			return targets, err
+		}
+		if tg != nil {
+			targets = append(targets, *tg)
+		}
+	}
+	return targets, nil
+}
+
+// canonicalShardPaths returns the snapshot files a fresh save to path
+// writes: the file itself for a single-shard database, the canonical
+// manifest shard names otherwise. A database bound by LoadDatabase keeps
+// the manifest's own resolved paths instead (see shardPaths).
+func (d *Database) canonicalShardPaths(path string) []string {
+	n := d.db.ShardCount()
+	if n == 1 {
+		return []string{path}
+	}
+	paths := make([]string, n)
+	for si := range paths {
+		paths[si] = store.ShardPath(path, si)
+	}
+	return paths
+}
+
+// rewriteLocked writes full flat snapshots of every shard's live items to
+// path (each atomically and durably: temp file + fsync + rename; sharded
+// databases write all shard files first and the manifest last), removes any
+// mutation logs alongside them, and rebinds the journal to the fresh
+// snapshots. Should a log removal be lost to a crash, the leftover log
+// fails its snapshot-fingerprint check on the next open and is ignored —
+// never replayed over a snapshot that already contains its mutations.
 func (d *Database) rewriteLocked(path string) error {
-	items := d.db.Items()
+	paths := d.canonicalShardPaths(path)
+	if path == d.basePath && d.shardPaths != nil {
+		// Rewriting in place (Compact, fold-everything): keep serving the
+		// files the bound manifest actually references.
+		paths = d.shardPaths
+	}
+	n := d.db.ShardCount()
+	for si := 0; si < n; si++ {
+		items := d.db.ShardItems(si)
+		recs := make([]store.Record, len(items))
+		for i, it := range items {
+			recs[i] = store.Record{ID: it.ID, Label: it.Label, Bag: it.Bag}
+		}
+		if err := store.WriteFlatFile(paths[si], d.opts.Dim(), recs); err != nil {
+			return err
+		}
+	}
+	if n > 1 {
+		names := make([]string, n)
+		for si := range names {
+			names[si] = filepath.Base(paths[si])
+		}
+		if err := store.WriteManifest(path, names); err != nil {
+			return err
+		}
+	}
+	d.closeWALsLocked()
+	for si := 0; si < n; si++ {
+		if err := store.RemoveWAL(paths[si]); err != nil {
+			return err
+		}
+	}
+	d.bindLocked(path, paths)
+	return nil
+}
+
+// foldShardLocked folds one shard — and only that shard — into a fresh
+// snapshot: its live items are rewritten atomically, its log removed, its
+// journal reset. The other shards' snapshots, logs and pending records are
+// untouched, so a fold costs one pass over one shard.
+func (d *Database) foldShardLocked(si int) error {
+	items := d.db.ShardItems(si)
 	recs := make([]store.Record, len(items))
 	for i, it := range items {
 		recs[i] = store.Record{ID: it.ID, Label: it.Label, Bag: it.Bag}
 	}
-	if err := store.WriteFlatFile(path, d.opts.Dim(), recs); err != nil {
+	p := d.shardPaths[si]
+	if err := store.WriteFlatFile(p, d.opts.Dim(), recs); err != nil {
 		return err
 	}
-	d.closeWALLocked()
-	if err := store.RemoveWAL(path); err != nil {
+	d.closeShardWALLocked(si)
+	if err := store.RemoveWAL(p); err != nil {
 		return err
 	}
+	d.walCounts[si] = 0
+	d.pending[si] = nil
+	d.genSeq++
+	d.walGens[si] = d.genSeq
+	return nil
+}
+
+// bindLocked points the journal at the given shard snapshots under path.
+// Every shard gets a fresh, never-repeating log generation so in-flight
+// flushes staged against the previous binding cannot mistake the new logs
+// for their own.
+func (d *Database) bindLocked(path string, shardPaths []string) {
+	n := d.db.ShardCount()
 	d.basePath = path
-	d.walCount = 0
-	d.pending = nil
-	return nil
-}
-
-func (d *Database) closeWALLocked() {
-	if d.wal != nil {
-		d.wal.Close()
-		d.wal = nil
+	d.shardPaths = shardPaths
+	d.walCounts = make([]int, n)
+	d.pending = make([][]store.WALRecord, n)
+	d.wals = make([]*store.WALWriter, n)
+	d.walGens = make([]uint64, n)
+	for si := range d.walGens {
+		d.genSeq++
+		d.walGens[si] = d.genSeq
 	}
 }
 
-// flushLocked appends the pending mutations to the bound mutation log and
-// fsyncs — with the writer held open across flushes, the steady-state cost
-// is the appended bytes plus one fsync, independent of the log's size. The
-// first flush opens (or creates) the log, validating it against the
-// snapshot's fingerprint and the journal's record count; a log that is
-// corrupt, stale, or out of sync cannot be trusted, so the whole state is
-// folded into a fresh snapshot instead.
-func (d *Database) flushLocked() error {
-	if len(d.pending) == 0 {
-		return nil
+func (d *Database) closeShardWALLocked(si int) {
+	if d.wals[si] != nil {
+		d.wals[si].Close()
+		d.wals[si] = nil
 	}
-	if d.wal == nil {
-		fp, err := store.SnapshotFingerprint(d.basePath)
-		if err != nil {
-			return err
+}
+
+func (d *Database) closeWALsLocked() {
+	for si := range d.wals {
+		d.closeShardWALLocked(si)
+	}
+}
+
+// flushShardLocked appends shard si's pending mutations to its log and
+// returns the sync target the caller must fsync (nil when the shard was
+// folded instead) — with the writer held open across flushes, the
+// steady-state cost is the appended bytes plus one group-committed fsync.
+// The shard's first flush opens (or creates) its log, validating it against
+// the snapshot's fingerprint and the journal's record count; a log that is
+// corrupt, stale, or out of sync cannot be trusted, so the shard is folded
+// into a fresh snapshot instead.
+func (d *Database) flushShardLocked(si int) (*syncTarget, error) {
+	p := d.shardPaths[si]
+	if d.wals[si] == nil {
+		if d.walCounts[si] < 0 {
+			// A failed sync left the log state unknown; start the shard over.
+			return nil, d.foldShardLocked(si)
 		}
-		w, err := store.OpenWAL(store.WALPath(d.basePath), d.opts.Dim(), fp)
+		fp, err := store.SnapshotFingerprint(p)
+		if err != nil {
+			return nil, err
+		}
+		w, err := store.OpenWAL(store.WALPath(p), d.opts.Dim(), fp)
 		if errors.Is(err, store.ErrCorrupt) || errors.Is(err, store.ErrStaleWAL) {
-			return d.rewriteLocked(d.basePath)
+			return nil, d.foldShardLocked(si)
 		}
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if w.Count() != d.walCount {
+		if w.Count() != d.walCounts[si] {
 			w.Close()
-			return d.rewriteLocked(d.basePath)
+			return nil, d.foldShardLocked(si)
 		}
-		d.wal = w
+		d.wals[si] = w
 	}
-	for _, rec := range d.pending {
-		if err := d.wal.Append(rec); err != nil {
-			d.closeWALLocked()
-			return err
+	for _, rec := range d.pending[si] {
+		if err := d.wals[si].Append(rec); err != nil {
+			// The log now holds an unknown prefix of this batch; distrust it.
+			d.closeShardWALLocked(si)
+			d.walCounts[si] = -1
+			return nil, err
 		}
 	}
-	if err := d.wal.Sync(); err != nil {
-		d.closeWALLocked()
-		return err
-	}
-	d.walCount += len(d.pending)
-	d.pending = nil
-	return nil
+	d.walCounts[si] += len(d.pending[si])
+	d.pending[si] = nil
+	return &syncTarget{shard: si, w: d.wals[si], seq: d.wals[si].AppendSeq(), gen: d.walGens[si]}, nil
 }
 
-// Stats summarizes the database's flat scoring index and mutation
-// lifecycle.
+// ShardStats summarizes one shard's flat scoring index and journal.
+type ShardStats struct {
+	// Images and Instances are the shard's live bag and region-vector
+	// counts.
+	Images    int
+	Instances int
+	// IndexBytes is the size of the shard's flat instance block in bytes,
+	// dead rows included.
+	IndexBytes int64
+	// DeadImages and DeadInstances count tombstoned bags and their rows
+	// still occupying the shard's block.
+	DeadImages    int
+	DeadInstances int
+	// PendingMutations is the shard's applied-but-unpersisted mutation
+	// count; WALMutations the count already durable in the shard's log
+	// (0 when the log state is being rebuilt). Both are 0 for unbound
+	// in-memory databases.
+	PendingMutations int
+	WALMutations     int
+}
+
+// Stats summarizes the database's flat scoring indexes and mutation
+// lifecycle, in total and per shard.
 type Stats struct {
 	// Images is the number of live stored images (bags).
 	Images int
@@ -714,144 +976,227 @@ type Stats struct {
 	Instances int
 	// Dim is the feature dimensionality.
 	Dim int
-	// IndexBytes is the size of the flat instance block in bytes, including
-	// rows tombstoned by DeleteImage/UpdateImage until the next compaction.
+	// IndexBytes is the total size of the flat instance blocks in bytes,
+	// including rows tombstoned by DeleteImage/UpdateImage until the next
+	// compaction.
 	IndexBytes int64
 	// DeadImages and DeadInstances count tombstoned bags and their rows
-	// still occupying the scoring block.
+	// still occupying the scoring blocks.
 	DeadImages    int
 	DeadInstances int
 	// PendingMutations is the number of applied mutations not yet persisted
 	// (drained by Save/Flush); WALMutations is the number already durable in
-	// the mutation log. Both are 0 for unbound in-memory databases.
+	// the mutation logs. Both are 0 for unbound in-memory databases.
 	PendingMutations int
 	WALMutations     int
+	// Shards breaks every counter down per shard; the totals above are
+	// exactly the column sums.
+	Shards []ShardStats
 }
 
-// Stats reports the size of the underlying flat scoring index.
+// Stats reports the size of the underlying flat scoring indexes and the
+// journal depth, per shard and in total. Totals are computed by summing the
+// per-shard rows, so they match by construction.
 func (d *Database) Stats() Stats {
 	s := d.db.Stats()
+	st := Stats{Dim: s.Dim, Shards: make([]ShardStats, len(s.Shards))}
 	d.pmu.Lock()
-	pending, walOps := len(d.pending), d.walCount
-	d.pmu.Unlock()
-	return Stats{
-		Images:           s.Items,
-		Instances:        s.Instances,
-		Dim:              s.Dim,
-		IndexBytes:       s.IndexBytes,
-		DeadImages:       s.DeadItems,
-		DeadInstances:    s.DeadInstances,
-		PendingMutations: pending,
-		WALMutations:     walOps,
+	for i, ss := range s.Shards {
+		row := ShardStats{
+			Images:        ss.Items,
+			Instances:     ss.Instances,
+			IndexBytes:    ss.IndexBytes,
+			DeadImages:    ss.DeadItems,
+			DeadInstances: ss.DeadInstances,
+		}
+		if d.basePath != "" {
+			row.PendingMutations = len(d.pending[i])
+			if d.walCounts[i] > 0 {
+				row.WALMutations = d.walCounts[i]
+			}
+		}
+		st.Shards[i] = row
 	}
+	d.pmu.Unlock()
+	for _, row := range st.Shards {
+		st.Images += row.Images
+		st.Instances += row.Instances
+		st.IndexBytes += row.IndexBytes
+		st.DeadImages += row.DeadImages
+		st.DeadInstances += row.DeadInstances
+		st.PendingMutations += row.PendingMutations
+		st.WALMutations += row.WALMutations
+	}
+	return st
 }
 
-// LoadDatabase reads a database saved by Save — either the current flat
-// columnar format or the legacy per-record stream. Flat stores open
-// zero-copy: the instance block is adopted (memory-mapped where the
-// platform allows) straight into the scoring index without decoding or
-// copying a single float, so open is O(images); see Options.VerifyOnLoad
+// LoadDatabase reads a database saved by Save — a MILRETS1 sharded
+// manifest, the flat columnar format, or the legacy per-record stream.
+// Manifests reopen with their saved shard count, one snapshot (and mutation
+// log) per shard; single-file stores open as one shard. Flat stores open
+// zero-copy: each instance block is adopted (memory-mapped where the
+// platform allows) straight into its shard's scoring index without decoding
+// or copying a single float, so open is O(images); see Options.VerifyOnLoad
 // for the integrity trade-off (without it, a background goroutine checksums
-// the adopted block after the load — see Verification). If a mutation log
-// sits alongside the snapshot (path+".wal", written by incremental Save),
-// its add/delete/update records are replayed over the snapshot, so a
-// reopened database carries every acknowledged mutation. If
-// opts.Resolution is unset, the sampling resolution is inferred from the
-// stored feature dimensionality (h²), so stores built at any resolution
-// reopen without extra configuration; an explicitly set resolution must
-// match the file, so images added later remain comparable.
+// the adopted blocks after the load — see Verification). If a mutation log
+// sits alongside a shard snapshot ("<snapshot>.wal", written by incremental
+// Save), its records are replayed over that shard, so a reopened database
+// carries every acknowledged mutation. If opts.Resolution is unset, the
+// sampling resolution is inferred from the stored feature dimensionality
+// (h²), so stores built at any resolution reopen without extra
+// configuration; an explicitly set resolution must match the file, so
+// images added later remain comparable.
+//
+// Enumeration order: a reloaded sharded database lists images (IDs, Items)
+// grouped by shard — per-shard insertion order is preserved, but the
+// global interleaving of images that were added alternately to different
+// shards is not recorded in the store. Single-shard stores round-trip
+// their insertion order exactly. Rankings are unaffected either way
+// (results order by distance with ID tie-breaks).
 func LoadDatabase(path string, opts Options) (*Database, error) {
-	recs, flat, err := store.OpenAnyFile(path)
+	isManifest, err := store.IsManifest(path)
 	if err != nil {
 		return nil, err
 	}
-	// Any error below must release the flat store's memory mapping; on
-	// success the mapping backs the database for the process lifetime.
+	shardPaths := []string{path}
+	if isManifest {
+		if shardPaths, err = store.ReadManifest(path); err != nil {
+			return nil, err
+		}
+	}
+	return loadShards(path, shardPaths, opts)
+}
+
+// loadShards opens one store file per shard and assembles the database:
+// every shard's records and (for flat files) adopted block, a scoring index
+// per shard, and each shard's replayed mutation log.
+func loadShards(basePath string, shardPaths []string, opts Options) (*Database, error) {
+	n := len(shardPaths)
+	recsPer := make([][]store.Record, n)
+	flatPer := make([]*store.FlatDB, n)
+	var flats []*store.FlatDB
+	// Any error below must release the flat stores' memory mappings; on
+	// success the mappings back the database for the process lifetime.
 	fail := func(err error) (*Database, error) {
-		if flat != nil {
-			flat.Close()
+		for _, f := range flats {
+			f.Close()
 		}
 		return nil, err
 	}
-	if flat != nil && opts.VerifyOnLoad {
-		if err := flat.VerifyData(); err != nil {
+	for i, p := range shardPaths {
+		recs, flat, err := store.OpenAnyFile(p)
+		if err != nil {
 			return fail(err)
 		}
-	}
-	if opts.Resolution == 0 && len(recs) > 0 {
-		dim := recs[0].Bag.Dim()
-		h := int(math.Sqrt(float64(dim)))
-		if h*h == dim {
-			opts.Resolution = h
+		recsPer[i] = recs
+		flatPer[i] = flat
+		if flat != nil {
+			flats = append(flats, flat)
+			if opts.VerifyOnLoad {
+				if err := flat.VerifyData(); err != nil {
+					return fail(err)
+				}
+			}
 		}
 	}
+	if opts.Resolution == 0 {
+		for _, recs := range recsPer {
+			if len(recs) > 0 {
+				dim := recs[0].Bag.Dim()
+				h := int(math.Sqrt(float64(dim)))
+				if h*h == dim {
+					opts.Resolution = h
+				}
+				break
+			}
+		}
+	}
+	opts.Shards = n
 	d, err := NewDatabase(opts)
 	if err != nil {
 		return fail(err)
 	}
-	if flat != nil {
-		if len(recs) > 0 && flat.Dim != d.opts.Dim() {
-			return fail(fmt.Errorf("milret: stored dim %d does not match options dim %d",
-				flat.Dim, d.opts.Dim()))
-		}
+	flatShards := make([]retrieval.FlatShard, n)
+	for i, recs := range recsPer {
 		items := make([]retrieval.Item, len(recs))
-		for i, rec := range recs {
-			items[i] = retrieval.Item{ID: rec.ID, Label: rec.Label, Bag: rec.Bag}
+		for j, rec := range recs {
+			if rec.Bag.Dim() != d.opts.Dim() {
+				return fail(fmt.Errorf("milret: stored dim %d does not match options dim %d",
+					rec.Bag.Dim(), d.opts.Dim()))
+			}
+			items[j] = retrieval.Item{ID: rec.ID, Label: rec.Label, Bag: rec.Bag}
 		}
-		db, err := retrieval.NewDatabaseFromFlat(items, flat.Dim, flat.Data)
+		flatShards[i].Items = items
+		if flat := flatPer[i]; flat != nil {
+			if len(recs) > 0 && flat.Dim != d.opts.Dim() {
+				return fail(fmt.Errorf("milret: stored dim %d does not match options dim %d",
+					flat.Dim, d.opts.Dim()))
+			}
+			flatShards[i].Data = flat.Data
+		} else {
+			// Legacy stream records own their instances individually; pack
+			// an equal-valued block for the scoring index to adopt.
+			var data []float64
+			for _, it := range items {
+				for _, inst := range it.Bag.Instances {
+					data = append(data, inst...)
+				}
+			}
+			flatShards[i].Data = data
+		}
+	}
+	db, err := retrieval.NewDatabaseFromFlats(flatShards, d.opts.Dim())
+	if err != nil {
+		return fail(err)
+	}
+	d.db = db
+	d.flats = flats
+	walCounts := make([]int, n)
+	for i, p := range shardPaths {
+		count, err := d.replayShardWAL(p)
 		if err != nil {
 			return fail(err)
 		}
-		d.db = db
-		d.flat = flat
-	} else {
-		for _, rec := range recs {
-			if rec.Bag.Dim() != d.opts.Dim() {
-				return nil, fmt.Errorf("milret: stored dim %d does not match options dim %d",
-					rec.Bag.Dim(), d.opts.Dim())
-			}
-			if err := d.db.Add(retrieval.Item{ID: rec.ID, Label: rec.Label, Bag: rec.Bag}); err != nil {
-				return nil, err
-			}
-		}
+		walCounts[i] = count
 	}
-	if err := d.replayWAL(path); err != nil {
-		return fail(err)
-	}
-	d.basePath = path
-	if flat != nil && !opts.VerifyOnLoad {
-		d.verifyInBackground(flat)
+	// Construction-time: nothing else holds pmu yet. The resolved shard
+	// paths — not recomputed canonical names — become the fold/flush
+	// targets, so a renamed manifest keeps updating the files it references.
+	d.bindLocked(basePath, shardPaths)
+	d.walCounts = walCounts
+	if len(flats) > 0 && !opts.VerifyOnLoad {
+		d.verifyInBackground(flats)
 	}
 	return d, nil
 }
 
-// replayWAL applies the mutation log alongside the snapshot, if one
-// exists. A log bound to a different snapshot generation (its fingerprint
-// does not match the file at path) is stale — a fold crashed after
-// renaming the new snapshot but before removing the log, whose mutations
-// the snapshot therefore already contains — and is skipped entirely; the
-// next Save folds it away. For a log that does match, replay is strict: a
-// record the database rejects (duplicate add, delete of an unknown ID,
-// dimension mismatch) means the pair is inconsistent and the load fails
-// rather than guessing.
-func (d *Database) replayWAL(path string) error {
+// replayShardWAL applies the mutation log alongside one shard snapshot, if
+// one exists, and returns the number of records replayed. A log bound to a
+// different snapshot generation (its fingerprint does not match the file at
+// path) is stale — a fold crashed after renaming the new snapshot but
+// before removing the log, whose mutations the snapshot therefore already
+// contains — and is skipped entirely; the next Save folds it away. For a
+// log that does match, replay is strict: a record the database rejects
+// (duplicate add, delete of an unknown ID, dimension mismatch) means the
+// pair is inconsistent and the load fails rather than guessing.
+func (d *Database) replayShardWAL(path string) (int, error) {
 	walPath := store.WALPath(path)
 	if _, err := os.Stat(walPath); errors.Is(err, os.ErrNotExist) {
-		return nil
+		return 0, nil
 	}
 	dim, fp, wrecs, err := store.ReadWAL(walPath)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	snapFP, err := store.SnapshotFingerprint(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if fp != snapFP {
-		return nil // stale log from an interrupted fold; already folded in
+		return 0, nil // stale log from an interrupted fold; already folded in
 	}
 	if len(wrecs) > 0 && dim != d.opts.Dim() {
-		return fmt.Errorf("milret: WAL dim %d does not match store dim %d", dim, d.opts.Dim())
+		return 0, fmt.Errorf("milret: WAL dim %d does not match store dim %d", dim, d.opts.Dim())
 	}
 	for i, wr := range wrecs {
 		var err error
@@ -862,15 +1207,16 @@ func (d *Database) replayWAL(path string) error {
 			err = d.db.Delete(wr.Rec.ID)
 		case store.WALUpdate:
 			err = d.db.Update(retrieval.Item{ID: wr.Rec.ID, Label: wr.Rec.Label, Bag: wr.Rec.Bag})
+		case store.WALLabel:
+			err = d.db.UpdateLabel(wr.Rec.ID, wr.Rec.Label)
 		default:
 			err = fmt.Errorf("unknown op %v", wr.Op)
 		}
 		if err != nil {
-			return fmt.Errorf("milret: replaying WAL record %d (%v %q): %w", i, wr.Op, wr.Rec.ID, err)
+			return 0, fmt.Errorf("milret: replaying WAL record %d (%v %q): %w", i, wr.Op, wr.Rec.ID, err)
 		}
 	}
-	d.walCount = len(wrecs)
-	return nil
+	return len(wrecs), nil
 }
 
 // Explanation describes why an image matched a concept: the sub-region
