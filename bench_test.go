@@ -3,6 +3,7 @@ package milret
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"milret/internal/core"
@@ -11,6 +12,7 @@ import (
 	"milret/internal/gray"
 	"milret/internal/mat"
 	"milret/internal/mil"
+	"milret/internal/qcache"
 	"milret/internal/retrieval"
 	"milret/internal/synth"
 )
@@ -502,6 +504,93 @@ func BenchmarkMultiTopK1kx8(b *testing.B)       { benchMultiTopK(b, 1_000, 40, 1
 func BenchmarkSequentialTopK1kx8(b *testing.B)  { benchMultiTopK(b, 1_000, 40, 100, 8, 20, true) }
 func BenchmarkMultiTopK50kx8(b *testing.B)      { benchMultiTopK(b, 50_000, 4, 64, 8, 20, false) }
 func BenchmarkSequentialTopK50kx8(b *testing.B) { benchMultiTopK(b, 50_000, 4, 64, 8, 20, true) }
+
+// --- Concept cache benchmarks (internal/qcache via Database.TrainCached) ---
+//
+// The trio measures the query-path cache at the public API: Hit is the
+// steady state of repeat-heavy traffic (fingerprint + LRU lookup, no
+// optimizer), Miss is the cold path (fingerprint + full training + LRU
+// insert, forced by purging between iterations), and Coalesced10 is ten
+// concurrent identical queries sharing one training run — the singleflight
+// contract. The acceptance floor is Hit ≥ 10× faster than Miss; in
+// practice the gap is orders of magnitude, which is the whole point of
+// serving repeat queries from a reusable learned representation.
+
+// benchCachedDB wraps a synthetic corpus in a public Database with the
+// concept cache enabled, skipping image featurization: the bags are drawn
+// directly at the paper's geometry (40 instances × 100 dims).
+func benchCachedDB() (*Database, []string, []string) {
+	rdb, _ := benchCorpusDB(64, 40, 100)
+	d := &Database{db: rdb, cache: qcache.New(8 << 20)}
+	// Category 0 items sit at i%benchCorpusCats == 0.
+	pos := []string{"img-000000", "img-000008", "img-000016"}
+	neg := []string{"img-000001", "img-000002"}
+	return d, pos, neg
+}
+
+// benchCacheOpts keeps one training run at tens of milliseconds (one start
+// bag, short optimizer budget) so the miss path is realistic but the bench
+// stays CI-friendly.
+var benchCacheOpts = TrainOptions{Mode: IdenticalWeights, MaxIters: 15, StartBags: 1}
+
+func BenchmarkQueryCacheHit(b *testing.B) {
+	d, pos, neg := benchCachedDB()
+	if _, out, err := d.TrainCached(pos, neg, benchCacheOpts); err != nil || out != CacheMiss {
+		b.Fatalf("warm-up: %v, %v", out, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, out, err := d.TrainCached(pos, neg, benchCacheOpts)
+		if err != nil || out != CacheHit {
+			b.Fatalf("outcome %v, err %v", out, err)
+		}
+	}
+}
+
+func BenchmarkQueryCacheMiss(b *testing.B) {
+	d, pos, neg := benchCachedDB()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.cache.Purge() // keep every iteration cold; purge cost is noise
+		_, out, err := d.TrainCached(pos, neg, benchCacheOpts)
+		if err != nil || out != CacheMiss {
+			b.Fatalf("outcome %v, err %v", out, err)
+		}
+	}
+}
+
+// BenchmarkQueryCacheCoalesced10: ten goroutines issue the same cold query
+// concurrently; per iteration exactly one trains and nine coalesce, so
+// ns/op tracks one training run plus coalescing overhead — not ten runs.
+func BenchmarkQueryCacheCoalesced10(b *testing.B) {
+	d, pos, neg := benchCachedDB()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.cache.Purge()
+		var wg sync.WaitGroup
+		for g := 0; g < 10; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, _, err := d.TrainCached(pos, neg, benchCacheOpts); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	st := d.cache.Stats()
+	if st.Misses != int64(b.N) {
+		b.Fatalf("%d training runs for %d iterations, want one per iteration", st.Misses, b.N)
+	}
+	if st.Coalesced+st.Hits != int64(9*b.N) {
+		b.Fatalf("%d coalesced + %d hits, want %d shared callers", st.Coalesced, st.Hits, 9*b.N)
+	}
+}
 
 // BenchmarkCorpusGeneration measures synthetic corpus drawing throughput.
 func BenchmarkCorpusGeneration(b *testing.B) {

@@ -1,0 +1,289 @@
+package milret
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"milret/internal/core"
+	"milret/internal/synth"
+)
+
+// cacheTestDB is testDB with the concept cache enabled.
+func cacheTestDB(t *testing.T, mb, perCat int, cats ...string) *Database {
+	t.Helper()
+	db, err := NewDatabase(Options{ConceptCacheMB: mb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, c := range cats {
+		want[c] = true
+	}
+	for _, it := range synth.ObjectsN(9, perCat) {
+		if !want[it.Label] {
+			continue
+		}
+		if err := db.AddImage(it.ID, it.Label, it.Image); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+var cacheTestOpts = TrainOptions{Mode: IdenticalWeights, MaxIters: 10, StartBags: 1}
+
+// ddEvals reads the process-cumulative trainer-call counter; tests diff two
+// readings to prove whether a call invoked the optimizer.
+func ddEvals() int64 {
+	dd, _ := core.TrainerEvals()
+	return dd
+}
+
+func TestTrainCachedOutcomes(t *testing.T) {
+	db := cacheTestDB(t, 8, 3, "car", "lamp")
+	pos := idsOf(db, "car", 2)
+	neg := idsOf(db, "lamp", 1)
+
+	before := ddEvals()
+	c1, out, err := db.TrainCached(pos, neg, cacheTestOpts)
+	if err != nil || out != CacheMiss {
+		t.Fatalf("first call: outcome %v, err %v; want miss", out, err)
+	}
+	if ddEvals() == before {
+		t.Fatal("miss did not invoke the trainer")
+	}
+
+	before = ddEvals()
+	c2, out, err := db.TrainCached(pos, neg, cacheTestOpts)
+	if err != nil || out != CacheHit {
+		t.Fatalf("repeat call: outcome %v, err %v; want hit", out, err)
+	}
+	if got := ddEvals(); got != before {
+		t.Fatalf("cache hit invoked the trainer (%d new evals)", got-before)
+	}
+	if c1.c != c2.c {
+		t.Fatal("hit returned a different concept than the training run produced")
+	}
+
+	before = ddEvals()
+	opts := cacheTestOpts
+	opts.BypassCache = true
+	if _, out, err := db.TrainCached(pos, neg, opts); err != nil || out != CacheBypassed {
+		t.Fatalf("bypass call: outcome %v, err %v", out, err)
+	}
+	if ddEvals() == before {
+		t.Fatal("bypass did not invoke the trainer")
+	}
+
+	st := db.Stats()
+	if st.Cache == nil {
+		t.Fatal("Stats.Cache nil with the cache enabled")
+	}
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 || st.Cache.Bypassed != 1 {
+		t.Fatalf("cache stats = %+v", *st.Cache)
+	}
+	if st.Cache.Entries != 1 || st.Cache.Bytes <= 0 || st.Cache.Bytes > st.Cache.CapacityBytes {
+		t.Fatalf("cache occupancy = %+v", *st.Cache)
+	}
+}
+
+func TestCacheDisabledOutcome(t *testing.T) {
+	db := testDB(t, 2, "car")
+	pos := idsOf(db, "car", 1)
+	if _, out, err := db.TrainCached(pos, nil, cacheTestOpts); err != nil || out != CacheDisabled {
+		t.Fatalf("outcome %v, err %v; want disabled", out, err)
+	}
+	if db.Stats().Cache != nil {
+		t.Fatal("Stats.Cache non-nil with the cache disabled")
+	}
+}
+
+// TestCacheHitRankingsBitIdentical is the acceptance property: a cache hit
+// must rank the database bit-identically to a fresh training run with the
+// same examples and options.
+func TestCacheHitRankingsBitIdentical(t *testing.T) {
+	db := cacheTestDB(t, 8, 4, "car", "lamp", "pants")
+	pos := idsOf(db, "car", 2)
+	neg := idsOf(db, "lamp", 2)
+	exclude := append(append([]string{}, pos...), neg...)
+
+	if _, out, err := db.TrainCached(pos, neg, cacheTestOpts); err != nil || out != CacheMiss {
+		t.Fatalf("warm-up: %v, %v", out, err)
+	}
+	hitConcept, out, err := db.TrainCached(pos, neg, cacheTestOpts)
+	if err != nil || out != CacheHit {
+		t.Fatalf("hit: %v, %v", out, err)
+	}
+	fresh := cacheTestOpts
+	fresh.BypassCache = true
+	freshConcept, _, err := db.TrainCached(pos, neg, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if hitConcept.NegLogDD() != freshConcept.NegLogDD() {
+		t.Fatalf("objective differs: %v vs %v", hitConcept.NegLogDD(), freshConcept.NegLogDD())
+	}
+	if !reflect.DeepEqual(hitConcept.Point(), freshConcept.Point()) ||
+		!reflect.DeepEqual(hitConcept.Weights(), freshConcept.Weights()) {
+		t.Fatal("concept geometry differs between hit and fresh run")
+	}
+	got := db.RetrieveExcluding(hitConcept, db.Len(), exclude)
+	want := db.RetrieveExcluding(freshConcept, db.Len(), exclude)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rankings differ:\n hit:   %v\n fresh: %v", got, want)
+	}
+}
+
+// TestCachePermutationAndMutation: permuted example order hits (the
+// fingerprint canonicalizes bag order), while mutating an example image
+// misses (the fingerprint hashes the actual vectors) — and after the
+// mutation the served concept reflects the new pixels, not the cached old
+// ones.
+func TestCachePermutationAndMutation(t *testing.T) {
+	db := cacheTestDB(t, 8, 3, "car", "lamp")
+	pos := idsOf(db, "car", 2)
+	neg := idsOf(db, "lamp", 2)
+	// StartBags covering all positives keeps the key order-insensitive
+	// (every positive seeds starts regardless of order); MaxIters is small
+	// because these trainings are only cache-key probes.
+	opts := TrainOptions{Mode: IdenticalWeights, MaxIters: 5, StartBags: 2}
+
+	if _, out, err := db.TrainCached(pos, neg, opts); err != nil || out != CacheMiss {
+		t.Fatalf("warm-up: %v, %v", out, err)
+	}
+	permPos := []string{pos[1], pos[0]}
+	permNeg := []string{neg[1], neg[0]}
+	if _, out, err := db.TrainCached(permPos, permNeg, opts); err != nil || out != CacheHit {
+		t.Fatalf("permuted examples: outcome %v, err %v; want hit", out, err)
+	}
+
+	// A start-bag cap below the positive count makes positive order part
+	// of the key: the permutation selects different optimization starts.
+	capped := opts
+	capped.StartBags = 1
+	if _, out, err := db.TrainCached(pos, neg, capped); err != nil || out != CacheMiss {
+		t.Fatalf("capped warm-up: %v, %v", out, err)
+	}
+	if _, out, err := db.TrainCached(permPos, neg, capped); err != nil || out != CacheMiss {
+		t.Fatalf("capped permuted positives: outcome %v, err %v; want miss", out, err)
+	}
+	if _, out, err := db.TrainCached(pos, permNeg, capped); err != nil || out != CacheHit {
+		t.Fatalf("capped permuted negatives: outcome %v, err %v; want hit", out, err)
+	}
+
+	// Label-only updates leave the bag vectors untouched — still a hit.
+	if err := db.UpdateImage(pos[0], "car-relabelled", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, out, err := db.TrainCached(pos, neg, opts); err != nil || out != CacheHit {
+		t.Fatalf("after label-only update: outcome %v, err %v; want hit", out, err)
+	}
+
+	// Replacing the pixels changes the bag: the same IDs must now miss.
+	repl := synth.ObjectsN(77, 1)[0]
+	if err := db.UpdateImage(pos[0], "car", repl.Image); err != nil {
+		t.Fatal(err)
+	}
+	if _, out, err := db.TrainCached(pos, neg, opts); err != nil || out != CacheMiss {
+		t.Fatalf("after image update: outcome %v, err %v; want miss", out, err)
+	}
+}
+
+// TestQueryManyPipeline: duplicate specs in one batch pay for one training
+// run, and each ranking equals the single-query path exactly.
+func TestQueryManyPipeline(t *testing.T) {
+	db := cacheTestDB(t, 8, 3, "car", "lamp", "pants")
+	carPos := idsOf(db, "car", 2)
+	carNeg := idsOf(db, "lamp", 1)
+	pantsPos := idsOf(db, "pants", 2)
+
+	specs := []QuerySpec{
+		{Positives: carPos, Negatives: carNeg, Opts: cacheTestOpts},
+		{Positives: pantsPos, Opts: cacheTestOpts},
+		{Positives: carPos, Negatives: carNeg, Opts: cacheTestOpts}, // duplicate of 0
+	}
+	rankings, outcomes, err := db.QueryMany(specs, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rankings) != 3 || len(outcomes) != 3 {
+		t.Fatalf("got %d rankings, %d outcomes", len(rankings), len(outcomes))
+	}
+	if outcomes[0] != CacheMiss || outcomes[1] != CacheMiss || outcomes[2] != CacheHit {
+		t.Fatalf("outcomes = %v, want [miss miss hit]", outcomes)
+	}
+	if !reflect.DeepEqual(rankings[0], rankings[2]) {
+		t.Fatal("duplicate specs ranked differently")
+	}
+	// Element-wise equivalence with the single-query path.
+	for i, sp := range specs {
+		c, _, err := db.TrainCached(sp.Positives, sp.Negatives, sp.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := db.RetrieveExcluding(c, 5, nil)
+		if !reflect.DeepEqual(rankings[i], want) {
+			t.Fatalf("spec %d: pipeline ranking differs from single-query path", i)
+		}
+	}
+	if _, _, err := db.QueryMany(nil, 5, nil); err != nil {
+		t.Fatalf("empty QueryMany: %v", err)
+	}
+}
+
+// TestConcurrentMutationsVsCachedQueries interleaves cached queries (hits,
+// misses and coalesced flights) with Add/Delete/Update mutations; the
+// -race run is the assertion, plus every query must keep returning a
+// usable concept.
+func TestConcurrentMutationsVsCachedQueries(t *testing.T) {
+	db := cacheTestDB(t, 4, 3, "car", "lamp")
+	pos := idsOf(db, "car", 2)
+	neg := idsOf(db, "lamp", 1)
+	churn := synth.ObjectsN(33, 1)[0]
+
+	const iters = 8
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c, _, err := db.TrainCached(pos, neg, cacheTestOpts)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := db.Retrieve(c, 3); len(got) == 0 {
+					t.Error("empty retrieval")
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if err := db.AddImage("churn", "x", churn.Image); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := db.UpdateImage("churn", "y", nil); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := db.DeleteImage("churn"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// The cache must still serve after the churn settles.
+	if _, out, err := db.TrainCached(pos, neg, cacheTestOpts); err != nil || out != CacheHit {
+		t.Fatalf("post-churn: outcome %v, err %v", out, err)
+	}
+}

@@ -9,11 +9,22 @@
 //
 //	go test -run='^$' -bench='TopK|ObjectiveEval' ./... | benchjson -out BENCH_topk.json
 //
-// Compare mode prints an old-vs-new delta table and always exits 0: perf
-// drift is reported, not enforced — the comparison step in CI is
-// informational by design.
+// Compare mode prints an old-vs-new delta table and enforces a regression
+// budget: benchmarks whose name matches -gate fail the run (exit 1) when
+// their ns/op regresses more than -max-regress percent (default 15) or
+// when they vanish from the new snapshot; everything else only warns. This
+// is the CI perf gate — tier-1 benchmarks are gated and block the job,
+// the long tail is informational.
 //
-//	benchjson -compare BENCH_topk.json BENCH_topk.new.json
+//	benchjson -compare -gate '^Benchmark(TopK10k|QueryCacheHit)$' BENCH_topk.json BENCH_topk.new.json
+//
+// Setting PERF_GATE=off in the environment downgrades every failure to a
+// warning (exit 0) — the documented override for known-noisy runners; the
+// deltas are still printed. Structural problems (missing baseline on a
+// fresh branch, no common benchmarks) skip the comparison without
+// failing, and a baseline whose recorded cpu context differs from the
+// current run's is compared warn-only (cross-machine deltas are
+// meaningless), so the gate never blocks bootstrap.
 package main
 
 import (
@@ -23,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -55,6 +67,8 @@ func main() {
 	out := flag.String("out", "", "write JSON to this path (default stdout)")
 	filter := flag.String("filter", ".", "regexp of benchmark names to keep")
 	compare := flag.Bool("compare", false, "compare two artifact files (old new) instead of capturing")
+	gate := flag.String("gate", "", "regexp of benchmark names whose regressions fail the comparison (empty = warn only)")
+	maxRegress := flag.Float64("max-regress", 15, "ns/op regression percentage beyond which a gated benchmark fails")
 	flag.Parse()
 
 	if *compare {
@@ -62,12 +76,36 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files (old new)")
 			os.Exit(2)
 		}
-		if err := compareFiles(flag.Arg(0), flag.Arg(1)); err != nil {
-			// Comparison problems (missing baseline on a fresh branch, a
-			// renamed benchmark) must not fail the build: report and exit 0.
-			fmt.Fprintf(os.Stderr, "benchjson: compare skipped: %v\n", err)
+		var gateRe *regexp.Regexp
+		if *gate != "" {
+			var err error
+			if gateRe, err = regexp.Compile(*gate); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: bad -gate: %v\n", err)
+				os.Exit(2)
+			}
 		}
-		return
+		failures, err := compareFiles(flag.Arg(0), flag.Arg(1), gateRe, *maxRegress)
+		if err != nil {
+			// Structural comparison problems (missing baseline on a fresh
+			// branch, disjoint benchmark sets) must not fail the build:
+			// report and exit 0.
+			fmt.Fprintf(os.Stderr, "benchjson: compare skipped: %v\n", err)
+			return
+		}
+		if len(failures) == 0 {
+			return
+		}
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchjson: PERF GATE: %s\n", f)
+		}
+		if os.Getenv("PERF_GATE") == "off" {
+			fmt.Fprintln(os.Stderr, "benchjson: PERF_GATE=off — reporting only, not failing")
+			return
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d gated benchmark(s) regressed beyond %.0f%%; "+
+			"regenerate the baseline if the change is intentional (see README), or set PERF_GATE=off for a noisy runner\n",
+			len(failures), *maxRegress)
+		os.Exit(1)
 	}
 
 	keep, err := regexp.Compile(*filter)
@@ -165,37 +203,124 @@ func appendUnique(s []string, v string) []string {
 	return append(s, v)
 }
 
-func compareFiles(oldPath, newPath string) error {
+// compareFiles prints the old-vs-new delta table and returns the perf-gate
+// failures: gated benchmarks regressing beyond maxRegress percent ns/op,
+// and gated benchmarks that disappeared from the new snapshot (a vanished
+// benchmark must not silently pass the gate). Ungated regressions beyond
+// the threshold are marked "warn" in the table but never returned. A nil
+// gate means nothing is gated. Benchmarks present only in the new snapshot
+// are listed as fresh (they have no baseline to regress against).
+//
+// When both artifacts record a cpu context line and they differ, the
+// ns/op comparisons downgrade to warnings: cross-machine deltas are
+// meaningless, so a baseline captured on different hardware (bootstrap, a
+// runner-class shift) must prompt a baseline regeneration, not block
+// unrelated changes. The vanished-benchmark rule is hardware-independent
+// and stays enforced even then — including when the two artifacts share
+// no benchmarks at all.
+func compareFiles(oldPath, newPath string, gate *regexp.Regexp, maxRegress float64) ([]string, error) {
 	old, err := readFile(oldPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cur, err := readFile(newPath)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	// A baseline captured on different hardware cannot gate ns/op deltas —
+	// but whether a gated benchmark still exists is hardware-independent,
+	// so only the regression comparisons are downgraded, never the
+	// vanished-benchmark rule.
+	hwMismatch := false
+	if oc, nc := cpuContext(old), cpuContext(cur); gate != nil && oc != "" && nc != "" && oc != nc {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline hardware %q differs from this run's %q; "+
+			"cross-machine deltas are not gated — regenerate %s from this runner class's bench artifact\n",
+			oc, nc, oldPath)
+		hwMismatch = true
 	}
 	names := make([]string, 0, len(old.Benchmarks))
+	var removed []string
 	for name := range old.Benchmarks {
 		if _, ok := cur.Benchmarks[name]; ok {
 			names = append(names, name)
+		} else {
+			removed = append(removed, name)
 		}
 	}
+	gated := func(name string) bool { return gate != nil && gate.MatchString(name) }
 	if len(names) == 0 {
-		return fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+		// Nothing to compare. Without a gate this is the bootstrap skip;
+		// with one, gated benchmarks vanishing wholesale (a bench-regex
+		// edit, a mass rename) must not silently pass, so fall through to
+		// the removed-benchmark accounting below.
+		anyGated := false
+		for _, name := range removed {
+			if gated(name) {
+				anyGated = true
+				break
+			}
+		}
+		if !anyGated {
+			return nil, fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no common benchmarks between %s and %s\n", oldPath, newPath)
 	}
+
+	var failures []string
 	// Stable presentation order: old file's benchfmt order, fallback sorted.
 	ordered := orderFromBenchfmt(old.Benchfmt, names)
-	fmt.Printf("%-40s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs Δ")
+	fmt.Printf("%-40s %14s %14s %8s %10s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs Δ", "gate")
 	for _, name := range ordered {
 		o, n := old.Benchmarks[name], cur.Benchmarks[name]
 		delta := 0.0
 		if o.NsPerOp > 0 {
 			delta = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
 		}
-		fmt.Printf("%-40s %14.0f %14.0f %+7.1f%% %+10.1f\n",
-			name, o.NsPerOp, n.NsPerOp, delta, n.AllocsPerOp-o.AllocsPerOp)
+		verdict := ""
+		switch {
+		case delta > maxRegress && gated(name) && !hwMismatch:
+			verdict = "FAIL"
+			failures = append(failures,
+				fmt.Sprintf("%s regressed %+.1f%% (%.0f → %.0f ns/op, budget %.0f%%)",
+					name, delta, o.NsPerOp, n.NsPerOp, maxRegress))
+		case delta > maxRegress:
+			verdict = "warn"
+		case gated(name):
+			verdict = "ok"
+		}
+		fmt.Printf("%-40s %14.0f %14.0f %+7.1f%% %+10.1f  %s\n",
+			name, o.NsPerOp, n.NsPerOp, delta, n.AllocsPerOp-o.AllocsPerOp, verdict)
 	}
-	return nil
+	sort.Strings(removed)
+	for _, name := range removed {
+		if gated(name) {
+			failures = append(failures, fmt.Sprintf("%s is gated but missing from %s", name, newPath))
+		} else {
+			fmt.Printf("%-40s %14.0f %14s\n", name, old.Benchmarks[name].NsPerOp, "(removed)")
+		}
+	}
+	var fresh []string
+	for name := range cur.Benchmarks {
+		if _, ok := old.Benchmarks[name]; !ok {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		fmt.Printf("%-40s %14s %14.0f\n", name, "(no baseline)", cur.Benchmarks[name].NsPerOp)
+	}
+	return failures, nil
+}
+
+// cpuContext returns the artifact's recorded "cpu:" context line, "" when
+// the capture carried none.
+func cpuContext(f *File) string {
+	for _, line := range f.Context {
+		if strings.HasPrefix(line, "cpu:") {
+			return strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		}
+	}
+	return ""
 }
 
 func orderFromBenchfmt(lines []string, names []string) []string {

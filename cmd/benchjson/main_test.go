@@ -1,0 +1,234 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func writeArtifact(t *testing.T, dir, name string, benches map[string]Result) string {
+	t.Helper()
+	return writeArtifactCtx(t, dir, name, benches, nil)
+}
+
+func writeArtifactCtx(t *testing.T, dir, name string, benches map[string]Result, context []string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	raw, err := json.Marshal(File{Benchmarks: benches, Context: context})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeArtifact(t, dir, "old.json", map[string]Result{
+		"BenchmarkTopK10k":    {Samples: 1, NsPerOp: 1000},
+		"BenchmarkTopK50k":    {Samples: 1, NsPerOp: 5000},
+		"BenchmarkSideshow":   {Samples: 1, NsPerOp: 100},
+		"BenchmarkVanished":   {Samples: 1, NsPerOp: 10},
+		"BenchmarkGatedFlaky": {Samples: 1, NsPerOp: 10},
+	})
+	gate := regexp.MustCompile(`^Benchmark(TopK10k|TopK50k|GatedFlaky)$`)
+
+	t.Run("passes within budget", func(t *testing.T) {
+		newPath := writeArtifact(t, dir, "ok.json", map[string]Result{
+			"BenchmarkTopK10k":    {Samples: 1, NsPerOp: 1100}, // +10% — inside a 15% budget
+			"BenchmarkTopK50k":    {Samples: 1, NsPerOp: 4000}, // improvement
+			"BenchmarkSideshow":   {Samples: 1, NsPerOp: 900},  // +800% but ungated: warn only
+			"BenchmarkVanished":   {Samples: 1, NsPerOp: 10},
+			"BenchmarkGatedFlaky": {Samples: 1, NsPerOp: 11},
+			"BenchmarkBrandNew":   {Samples: 1, NsPerOp: 42}, // no baseline: never a failure
+		})
+		failures, err := compareFiles(oldPath, newPath, gate, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 0 {
+			t.Fatalf("unexpected failures: %v", failures)
+		}
+	})
+
+	t.Run("fails on injected regression", func(t *testing.T) {
+		newPath := writeArtifact(t, dir, "regressed.json", map[string]Result{
+			"BenchmarkTopK10k":    {Samples: 1, NsPerOp: 1200}, // +20% > 15%: gated failure
+			"BenchmarkTopK50k":    {Samples: 1, NsPerOp: 5100}, // +2%: fine
+			"BenchmarkSideshow":   {Samples: 1, NsPerOp: 100},
+			"BenchmarkVanished":   {Samples: 1, NsPerOp: 10},
+			"BenchmarkGatedFlaky": {Samples: 1, NsPerOp: 10},
+		})
+		failures, err := compareFiles(oldPath, newPath, gate, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkTopK10k") {
+			t.Fatalf("failures = %v, want exactly the TopK10k regression", failures)
+		}
+	})
+
+	t.Run("custom threshold", func(t *testing.T) {
+		newPath := writeArtifact(t, dir, "threshold.json", map[string]Result{
+			"BenchmarkTopK10k":    {Samples: 1, NsPerOp: 1100}, // +10%
+			"BenchmarkTopK50k":    {Samples: 1, NsPerOp: 5000},
+			"BenchmarkSideshow":   {Samples: 1, NsPerOp: 100},
+			"BenchmarkVanished":   {Samples: 1, NsPerOp: 10},
+			"BenchmarkGatedFlaky": {Samples: 1, NsPerOp: 10},
+		})
+		failures, err := compareFiles(oldPath, newPath, gate, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkTopK10k") {
+			t.Fatalf("failures at 5%% budget = %v", failures)
+		}
+	})
+
+	t.Run("gated benchmark missing from new run fails", func(t *testing.T) {
+		newPath := writeArtifact(t, dir, "missing.json", map[string]Result{
+			"BenchmarkTopK10k":  {Samples: 1, NsPerOp: 1000},
+			"BenchmarkTopK50k":  {Samples: 1, NsPerOp: 5000},
+			"BenchmarkSideshow": {Samples: 1, NsPerOp: 100},
+			"BenchmarkVanished": {Samples: 1, NsPerOp: 10},
+			// BenchmarkGatedFlaky gone
+		})
+		failures, err := compareFiles(oldPath, newPath, gate, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkGatedFlaky") {
+			t.Fatalf("failures = %v, want the missing gated benchmark", failures)
+		}
+	})
+
+	t.Run("different hardware downgrades the gate", func(t *testing.T) {
+		benches := map[string]Result{"BenchmarkTopK10k": {Samples: 1, NsPerOp: 9000}} // +800%
+		devBase := writeArtifactCtx(t, dir, "devbox.json", map[string]Result{
+			"BenchmarkTopK10k": {Samples: 1, NsPerOp: 1000},
+		}, []string{"cpu: Intel(R) Xeon(R) Processor @ 2.10GHz"})
+		ciRun := writeArtifactCtx(t, dir, "cirun.json", benches,
+			[]string{"cpu: AMD EPYC 7763 64-Core Processor"})
+		failures, err := compareFiles(devBase, ciRun, gate, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 0 {
+			t.Fatalf("cross-hardware comparison gated: %v", failures)
+		}
+		// Same hardware string: the gate stays armed.
+		sameBase := writeArtifactCtx(t, dir, "samebox.json", map[string]Result{
+			"BenchmarkTopK10k": {Samples: 1, NsPerOp: 1000},
+		}, []string{"cpu: AMD EPYC 7763 64-Core Processor"})
+		failures, err = compareFiles(sameBase, ciRun, gate, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 1 {
+			t.Fatalf("same-hardware regression not gated: %v", failures)
+		}
+	})
+
+	t.Run("nil gate warns only", func(t *testing.T) {
+		newPath := writeArtifact(t, dir, "ungated.json", map[string]Result{
+			"BenchmarkTopK10k": {Samples: 1, NsPerOp: 9000}, // +800%
+		})
+		failures, err := compareFiles(oldPath, newPath, nil, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 0 {
+			t.Fatalf("nil gate produced failures: %v", failures)
+		}
+	})
+
+	t.Run("disjoint sets skip without a gate", func(t *testing.T) {
+		newPath := writeArtifact(t, dir, "disjoint.json", map[string]Result{
+			"BenchmarkElsewhere": {Samples: 1, NsPerOp: 1},
+		})
+		if _, err := compareFiles(oldPath, newPath, nil, 15); err == nil {
+			t.Fatal("disjoint artifacts should report a structural error")
+		}
+	})
+
+	t.Run("disjoint sets fail for vanished gated benchmarks", func(t *testing.T) {
+		newPath := writeArtifact(t, dir, "disjoint2.json", map[string]Result{
+			"BenchmarkElsewhere": {Samples: 1, NsPerOp: 1},
+		})
+		failures, err := compareFiles(oldPath, newPath, gate, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 3 { // TopK10k, TopK50k, GatedFlaky all gone
+			t.Fatalf("failures = %v, want the three vanished gated benchmarks", failures)
+		}
+	})
+
+	t.Run("hardware mismatch keeps the vanish rule", func(t *testing.T) {
+		devBase := writeArtifactCtx(t, dir, "devbase2.json", map[string]Result{
+			"BenchmarkTopK10k": {Samples: 1, NsPerOp: 1000},
+			"BenchmarkTopK50k": {Samples: 1, NsPerOp: 5000},
+		}, []string{"cpu: Intel(R) Xeon(R) Processor @ 2.10GHz"})
+		ciRun := writeArtifactCtx(t, dir, "cirun2.json", map[string]Result{
+			"BenchmarkTopK10k": {Samples: 1, NsPerOp: 9000}, // +800%, but cross-hw
+			// BenchmarkTopK50k vanished
+		}, []string{"cpu: AMD EPYC 7763 64-Core Processor"})
+		failures, err := compareFiles(devBase, ciRun, gate, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkTopK50k") {
+			t.Fatalf("failures = %v, want only the vanished gated benchmark", failures)
+		}
+	})
+
+	t.Run("missing baseline skips", func(t *testing.T) {
+		if _, err := compareFiles(filepath.Join(dir, "nope.json"), oldPath, gate, 15); err == nil {
+			t.Fatal("missing baseline should report a structural error")
+		}
+	})
+}
+
+func TestCaptureParsesBenchOutput(t *testing.T) {
+	dir := t.TempDir()
+	raw := `goos: linux
+goarch: amd64
+pkg: milret
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTopK10k-4   	     720	   1663810 ns/op	    3100 B/op	      42 allocs/op
+BenchmarkTopK10k-4   	     700	   1700000 ns/op	    3100 B/op	      42 allocs/op
+BenchmarkIgnored-4   	       1	       100 ns/op
+PASS
+`
+	path := filepath.Join(dir, "bench.out")
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := capture(f, regexp.MustCompile("TopK"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got.Benchmarks["BenchmarkTopK10k"]
+	if !ok {
+		t.Fatalf("TopK10k not captured: %+v", got.Benchmarks)
+	}
+	if r.Samples != 2 || r.NsPerOp != (1663810+1700000)/2.0 || r.AllocsPerOp != 42 {
+		t.Fatalf("aggregate = %+v", r)
+	}
+	if _, ok := got.Benchmarks["BenchmarkIgnored"]; ok {
+		t.Fatal("filtered benchmark captured")
+	}
+	if len(got.Context) != 4 || len(got.Benchfmt) != 2 {
+		t.Fatalf("context %d lines, benchfmt %d lines", len(got.Context), len(got.Benchfmt))
+	}
+}

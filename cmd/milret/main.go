@@ -69,9 +69,10 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	fastLoad := fs.Bool("fast-load", false, "skip the synchronous data checksum: zero-copy O(images) open, verified in the background (see /v1/healthz)")
 	readOnly := fs.Bool("readonly", false, "refuse DELETE/PUT mutations")
+	cacheMB := fs.Int("concept-cache-mb", 64, "memory bound of the trained-concept LRU cache in MB; repeat /v1/query requests skip training and concurrent identical ones coalesce (0 disables)")
 	fs.Parse(args)
 
-	db, err := milret.LoadDatabase(*dbPath, milret.Options{VerifyOnLoad: !*fastLoad})
+	db, err := milret.LoadDatabase(*dbPath, milret.Options{VerifyOnLoad: !*fastLoad, ConceptCacheMB: *cacheMB})
 	if err != nil {
 		return err
 	}
@@ -83,7 +84,12 @@ func cmdServe(args []string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
-	fmt.Printf("serving %d images (%d shards) on http://%s (POST /v1/query)\n", db.Len(), db.ShardCount(), ln.Addr())
+	cacheNote := "off"
+	if *cacheMB > 0 {
+		cacheNote = fmt.Sprintf("%dMB", *cacheMB)
+	}
+	fmt.Printf("serving %d images (%d shards, concept cache %s) on http://%s (POST /v1/query)\n",
+		db.Len(), db.ShardCount(), cacheNote, ln.Addr())
 	return serveUntilSignal(db, ln, *readOnly, sig)
 }
 

@@ -51,15 +51,29 @@ type Config struct {
 	Parallelism int
 }
 
+// Defaults applied by Config.withDefaults, exported so cache-key
+// canonicalization (the concept cache fingerprints the *effective*
+// configuration) stays single-sourced with the training behavior: a
+// request spelling a default explicitly and one leaving it zero must
+// hash identically exactly when they train identically.
+const (
+	// DefaultAlpha is the AlphaHack gradient divisor used when
+	// Config.Alpha is unset.
+	DefaultAlpha = 50
+	// DefaultMaxIter bounds optimizer iterations per start when
+	// Config.Opt.MaxIter is unset.
+	DefaultMaxIter = 120
+)
+
 func (c Config) withDefaults() Config {
 	if c.Alpha <= 0 {
-		c.Alpha = 50
+		c.Alpha = DefaultAlpha
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.NumCPU()
 	}
 	if c.Opt.MaxIter <= 0 {
-		c.Opt.MaxIter = 120
+		c.Opt.MaxIter = DefaultMaxIter
 	}
 	if c.Opt.GradTol <= 0 {
 		c.Opt.GradTol = 1e-5

@@ -373,7 +373,20 @@ func parallelism(requested, nBags int) int {
 func (s Snapshot) Rank(q Query, exclude map[string]bool, par int) []Result {
 	results := s.rankCandidates(q, exclude, par)
 	sortResults(results)
-	return results
+	return normalizeEmpty(results)
+}
+
+// normalizeEmpty canonicalizes "no results" to an empty non-nil slice: an
+// all-tombstoned or fully excluded snapshot must rank exactly like an
+// index that never held the bags, down to the representation (the
+// tombstone≡rebuild and flat≡naive property tests compare with
+// reflect.DeepEqual, where nil and an empty slice differ, and the naive
+// reference scans produce empty non-nil lists).
+func normalizeEmpty(rs []Result) []Result {
+	if len(rs) == 0 {
+		return []Result{}
+	}
+	return rs
 }
 
 // rankCandidates is Rank without the final sort: every live, non-excluded
@@ -467,7 +480,7 @@ func (s Snapshot) TopK(q Query, k int, exclude map[string]bool, par int) []Resul
 	}
 	n := s.Len()
 	if n == 0 {
-		return nil
+		return normalizeEmpty(nil)
 	}
 	if k >= n {
 		return s.Rank(q, exclude, par)
@@ -477,7 +490,7 @@ func (s Snapshot) TopK(q Query, k int, exclude map[string]bool, par int) []Resul
 	if len(merged) > k {
 		merged = merged[:k]
 	}
-	return merged
+	return normalizeEmpty(merged)
 }
 
 // topKCandidates runs the worker-heap top-k scan and returns the merged
@@ -565,6 +578,9 @@ func (s Snapshot) MultiTopK(qs []Query, k int, exclude map[string]bool, par int)
 	}
 	n := s.Len()
 	if n == 0 {
+		for qi := range outs {
+			outs[qi] = normalizeEmpty(nil)
+		}
 		return outs
 	}
 	if k >= n {
@@ -597,7 +613,7 @@ func (s Snapshot) MultiTopK(qs []Query, k int, exclude map[string]bool, par int)
 		if len(merged) > k {
 			merged = merged[:k]
 		}
-		outs[qi] = merged
+		outs[qi] = normalizeEmpty(merged)
 	}
 	return outs
 }

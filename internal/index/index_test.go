@@ -109,12 +109,15 @@ func TestAppendValidation(t *testing.T) {
 	}
 }
 
+// An empty snapshot ranks to the canonical empty result list — non-nil,
+// the same representation an all-tombstoned or fully excluded scan
+// produces, so tombstone≡rebuild comparisons hold bit-for-bit.
 func TestEmptySnapshot(t *testing.T) {
 	s := New().Snapshot()
-	if got := s.Rank(Query{}, nil, 0); got != nil {
+	if got := s.Rank(Query{}, nil, 0); got == nil || len(got) != 0 {
 		t.Fatalf("empty Rank = %v", got)
 	}
-	if got := s.TopK(Query{}, 5, nil, 0); got != nil {
+	if got := s.TopK(Query{}, 5, nil, 0); got == nil || len(got) != 0 {
 		t.Fatalf("empty TopK = %v", got)
 	}
 }
@@ -256,7 +259,7 @@ func TestMultiTopKEdgeCases(t *testing.T) {
 		t.Fatalf("k=0 = %v", got)
 	}
 	empty := New().Snapshot().MultiTopK([]Query{{}}, 3, nil, 1)
-	if len(empty) != 1 || empty[0] != nil {
+	if len(empty) != 1 || empty[0] == nil || len(empty[0]) != 0 {
 		t.Fatalf("empty snapshot = %v", empty)
 	}
 }

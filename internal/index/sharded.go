@@ -109,7 +109,7 @@ func (sh Sharded) fanOut(conc int, fn func(i int)) {
 // output Snapshot.Rank produces over one block holding all the bags.
 func (sh Sharded) Rank(q Query, exclude map[string]bool, par int) []Result {
 	if len(sh) == 0 {
-		return nil
+		return normalizeEmpty(nil)
 	}
 	if len(sh) == 1 {
 		return sh[0].Rank(q, exclude, par)
@@ -125,7 +125,7 @@ func (sh Sharded) Rank(q Query, exclude map[string]bool, par int) []Result {
 		merged = append(merged, c...)
 	}
 	sortResults(merged)
-	return merged
+	return normalizeEmpty(merged)
 }
 
 // TopK returns the k best live, non-excluded bags across all shards in
@@ -135,14 +135,17 @@ func (sh Sharded) Rank(q Query, exclude map[string]bool, par int) []Result {
 // by the same sort-and-truncate a single-block scan applies to its worker
 // heaps.
 func (sh Sharded) TopK(q Query, k int, exclude map[string]bool, par int) []Result {
-	if k <= 0 || len(sh) == 0 {
+	if k <= 0 {
 		return nil
+	}
+	if len(sh) == 0 {
+		return normalizeEmpty(nil)
 	}
 	if len(sh) == 1 {
 		return sh[0].TopK(q, k, exclude, par)
 	}
 	if sh.Bags() == 0 {
-		return nil
+		return normalizeEmpty(nil)
 	}
 	shared := newSharedCutoff()
 	par = resolvePar(par)
@@ -159,7 +162,7 @@ func (sh Sharded) TopK(q Query, k int, exclude map[string]bool, par int) []Resul
 	if len(merged) > k {
 		merged = merged[:k]
 	}
-	return merged
+	return normalizeEmpty(merged)
 }
 
 // MultiTopK scores B queries against every shard in one batched pass per
@@ -175,7 +178,13 @@ func (sh Sharded) MultiTopK(qs []Query, k int, exclude map[string]bool, par int)
 		return sh[0].MultiTopK(qs, k, exclude, par)
 	}
 	outs := make([][]Result, nq)
-	if k <= 0 || len(sh) == 0 || sh.Bags() == 0 {
+	if k <= 0 {
+		return outs
+	}
+	if len(sh) == 0 || sh.Bags() == 0 {
+		for qi := range outs {
+			outs[qi] = normalizeEmpty(nil)
+		}
 		return outs
 	}
 	if nq > mat.ScreenMaxConcepts {
@@ -211,7 +220,7 @@ func (sh Sharded) MultiTopK(qs []Query, k int, exclude map[string]bool, par int)
 		if len(merged) > k {
 			merged = merged[:k]
 		}
-		outs[qi] = merged
+		outs[qi] = normalizeEmpty(merged)
 	}
 	return outs
 }

@@ -141,7 +141,7 @@ func TestShardedCrossShardTieBreaks(t *testing.T) {
 func TestShardedEmptyShards(t *testing.T) {
 	empty := Sharded{New().Snapshot(), New().Snapshot()}
 	q := Query{Point: []float64{0}, Weights: []float64{1}}
-	if got := empty.TopK(q, 3, nil, 2); got != nil {
+	if got := empty.TopK(q, 3, nil, 2); got == nil || len(got) != 0 {
 		t.Fatalf("TopK over empty shards = %+v", got)
 	}
 	if got := empty.Rank(q, nil, 2); len(got) != 0 {

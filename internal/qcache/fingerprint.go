@@ -1,0 +1,105 @@
+package qcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"milret/internal/mil"
+)
+
+// Key is the canonical fingerprint of one training request. Keys are
+// collision-resistant (SHA-256 over the actual instance vectors), so
+// byte-identical queries hit regardless of how the request spelled them —
+// JSON field order, bag order within a side, or the IDs the bags travel
+// under carry no signal.
+type Key [sha256.Size]byte
+
+// Fingerprint canonicalizes a training request into its cache key:
+//
+//   - tag is an opaque encoding of everything about the training
+//     configuration that can change the result (weight mode and its
+//     effective hyperparameters, start-bag cap, iteration bound — but not
+//     parallelism, which training keeps deterministic).
+//   - pos and neg are the example bags. Each bag contributes a digest of
+//     its instance vectors' exact float64 bits, in instance order; bag IDs
+//     and instance names are ignored (training never reads them).
+//   - Within each side the bag digests are sorted before hashing, so
+//     permuting the positives (or negatives) of a query yields the same
+//     key — unless posOrderSensitive is set, which callers use when the
+//     training configuration caps the start bags below the positive count
+//     and positive order therefore genuinely selects different starting
+//     points.
+//
+// The two sides are domain-separated, so moving a bag from positives to
+// negatives always changes the key.
+func Fingerprint(tag []byte, pos, neg []*mil.Bag, posOrderSensitive bool) Key {
+	h := sha256.New()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(tag)))
+	h.Write(hdr[:])
+	h.Write(tag)
+
+	writeSide := func(label byte, bags []*mil.Bag, keepOrder bool) {
+		ds := make([][sha256.Size]byte, len(bags))
+		for i, b := range bags {
+			ds[i] = bagDigest(b)
+		}
+		if !keepOrder {
+			sort.Slice(ds, func(i, j int) bool {
+				for k := range ds[i] {
+					if ds[i][k] != ds[j][k] {
+						return ds[i][k] < ds[j][k]
+					}
+				}
+				return false
+			})
+		}
+		binary.LittleEndian.PutUint64(hdr[:], uint64(len(ds)))
+		h.Write([]byte{label})
+		h.Write(hdr[:])
+		for _, d := range ds {
+			h.Write(d[:])
+		}
+	}
+	// The side label also encodes the ordering mode, so an order-sensitive
+	// key can never collide with the canonical key of the same bags.
+	posLabel := byte('P')
+	if posOrderSensitive {
+		posLabel = 'p'
+	}
+	writeSide(posLabel, pos, posOrderSensitive)
+	writeSide('N', neg, false)
+
+	var key Key
+	h.Sum(key[:0])
+	return key
+}
+
+// bagDigest hashes one bag's training-relevant content: the instance
+// count, the dimensionality, and every instance's float64 bit pattern in
+// order. Instance order within a bag is part of the digest — a stored
+// image's bag enumerates its regions in a fixed order, and multi-start
+// training seeds from instances in that order.
+func bagDigest(b *mil.Bag) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(b.Instances)))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(b.Dim()))
+	h.Write(buf[:])
+	// Encode row by row through a reusable buffer: one Write per instance
+	// instead of one per float keeps the hash throughput near memory speed.
+	row := make([]byte, 0, b.Dim()*8)
+	for _, inst := range b.Instances {
+		row = row[:0]
+		for _, v := range inst {
+			row = binary.LittleEndian.AppendUint64(row, math.Float64bits(v))
+		}
+		h.Write(row)
+	}
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}

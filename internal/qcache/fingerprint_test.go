@@ -1,0 +1,148 @@
+package qcache
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"milret/internal/mat"
+	"milret/internal/mil"
+)
+
+func randBag(r *rand.Rand, id string, inst, dim int) *mil.Bag {
+	b := &mil.Bag{ID: id}
+	for i := 0; i < inst; i++ {
+		v := make(mat.Vector, dim)
+		for k := range v {
+			v[k] = r.NormFloat64()
+		}
+		b.Instances = append(b.Instances, v)
+	}
+	return b
+}
+
+func cloneBag(b *mil.Bag) *mil.Bag {
+	out := &mil.Bag{ID: b.ID}
+	for _, inst := range b.Instances {
+		out.Instances = append(out.Instances, append(mat.Vector(nil), inst...))
+	}
+	return out
+}
+
+// TestFingerprintPermutationInsensitive: permuting the bags within each
+// side yields the same key — the order-insensitivity half of the
+// collision-resistance property (permuted positives HIT).
+func TestFingerprintPermutationInsensitive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pos := []*mil.Bag{randBag(r, "a", 5, 16), randBag(r, "b", 3, 16), randBag(r, "c", 4, 16)}
+	neg := []*mil.Bag{randBag(r, "x", 2, 16), randBag(r, "y", 6, 16)}
+	tag := []byte("cfg")
+
+	base := Fingerprint(tag, pos, neg, false)
+	permPos := []*mil.Bag{pos[2], pos[0], pos[1]}
+	permNeg := []*mil.Bag{neg[1], neg[0]}
+	if got := Fingerprint(tag, permPos, neg, false); got != base {
+		t.Fatal("permuted positives changed the key")
+	}
+	if got := Fingerprint(tag, pos, permNeg, false); got != base {
+		t.Fatal("permuted negatives changed the key")
+	}
+	// Identical content under different IDs also hits: IDs carry no signal.
+	renamed := make([]*mil.Bag, len(pos))
+	for i, b := range pos {
+		cb := cloneBag(b)
+		cb.ID = "renamed-" + b.ID
+		renamed[i] = cb
+	}
+	if got := Fingerprint(tag, renamed, neg, false); got != base {
+		t.Fatal("renamed bags with identical vectors changed the key")
+	}
+}
+
+// TestFingerprintPerturbationSensitive: any change to the actual training
+// inputs — one ulp in one vector, a bag switching sides, a different
+// config tag, instance order within a bag — changes the key (perturbed
+// vectors MISS).
+func TestFingerprintPerturbationSensitive(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pos := []*mil.Bag{randBag(r, "a", 5, 16), randBag(r, "b", 3, 16)}
+	neg := []*mil.Bag{randBag(r, "x", 2, 16)}
+	tag := []byte("cfg")
+	base := Fingerprint(tag, pos, neg, false)
+
+	perturbed := []*mil.Bag{cloneBag(pos[0]), cloneBag(pos[1])}
+	v := perturbed[1].Instances[2][7]
+	perturbed[1].Instances[2][7] = math.Nextafter(v, math.Inf(1)) // one ulp
+	if got := Fingerprint(tag, perturbed, neg, false); got == base {
+		t.Fatal("one-ulp perturbation did not change the key")
+	}
+
+	if got := Fingerprint(tag, pos[:1], append([]*mil.Bag{pos[1]}, neg...), false); got == base {
+		t.Fatal("moving a bag from positives to negatives did not change the key")
+	}
+	if got := Fingerprint([]byte("cfg2"), pos, neg, false); got == base {
+		t.Fatal("config tag change did not change the key")
+	}
+	if got := Fingerprint(tag, pos, nil, false); got == base {
+		t.Fatal("dropping the negatives did not change the key")
+	}
+
+	swapped := []*mil.Bag{cloneBag(pos[0]), cloneBag(pos[1])}
+	swapped[0].Instances[0], swapped[0].Instances[1] = swapped[0].Instances[1], swapped[0].Instances[0]
+	if got := Fingerprint(tag, swapped, neg, false); got == base {
+		t.Fatal("instance reorder within a bag did not change the key")
+	}
+}
+
+// TestFingerprintOrderSensitiveMode: with posOrderSensitive (a start-bag
+// cap below the positive count), positive order becomes part of the key,
+// while negative order stays canonicalized.
+func TestFingerprintOrderSensitiveMode(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pos := []*mil.Bag{randBag(r, "a", 4, 8), randBag(r, "b", 4, 8)}
+	neg := []*mil.Bag{randBag(r, "x", 2, 8), randBag(r, "y", 2, 8)}
+	tag := []byte("cfg")
+
+	base := Fingerprint(tag, pos, neg, true)
+	if got := Fingerprint(tag, []*mil.Bag{pos[1], pos[0]}, neg, true); got == base {
+		t.Fatal("positive order ignored despite posOrderSensitive")
+	}
+	if got := Fingerprint(tag, pos, []*mil.Bag{neg[1], neg[0]}, true); got != base {
+		t.Fatal("negative order leaked into an order-sensitive key")
+	}
+	if base == Fingerprint(tag, pos, neg, false) {
+		t.Fatal("order-sensitive and canonical keys collide")
+	}
+}
+
+// TestFingerprintNoConcatAliasing: the per-bag digest framing must keep
+// [ab],[c] distinct from [a],[bc] — instance streams that concatenate to
+// the same bytes but partition differently are different requests.
+func TestFingerprintNoConcatAliasing(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	whole := randBag(r, "w", 4, 8)
+	splitA := &mil.Bag{ID: "a", Instances: whole.Instances[:1]}
+	splitB := &mil.Bag{ID: "b", Instances: whole.Instances[1:]}
+	tag := []byte("cfg")
+	if Fingerprint(tag, []*mil.Bag{whole}, nil, false) ==
+		Fingerprint(tag, []*mil.Bag{splitA, splitB}, nil, false) {
+		t.Fatal("one bag and its split alias to the same key")
+	}
+}
+
+func BenchmarkFingerprint5x40x100(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	var pos, neg []*mil.Bag
+	for i := 0; i < 5; i++ {
+		pos = append(pos, randBag(r, "p", 40, 100))
+	}
+	for i := 0; i < 5; i++ {
+		neg = append(neg, randBag(r, "n", 40, 100))
+	}
+	tag := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fingerprint(tag, pos, neg, false)
+	}
+}

@@ -1,0 +1,257 @@
+// Package qcache is the query-path concept cache: a concurrency-safe,
+// size-bounded LRU of trained Diverse Density concepts keyed by a canonical
+// fingerprint of the training request (see Fingerprint), with singleflight
+// coalescing so N concurrent identical requests pay for exactly one
+// training run and all share its outcome.
+//
+// The cache exists because training dominates query latency: every repeat
+// or near-duplicate query re-runs the optimizer before the (fast, sharded)
+// scan even starts. Serving from a reusable learned representation instead
+// of retraining per request is what makes repeat-heavy traffic cheap — the
+// same move the hashing line of MIL-retrieval work makes, specialized here
+// to exact-reuse of the trained concept geometry.
+//
+// Consistency with a mutable database is by construction, not
+// invalidation: the fingerprint hashes the actual instance vectors of the
+// example bags, so a query whose examples were updated hashes to a new key
+// and retrains, while entries keyed by the old content simply age out of
+// the LRU. Cached concepts are immutable after training (the scan layers
+// only read them), so hits are shared without copying.
+package qcache
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+
+	"milret/internal/core"
+)
+
+// Outcome classifies how Do satisfied one request.
+type Outcome int
+
+const (
+	// Miss: this caller was the flight leader and ran the training
+	// function; the result (if successful) is now cached.
+	Miss Outcome = iota
+	// Hit: the concept was already cached; no training ran.
+	Hit
+	// Coalesced: another caller was already training the same key; this
+	// caller waited and shares the leader's concept or error.
+	Coalesced
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	}
+	return "unknown"
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	// CapacityBytes is the configured memory bound; Bytes the estimated
+	// footprint of the Entries currently cached.
+	CapacityBytes int64
+	Bytes         int64
+	Entries       int
+	// Hits, Misses and Coalesced count Do outcomes; Bypassed counts
+	// NoteBypass calls (requests that skipped the cache on purpose);
+	// Evictions counts entries dropped to stay under the memory bound.
+	Hits      int64
+	Misses    int64
+	Coalesced int64
+	Bypassed  int64
+	Evictions int64
+}
+
+// entryOverhead approximates the per-entry bookkeeping cost beyond the
+// concept's own vectors: the key, the map and list cells, and the Concept
+// struct header.
+const entryOverhead = 192
+
+// conceptBytes estimates a trained concept's resident size: its two
+// float64 vectors plus fixed overhead.
+func conceptBytes(c *core.Concept) int64 {
+	return int64(len(c.Point)+len(c.Weights))*8 + entryOverhead
+}
+
+type entry struct {
+	key  Key
+	c    *core.Concept
+	size int64
+}
+
+// flight is one in-progress training run; waiters block on done and then
+// read c/err, which the leader writes exactly once before closing done.
+type flight struct {
+	done chan struct{}
+	c    *core.Concept
+	err  error
+}
+
+// Cache is the LRU + singleflight store. The zero value is not usable;
+// construct with New. All methods are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used; values are *entry
+	byKey    map[Key]*list.Element
+	flights  map[Key]*flight
+
+	hits, misses, coalesced, bypassed, evictions int64
+}
+
+// New returns a cache bounded to roughly capBytes of cached concept
+// geometry (the bound is enforced on an estimate of resident size, not
+// exact heap usage). capBytes must be positive — a caller that wants no
+// cache should hold no Cache.
+func New(capBytes int64) *Cache {
+	if capBytes <= 0 {
+		capBytes = 1 // degenerate but safe: nothing ever fits, every Do trains
+	}
+	return &Cache{
+		capBytes: capBytes,
+		ll:       list.New(),
+		byKey:    make(map[Key]*list.Element),
+		flights:  make(map[Key]*flight),
+	}
+}
+
+// Do returns the concept cached under key, or trains it by calling train.
+// Concurrent calls for the same key coalesce: exactly one caller (the
+// leader) runs train, the rest wait and share the leader's concept or
+// error. Errors are never cached — the next Do after a failed flight
+// trains again. The returned concept is shared and must be treated as
+// immutable.
+func (c *Cache) Do(key Key, train func() (*core.Concept, error)) (*core.Concept, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		cc := el.Value.(*entry).c
+		c.mu.Unlock()
+		return cc, Hit, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		<-f.done
+		return f.c, Coalesced, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	// Leader path. The deferred cleanup publishes the outcome and clears
+	// the flight even if train panics: waiters must never hang on a dead
+	// leader, and a panicking flight must not wedge the key forever.
+	finished := false
+	defer func() {
+		if !finished {
+			f.err = errTrainPanicked
+		}
+		close(f.done)
+		c.mu.Lock()
+		delete(c.flights, key)
+		if f.err == nil {
+			c.insertLocked(key, f.c)
+		}
+		c.mu.Unlock()
+	}()
+	f.c, f.err = train()
+	finished = true
+	return f.c, Miss, f.err
+}
+
+// errTrainPanicked is what waiters observe when the flight leader's
+// training function panicked instead of returning. The panic itself
+// propagates on the leader's goroutine.
+var errTrainPanicked = errors.New("qcache: training function panicked")
+
+// Get returns the cached concept for key without training, if present.
+func (c *Cache) Get(key Key) (*core.Concept, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*entry).c, true
+}
+
+// insertLocked adds a trained concept under key, evicting from the cold
+// end until the estimate fits. A concept larger than the whole cache is
+// returned to its caller but not retained.
+func (c *Cache) insertLocked(key Key, cc *core.Concept) {
+	if _, ok := c.byKey[key]; ok {
+		return // a racing leader for the same key already cached it
+	}
+	size := conceptBytes(cc)
+	if size > c.capBytes {
+		return
+	}
+	for c.bytes+size > c.capBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.byKey, ev.key)
+		c.bytes -= ev.size
+		c.evictions++
+	}
+	c.byKey[key] = c.ll.PushFront(&entry{key: key, c: cc, size: size})
+	c.bytes += size
+}
+
+// NoteBypass records a request that deliberately skipped the cache.
+func (c *Cache) NoteBypass() {
+	c.mu.Lock()
+	c.bypassed++
+	c.mu.Unlock()
+}
+
+// Purge drops every cached entry (counters are kept). In-progress flights
+// are unaffected: their leaders will insert into the purged cache when
+// they land.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	c.ll.Init()
+	c.byKey = make(map[Key]*list.Element)
+	c.bytes = 0
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		CapacityBytes: c.capBytes,
+		Bytes:         c.bytes,
+		Entries:       c.ll.Len(),
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Coalesced:     c.coalesced,
+		Bypassed:      c.bypassed,
+		Evictions:     c.evictions,
+	}
+}

@@ -9,9 +9,10 @@
 //	                               its pixels, as base64 PNG)
 //	DELETE /v1/images/{id}       → remove an image
 //	POST   /v1/query             → train on examples and rank
-//	POST   /v1/retrieve/batch    → rank several concept geometries in one scan
-//	GET    /v1/stats             → scoring-index and mutation-lifecycle metrics,
-//	                               in total and per shard
+//	POST   /v1/retrieve/batch    → rank several concept geometries and/or
+//	                               example-based queries in one scan
+//	GET    /v1/stats             → scoring-index, mutation-lifecycle and
+//	                               concept-cache metrics
 //	GET    /v1/healthz           → liveness probe + data verification state
 //
 // The query request body:
@@ -22,8 +23,15 @@
 //	  "k": 20,
 //	  "mode": "constrained",       // original | identical | alpha-hack | constrained
 //	  "beta": 0.5,
-//	  "exclude_examples": true
+//	  "exclude_examples": true,
+//	  "cache_bypass": false        // force retraining past the concept cache
 //	}
+//
+// When the database has a concept cache (milret.Options.ConceptCacheMB,
+// `milret serve -concept-cache-mb`), a repeat /v1/query is served without
+// retraining and concurrent identical queries coalesce onto one training
+// run; the reply's "cache" field reports the disposition and /v1/stats
+// carries the hit/miss/coalesced counters.
 //
 // Training is CPU-bound (typically tens to hundreds of milliseconds at the
 // paper's scale), so queries run synchronously; concurrent queries and
@@ -97,6 +105,10 @@ type QueryRequest struct {
 	// so the client can replay it (here or on another replica) through
 	// /v1/retrieve/batch without retraining.
 	ReturnConcept bool `json:"return_concept"`
+	// CacheBypass forces a fresh training run past the concept cache
+	// (neither consulting nor populating it). No effect when the server's
+	// database has no cache.
+	CacheBypass bool `json:"cache_bypass"`
 }
 
 // ConceptGeometry is a trained concept's point and weights as carried over
@@ -113,27 +125,52 @@ type QueryResult struct {
 	Distance float64 `json:"distance"`
 }
 
-// QueryResponse is the /v1/query reply.
+// QueryResponse is the /v1/query reply. Cache reports how the concept was
+// obtained — "hit", "miss", "coalesced" or "bypass" — and is omitted when
+// the database has no concept cache.
 type QueryResponse struct {
 	Results  []QueryResult    `json:"results"`
 	NegLogDD float64          `json:"neg_log_dd"`
 	TrainMS  int64            `json:"train_ms"`
 	Concept  *ConceptGeometry `json:"concept,omitempty"`
+	Cache    string           `json:"cache,omitempty"`
+}
+
+// BatchQuery is one example-based entry of a /v1/retrieve/batch request:
+// the same training inputs as /v1/query, trained through the concept
+// cache, without a per-query result budget (the batch's k applies).
+type BatchQuery struct {
+	Positives   []string `json:"positives"`
+	Negatives   []string `json:"negatives"`
+	Mode        string   `json:"mode"`
+	Alpha       float64  `json:"alpha"`
+	Beta        float64  `json:"beta"`
+	CacheBypass bool     `json:"cache_bypass"`
 }
 
 // BatchRetrieveRequest is the /v1/retrieve/batch body: pre-trained concept
-// geometries to rank against the database in one batched scan.
+// geometries and/or example-based queries to rank against the database in
+// one batched scan. Queries go through the concept cache, so a batch of
+// repeat or duplicate queries pays for at most the distinct training runs
+// before the single shared scan — the coalesced query pipeline. The
+// exclude list applies to every entry.
 type BatchRetrieveRequest struct {
 	Concepts []ConceptGeometry `json:"concepts"`
+	Queries  []BatchQuery      `json:"queries"`
 	K        int               `json:"k"`
 	Exclude  []string          `json:"exclude"`
 }
 
 // BatchRetrieveResponse is the /v1/retrieve/batch reply: one ranking per
-// requested concept, in request order.
+// requested entry — concepts first in request order, then queries in
+// request order. QueryCache reports each query's cache disposition
+// (parallel to the request's queries); TrainMS is the total time spent
+// training them.
 type BatchRetrieveResponse struct {
-	Results [][]QueryResult `json:"results"`
-	ScanMS  int64           `json:"scan_ms"`
+	Results    [][]QueryResult `json:"results"`
+	ScanMS     int64           `json:"scan_ms"`
+	TrainMS    int64           `json:"train_ms,omitempty"`
+	QueryCache []string        `json:"query_cache,omitempty"`
 }
 
 type errorBody struct {
@@ -173,9 +210,24 @@ type ShardStatsResponse struct {
 	WALMutations     int   `json:"wal_mutations,omitempty"`
 }
 
+// CacheStatsResponse is the concept-cache block of /v1/stats: occupancy
+// against the configured memory bound plus the traffic counters (hits,
+// misses, coalesced waits, deliberate bypasses, evictions).
+type CacheStatsResponse struct {
+	CapacityBytes int64 `json:"capacity_bytes"`
+	Bytes         int64 `json:"bytes"`
+	Entries       int   `json:"entries"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Coalesced     int64 `json:"coalesced"`
+	Bypassed      int64 `json:"bypassed,omitempty"`
+	Evictions     int64 `json:"evictions,omitempty"`
+}
+
 // StatsResponse is the /v1/stats reply: the size of the flat columnar
 // scoring indexes every query scans, plus the mutation-lifecycle counters
-// (tombstoned dead weight and journal depth), in total and per shard.
+// (tombstoned dead weight and journal depth), in total and per shard, and
+// the concept cache's counters when one is configured.
 type StatsResponse struct {
 	Images           int                  `json:"images"`
 	Instances        int                  `json:"instances"`
@@ -186,6 +238,7 @@ type StatsResponse struct {
 	PendingMutations int                  `json:"pending_mutations,omitempty"`
 	WALMutations     int                  `json:"wal_mutations,omitempty"`
 	Shards           []ShardStatsResponse `json:"shards"`
+	Cache            *CacheStatsResponse  `json:"cache,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -214,6 +267,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			DeadInstances:    row.DeadInstances,
 			PendingMutations: row.PendingMutations,
 			WALMutations:     row.WALMutations,
+		}
+	}
+	if st.Cache != nil {
+		resp.Cache = &CacheStatsResponse{
+			CapacityBytes: st.Cache.CapacityBytes,
+			Bytes:         st.Cache.Bytes,
+			Entries:       st.Cache.Entries,
+			Hits:          st.Cache.Hits,
+			Misses:        st.Cache.Misses,
+			Coalesced:     st.Cache.Coalesced,
+			Bypassed:      st.Cache.Bypassed,
+			Evictions:     st.Cache.Evictions,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -355,10 +420,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	concept, err := s.db.Train(req.Positives, req.Negatives, milret.TrainOptions{
-		Mode:  mode,
-		Alpha: req.Alpha,
-		Beta:  req.Beta,
+	concept, outcome, err := s.db.TrainCached(req.Positives, req.Negatives, milret.TrainOptions{
+		Mode:        mode,
+		Alpha:       req.Alpha,
+		Beta:        req.Beta,
+		BypassCache: req.CacheBypass,
 	})
 	if err != nil {
 		// Unknown example IDs are client errors; anything else would be a
@@ -374,6 +440,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	hits := s.db.RetrieveExcluding(concept, k, exclude)
 	resp := QueryResponse{NegLogDD: concept.NegLogDD(), TrainMS: trainMS}
+	if outcome != milret.CacheDisabled {
+		resp.Cache = outcome.String()
+	}
 	if req.ReturnConcept {
 		resp.Concept = &ConceptGeometry{Point: concept.Point(), Weights: concept.Weights()}
 	}
@@ -383,11 +452,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleRetrieveBatch ranks several pre-trained concept geometries in one
-// batched pass over the scoring index (Database.RetrieveMany). This is the
-// serving-side half of train-once/replay-anywhere: clients obtain geometries
-// from /v1/query with return_concept, or train offline, then score many
-// users' concepts per scan.
+// handleRetrieveBatch ranks several pre-trained concept geometries and/or
+// example-based queries in one batched pass over the scoring index
+// (Database.RetrieveMany). Geometries are the serving-side half of
+// train-once/replay-anywhere: clients obtain them from /v1/query with
+// return_concept, or train offline. Queries are trained server-side
+// through the concept cache, so a repeat-heavy batch pays only for its
+// distinct training runs before the shared scan.
 func (s *Server) handleRetrieveBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"POST only"})
@@ -402,13 +473,14 @@ func (s *Server) handleRetrieveBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad request: %v", err)})
 		return
 	}
-	if len(req.Concepts) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorBody{"at least one concept required"})
+	total := len(req.Concepts) + len(req.Queries)
+	if total == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{"at least one concept or query required"})
 		return
 	}
-	if len(req.Concepts) > s.MaxBatchConcepts {
+	if total > s.MaxBatchConcepts {
 		writeJSON(w, http.StatusBadRequest,
-			errorBody{fmt.Sprintf("%d concepts exceeds the limit of %d", len(req.Concepts), s.MaxBatchConcepts)})
+			errorBody{fmt.Sprintf("%d entries exceeds the limit of %d", total, s.MaxBatchConcepts)})
 		return
 	}
 	k := req.K
@@ -418,14 +490,66 @@ func (s *Server) handleRetrieveBatch(w http.ResponseWriter, r *http.Request) {
 	if k > s.MaxK {
 		k = s.MaxK
 	}
-	concepts := make([]*milret.Concept, len(req.Concepts))
+	concepts := make([]*milret.Concept, 0, total)
 	for i, g := range req.Concepts {
 		c, err := milret.NewConcept(g.Point, g.Weights)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("concept %d: %v", i, err)})
 			return
 		}
-		concepts[i] = c
+		concepts = append(concepts, c)
+	}
+	// The example-based entries of the pipeline: each trained through the
+	// concept cache (repeat queries hit, duplicates within the batch pay
+	// once — milret.TrainMany), then every concept — replayed and freshly
+	// trained alike — shares the one batched scan below.
+	var queryCache []string
+	var trainMS int64
+	if len(req.Queries) > 0 {
+		// Validate every entry's static fields before any training runs:
+		// rejecting a malformed query N must not cost queries 0..N-1 their
+		// optimizer passes first.
+		specs := make([]milret.QuerySpec, len(req.Queries))
+		for i, q := range req.Queries {
+			if len(q.Positives) == 0 {
+				writeJSON(w, http.StatusBadRequest,
+					errorBody{fmt.Sprintf("query %d: at least one positive example required", i)})
+				return
+			}
+			mode, err := parseMode(q.Mode)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("query %d: %v", i, err)})
+				return
+			}
+			specs[i] = milret.QuerySpec{
+				Positives: q.Positives,
+				Negatives: q.Negatives,
+				Opts: milret.TrainOptions{
+					Mode:        mode,
+					Alpha:       q.Alpha,
+					Beta:        q.Beta,
+					BypassCache: q.CacheBypass,
+				},
+			}
+		}
+		trainStart := time.Now()
+		trained, outcomes, err := s.db.TrainMany(specs)
+		if err != nil {
+			// TrainMany identifies the failing query by index.
+			writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+			return
+		}
+		trainMS = time.Since(trainStart).Milliseconds()
+		concepts = append(concepts, trained...)
+		// Disposition is uniform across a batch — CacheDisabled exactly
+		// when the database has no cache — and then the field is omitted,
+		// mirroring /v1/query's reply.
+		if len(outcomes) > 0 && outcomes[0] != milret.CacheDisabled {
+			queryCache = make([]string, len(outcomes))
+			for i, out := range outcomes {
+				queryCache[i] = out.String()
+			}
+		}
 	}
 	start := time.Now()
 	rankings, err := s.db.RetrieveMany(concepts, k, req.Exclude)
@@ -434,8 +558,10 @@ func (s *Server) handleRetrieveBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := BatchRetrieveResponse{
-		Results: make([][]QueryResult, len(rankings)),
-		ScanMS:  time.Since(start).Milliseconds(),
+		Results:    make([][]QueryResult, len(rankings)),
+		ScanMS:     time.Since(start).Milliseconds(),
+		TrainMS:    trainMS,
+		QueryCache: queryCache,
 	}
 	for i, hits := range rankings {
 		rs := make([]QueryResult, 0, len(hits))

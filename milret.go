@@ -27,6 +27,7 @@
 package milret
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"image"
@@ -43,6 +44,7 @@ import (
 	"milret/internal/mat"
 	"milret/internal/mil"
 	"milret/internal/optimize"
+	"milret/internal/qcache"
 	"milret/internal/region"
 	"milret/internal/retrieval"
 	"milret/internal/store"
@@ -129,6 +131,17 @@ type Options struct {
 	// (a MILRETS1 manifest carries its shard count, single-file stores open
 	// as one shard) and ignores this field.
 	Shards int
+	// ConceptCacheMB enables the concept cache: an in-memory LRU of
+	// trained concepts bounded to roughly this many MB, keyed by a
+	// canonical fingerprint of (positive bags, negative bags, training
+	// configuration). With the cache on, Train serves repeat queries
+	// without re-running the optimizer, and concurrent identical queries
+	// coalesce onto one training run (see TrainCached). 0 disables the
+	// cache. Consistency with mutations is automatic: the fingerprint
+	// hashes the examples' actual instance vectors, so a query whose
+	// example images changed retrains, and entries for the old content age
+	// out of the LRU.
+	ConceptCacheMB int
 }
 
 func (o Options) toFeature() feature.Options {
@@ -159,6 +172,10 @@ type TrainOptions struct {
 	MaxIters int
 	// Parallelism bounds training/ranking goroutines (0 = NumCPU).
 	Parallelism int
+	// BypassCache makes this training run skip the concept cache in both
+	// directions: it neither consults nor populates it. No effect when the
+	// database has no cache (Options.ConceptCacheMB 0).
+	BypassCache bool
 }
 
 // Database is a content-addressable image collection ready for
@@ -223,6 +240,12 @@ type Database struct {
 	vmu        sync.Mutex
 	verifyStat VerifyStatus
 	verifyErr  error
+
+	// cache is the trained-concept LRU (nil when disabled). It needs no
+	// lifecycle of its own: cached concepts hold freshly allocated
+	// geometry, never views into the store's memory mapping, so Close has
+	// nothing to release here.
+	cache *qcache.Cache
 }
 
 // Persistence-folding policy: an oversized mutation log makes reopening
@@ -331,7 +354,11 @@ func NewDatabase(opts Options) (*Database, error) {
 			return nil, fmt.Errorf("milret: %w", err)
 		}
 	}
-	return &Database{opts: fo, db: retrieval.NewDatabaseSharded(opts.Shards)}, nil
+	d := &Database{opts: fo, db: retrieval.NewDatabaseSharded(opts.Shards)}
+	if opts.ConceptCacheMB > 0 {
+		d.cache = qcache.New(int64(opts.ConceptCacheMB) << 20)
+	}
+	return d, nil
 }
 
 // ShardCount returns the number of shards the database spreads its images
@@ -484,14 +511,73 @@ func (c *Concept) Point() []float64 {
 // examples should contain the concept; negative examples must not. At
 // least one positive is required; negatives may be empty (though retrieval
 // precision benefits greatly from a few).
+//
+// With the concept cache enabled (Options.ConceptCacheMB), Train consults
+// it before running the optimizer: a query whose examples and training
+// configuration fingerprint to a cached concept is served without
+// training, and concurrent identical queries share one training run. Use
+// TrainCached to observe the disposition, TrainOptions.BypassCache to
+// force a fresh run.
 func (d *Database) Train(positiveIDs, negativeIDs []string, opts TrainOptions) (*Concept, error) {
+	c, _, err := d.TrainCached(positiveIDs, negativeIDs, opts)
+	return c, err
+}
+
+// CacheOutcome reports how a TrainCached call was satisfied.
+type CacheOutcome int
+
+const (
+	// CacheDisabled: the database has no concept cache; training ran.
+	CacheDisabled CacheOutcome = iota
+	// CacheBypassed: TrainOptions.BypassCache skipped the cache; training
+	// ran and the result was not retained.
+	CacheBypassed
+	// CacheMiss: no cached concept matched; training ran and the result
+	// was cached.
+	CacheMiss
+	// CacheHit: a cached concept was served; no training ran.
+	CacheHit
+	// CacheCoalesced: an identical training run was already in flight;
+	// this call waited for it and shares its result.
+	CacheCoalesced
+)
+
+func (o CacheOutcome) String() string {
+	switch o {
+	case CacheDisabled:
+		return "disabled"
+	case CacheBypassed:
+		return "bypass"
+	case CacheMiss:
+		return "miss"
+	case CacheHit:
+		return "hit"
+	case CacheCoalesced:
+		return "coalesced"
+	}
+	return "unknown"
+}
+
+// TrainCached is Train plus the concept-cache disposition of the call. A
+// cache hit returns the very concept the original training run produced,
+// so for a repeat of the same request rankings are bit-identical to a
+// fresh run with the same examples and options (training is
+// deterministic; the equivalence is property-tested). A request that
+// permutes the example order within a side is served the same cached
+// concept — bags are unordered collections (§2.1.2), so the canonical
+// concept is the intended answer — even though a fresh run fed the
+// permuted order could differ from it in final-ulp floating-point
+// rounding of the optimizer trajectory. When a StartBags cap makes
+// positive order genuinely select different optimization starts, order
+// is part of the key and no such sharing happens.
+func (d *Database) TrainCached(positiveIDs, negativeIDs []string, opts TrainOptions) (*Concept, CacheOutcome, error) {
 	mode, err := opts.Mode.toCore()
 	if err != nil {
-		return nil, err
+		return nil, CacheDisabled, err
 	}
 	ds, err := d.dataset(positiveIDs, negativeIDs)
 	if err != nil {
-		return nil, err
+		return nil, CacheDisabled, err
 	}
 	cfg := core.Config{
 		Mode:        mode,
@@ -501,11 +587,76 @@ func (d *Database) Train(positiveIDs, negativeIDs []string, opts TrainOptions) (
 		Parallelism: opts.Parallelism,
 		Opt:         optimize.Options{MaxIter: opts.MaxIters},
 	}
-	concept, err := core.Train(ds, cfg)
-	if err != nil {
-		return nil, err
+	train := func() (*core.Concept, error) { return core.Train(ds, cfg) }
+	switch {
+	case d.cache == nil:
+		concept, err := train()
+		if err != nil {
+			return nil, CacheDisabled, err
+		}
+		return &Concept{c: concept}, CacheDisabled, nil
+	case opts.BypassCache:
+		d.cache.NoteBypass()
+		concept, err := train()
+		if err != nil {
+			return nil, CacheBypassed, err
+		}
+		return &Concept{c: concept}, CacheBypassed, nil
 	}
-	return &Concept{c: concept}, nil
+	key := trainFingerprint(ds, mode, cfg)
+	concept, qout, err := d.cache.Do(key, train)
+	out := CacheMiss
+	switch qout {
+	case qcache.Hit:
+		out = CacheHit
+	case qcache.Coalesced:
+		out = CacheCoalesced
+	}
+	if err != nil {
+		return nil, out, err
+	}
+	return &Concept{c: concept}, out, nil
+}
+
+// trainFingerprint canonicalizes a training request into its cache key.
+// The tag captures every configuration field that can change the trained
+// concept, with mode-irrelevant hyperparameters normalized away (Alpha
+// only steers AlphaHackWeights, Beta only ConstrainedWeights) and
+// optimizer bounds pinned to their effective defaults, so spelling a
+// default explicitly still hits. Parallelism is excluded: training is
+// deterministic regardless of it. Positive-bag order is canonicalized
+// away unless a start-bag cap below the positive count makes order select
+// different optimization starts (§4.3), in which case it is genuinely
+// part of the request.
+func trainFingerprint(ds *mil.Dataset, mode core.WeightMode, cfg core.Config) qcache.Key {
+	alpha := 0.0
+	if mode == core.AlphaHack {
+		alpha = cfg.Alpha
+		if alpha <= 0 {
+			alpha = core.DefaultAlpha
+		}
+	}
+	beta := 0.0
+	if mode == core.SumConstraint {
+		beta = cfg.Beta
+	}
+	maxIter := cfg.Opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = core.DefaultMaxIter
+	}
+	startBags := cfg.StartBags
+	if startBags <= 0 || startBags >= len(ds.Positive) {
+		startBags = 0 // canonical "all positives seed starts"
+	}
+	orderSensitive := startBags != 0
+
+	tag := make([]byte, 0, 1+1+8+8+8+8)
+	tag = append(tag, 1, byte(mode)) // version, mode
+	tag = binary.LittleEndian.AppendUint64(tag, math.Float64bits(alpha))
+	tag = binary.LittleEndian.AppendUint64(tag, math.Float64bits(beta))
+	tag = binary.LittleEndian.AppendUint64(tag, uint64(maxIter))
+	tag = binary.LittleEndian.AppendUint64(tag, uint64(startBags))
+	return qcache.Fingerprint(tag, ds.Positive, ds.Negative, orderSensitive)
 }
 
 func (d *Database) dataset(positiveIDs, negativeIDs []string) (*mil.Dataset, error) {
@@ -620,6 +771,58 @@ func (d *Database) RetrieveMany(concepts []*Concept, k int, exclude []string) ([
 		out[i] = convertResults(rs)
 	}
 	return out, nil
+}
+
+// QuerySpec is one example-based query of a batched pipeline: the inputs
+// of Train, carried through QueryMany.
+type QuerySpec struct {
+	Positives []string
+	Negatives []string
+	Opts      TrainOptions
+}
+
+// QueryMany is the coalesced query pipeline: each spec's concept is
+// obtained through the concept cache (repeat specs hit, identical specs
+// in flight elsewhere coalesce, fresh ones train), and every concept is
+// then ranked in one batched pass over the scoring index — B queries cost
+// at most the distinct training runs plus a single scan. Element i of the
+// rankings equals RetrieveExcluding(Train(specs[i]...), k, exclude)
+// exactly; the parallel outcomes slice reports each spec's cache
+// disposition. The exclude list applies to every spec.
+func (d *Database) QueryMany(specs []QuerySpec, k int, exclude []string) ([][]Result, []CacheOutcome, error) {
+	if len(specs) == 0 {
+		return nil, nil, nil
+	}
+	concepts, outcomes, err := d.TrainMany(specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	rankings, err := d.RetrieveMany(concepts, k, exclude)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rankings, outcomes, nil
+}
+
+// TrainMany obtains one concept per spec through the concept cache —
+// the training half of QueryMany, exported so callers that mix trained
+// queries with pre-built concepts (the server's batch endpoint) can
+// share one scan across all of them. Repeat specs within the batch pay
+// for one training run (the first misses, the rest hit); the outcomes
+// slice is parallel to specs. An error identifies the failing spec by
+// index.
+func (d *Database) TrainMany(specs []QuerySpec) ([]*Concept, []CacheOutcome, error) {
+	concepts := make([]*Concept, len(specs))
+	outcomes := make([]CacheOutcome, len(specs))
+	for i, sp := range specs {
+		c, out, err := d.TrainCached(sp.Positives, sp.Negatives, sp.Opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("milret: query %d: %w", i, err)
+		}
+		concepts[i] = c
+		outcomes[i] = out
+	}
+	return concepts, outcomes, nil
 }
 
 func convertResults(rs []retrieval.Result) []Result {
@@ -992,6 +1195,28 @@ type Stats struct {
 	// Shards breaks every counter down per shard; the totals above are
 	// exactly the column sums.
 	Shards []ShardStats
+	// Cache reports the concept cache's occupancy and traffic counters;
+	// nil when the cache is disabled (Options.ConceptCacheMB 0).
+	Cache *CacheStats
+}
+
+// CacheStats snapshots the concept cache (see Options.ConceptCacheMB).
+type CacheStats struct {
+	// CapacityBytes is the configured memory bound; Bytes the estimated
+	// footprint of the Entries currently cached.
+	CapacityBytes int64
+	Bytes         int64
+	Entries       int
+	// Hits and Misses count cache-consulting training calls; Coalesced
+	// counts calls that waited on an identical in-flight training run
+	// instead of starting their own; Bypassed counts calls that skipped
+	// the cache on request; Evictions counts entries dropped to stay
+	// under the memory bound.
+	Hits      int64
+	Misses    int64
+	Coalesced int64
+	Bypassed  int64
+	Evictions int64
 }
 
 // Stats reports the size of the underlying flat scoring indexes and the
@@ -1026,6 +1251,19 @@ func (d *Database) Stats() Stats {
 		st.DeadInstances += row.DeadInstances
 		st.PendingMutations += row.PendingMutations
 		st.WALMutations += row.WALMutations
+	}
+	if d.cache != nil {
+		cs := d.cache.Stats()
+		st.Cache = &CacheStats{
+			CapacityBytes: cs.CapacityBytes,
+			Bytes:         cs.Bytes,
+			Entries:       cs.Entries,
+			Hits:          cs.Hits,
+			Misses:        cs.Misses,
+			Coalesced:     cs.Coalesced,
+			Bypassed:      cs.Bypassed,
+			Evictions:     cs.Evictions,
+		}
 	}
 	return st
 }
