@@ -20,11 +20,13 @@
 //
 // Setting PERF_GATE=off in the environment downgrades every failure to a
 // warning (exit 0) — the documented override for known-noisy runners; the
-// deltas are still printed. Structural problems (missing baseline on a
-// fresh branch, no common benchmarks) skip the comparison without
-// failing, and a baseline whose recorded cpu context differs from the
-// current run's is compared warn-only (cross-machine deltas are
-// meaningless), so the gate never blocks bootstrap.
+// deltas are still printed. A missing or unreadable baseline (a fresh
+// branch, a failed artifact download) passes with an explicit "(no
+// baseline)" report of the new run's numbers; other structural problems
+// (no common benchmarks) skip the comparison without failing, and a
+// baseline whose recorded cpu context differs from the current run's is
+// compared warn-only (cross-machine deltas are meaningless), so the gate
+// never blocks bootstrap.
 package main
 
 import (
@@ -219,13 +221,18 @@ func appendUnique(s []string, v string) []string {
 // and stays enforced even then — including when the two artifacts share
 // no benchmarks at all.
 func compareFiles(oldPath, newPath string, gate *regexp.Regexp, maxRegress float64) ([]string, error) {
-	old, err := readFile(oldPath)
-	if err != nil {
-		return nil, err
-	}
 	cur, err := readFile(newPath)
 	if err != nil {
 		return nil, err
+	}
+	old, err := readFile(oldPath)
+	if err != nil {
+		// No usable baseline — a fresh branch, a renamed artifact, or a
+		// baseline that failed to download. None of these are this change's
+		// fault, so the gate passes; but a silent pass hides the fact that
+		// nothing was compared, so report this run's numbers explicitly.
+		reportWithoutBaseline(oldPath, err, cur)
+		return nil, nil
 	}
 	// A baseline captured on different hardware cannot gate ns/op deltas —
 	// but whether a gated benchmark still exists is hardware-independent,
@@ -310,6 +317,25 @@ func compareFiles(oldPath, newPath string, gate *regexp.Regexp, maxRegress float
 		fmt.Printf("%-40s %14s %14.0f\n", name, "(no baseline)", cur.Benchmarks[name].NsPerOp)
 	}
 	return failures, nil
+}
+
+// reportWithoutBaseline prints the new run's rows when the baseline could
+// not be read: the comparison passes by definition, but the numbers (and
+// the reason there is nothing to compare them against) still land in the
+// log, so a misconfigured baseline path shows up as a visible "(no
+// baseline)" table rather than an empty, green gate.
+func reportWithoutBaseline(oldPath string, readErr error, cur *File) {
+	fmt.Fprintf(os.Stderr, "benchjson: no usable baseline at %s (%v); reporting this run only — nothing gated\n",
+		oldPath, readErr)
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-40s %14s %14s\n", "benchmark", "old ns/op", "new ns/op")
+	for _, name := range orderFromBenchfmt(cur.Benchfmt, names) {
+		fmt.Printf("%-40s %14s %14.0f\n", name, "(no baseline)", cur.Benchmarks[name].NsPerOp)
+	}
 }
 
 // cpuContext returns the artifact's recorded "cpu:" context line, "" when

@@ -187,9 +187,33 @@ func TestCompareGate(t *testing.T) {
 		}
 	})
 
-	t.Run("missing baseline skips", func(t *testing.T) {
-		if _, err := compareFiles(filepath.Join(dir, "nope.json"), oldPath, gate, 15); err == nil {
-			t.Fatal("missing baseline should report a structural error")
+	t.Run("missing baseline reports and passes", func(t *testing.T) {
+		failures, err := compareFiles(filepath.Join(dir, "nope.json"), oldPath, gate, 15)
+		if err != nil {
+			t.Fatalf("missing baseline must not be an error: %v", err)
+		}
+		if len(failures) != 0 {
+			t.Fatalf("missing baseline produced gate failures: %v", failures)
+		}
+	})
+
+	t.Run("corrupt baseline reports and passes", func(t *testing.T) {
+		garbled := filepath.Join(dir, "garbled.json")
+		if err := os.WriteFile(garbled, []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		failures, err := compareFiles(garbled, oldPath, gate, 15)
+		if err != nil {
+			t.Fatalf("corrupt baseline must not be an error: %v", err)
+		}
+		if len(failures) != 0 {
+			t.Fatalf("corrupt baseline produced gate failures: %v", failures)
+		}
+	})
+
+	t.Run("unreadable new snapshot is still an error", func(t *testing.T) {
+		if _, err := compareFiles(oldPath, filepath.Join(dir, "nope.json"), gate, 15); err == nil {
+			t.Fatal("a missing new snapshot means the bench run itself broke; that must surface")
 		}
 	})
 }

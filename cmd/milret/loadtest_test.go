@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadtestSmoke runs the whole harness — steady mixed load, warm
+// restart, cold restart — against a tiny corpus and checks the report's
+// deterministic properties: the warm restart serves every repeat from the
+// sidecar-loaded cache (no misses, no training), while the cold restart
+// has to retrain each distinct query at least once.
+func TestLoadtestSmoke(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.milret")
+	buildTestStore(t, dbPath)
+	outPath := filepath.Join(dir, "report.json")
+
+	err := cmdLoadtest([]string{
+		"-db", dbPath,
+		"-duration", "1500ms",
+		"-concurrency", "2",
+		"-queries", "2",
+		"-restart-repeats", "6",
+		"-mutate-every", "5",
+		"-batch-every", "4",
+		"-out", outPath,
+	})
+	if err != nil {
+		t.Fatalf("loadtest: %v", err)
+	}
+
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ltReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Steady == nil || rep.Steady.Ops == 0 {
+		t.Fatalf("steady phase ran no ops: %+v", rep.Steady)
+	}
+	if rep.Steady.Errors != 0 {
+		t.Fatalf("steady phase had %d errors", rep.Steady.Errors)
+	}
+	for _, class := range []string{"query-miss", "query-hit", "batch", "mutation"} {
+		if rep.Steady.Classes[class] == nil || rep.Steady.Classes[class].Count == 0 {
+			t.Fatalf("steady phase missing %q traffic: %v", class, rep.Steady.Classes)
+		}
+	}
+
+	// Warm restart: every repeat answered from the persisted cache.
+	if rep.WarmRestart == nil || rep.WarmRestart.Ops != 6 {
+		t.Fatalf("warm restart phase: %+v", rep.WarmRestart)
+	}
+	if !rep.WarmServedWithoutTraining {
+		t.Fatalf("warm restart trained: classes %v", rep.WarmRestart.Classes)
+	}
+	if hits := rep.WarmRestart.Classes["query-hit"]; hits == nil || hits.Count != 6 {
+		t.Fatalf("warm restart hits: %v", rep.WarmRestart.Classes)
+	}
+
+	// Cold restart: each distinct query retrains once before repeats hit.
+	if rep.ColdRestart == nil || rep.ColdRestart.Errors != 0 {
+		t.Fatalf("cold restart phase: %+v", rep.ColdRestart)
+	}
+	if misses := rep.ColdRestart.Classes["query-miss"]; misses == nil || misses.Count != 2 {
+		t.Fatalf("cold restart misses (want one per distinct query): %v", rep.ColdRestart.Classes)
+	}
+
+	// The sidecar the warm restart loaded is still on disk next to the db.
+	if _, err := os.Stat(dbPath + ".ccache"); err != nil {
+		t.Fatalf("sidecar missing after loadtest: %v", err)
+	}
+}
+
+// TestLoadtestOpenLoop covers the paced (open-loop) generator: a modest
+// rate over a short window still produces ops and a rate echo in the
+// report.
+func TestLoadtestOpenLoop(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.milret")
+	buildTestStore(t, dbPath)
+	outPath := filepath.Join(dir, "report.json")
+
+	err := cmdLoadtest([]string{
+		"-db", dbPath,
+		"-duration", "900ms",
+		"-concurrency", "2",
+		"-rate", "40",
+		"-queries", "1",
+		"-restart-repeats", "2",
+		"-out", outPath,
+	})
+	if err != nil {
+		t.Fatalf("loadtest: %v", err)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ltReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steady.Ops == 0 {
+		t.Fatal("open-loop phase ran no ops")
+	}
+	if rep.RatePerSec != 40 {
+		t.Fatalf("rate echo = %v", rep.RatePerSec)
+	}
+}

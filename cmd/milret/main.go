@@ -29,6 +29,7 @@ import (
 
 	"milret"
 	"milret/internal/server"
+	"milret/internal/store"
 	"milret/internal/synth"
 )
 
@@ -49,6 +50,8 @@ func main() {
 		err = cmdEval(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "loadtest":
+		err = cmdLoadtest(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -60,7 +63,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: milret <gen|build|query|eval|serve> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: milret <gen|build|query|eval|serve|loadtest> [flags]")
 }
 
 func cmdServe(args []string) error {
@@ -70,9 +73,13 @@ func cmdServe(args []string) error {
 	fastLoad := fs.Bool("fast-load", false, "skip the synchronous data checksum: zero-copy O(images) open, verified in the background (see /v1/healthz)")
 	readOnly := fs.Bool("readonly", false, "refuse DELETE/PUT mutations")
 	cacheMB := fs.Int("concept-cache-mb", 64, "memory bound of the trained-concept LRU cache in MB; repeat /v1/query requests skip training and concurrent identical ones coalesce (0 disables)")
+	cacheFile := fs.String("concept-cache-file", "", `concept-cache sidecar path: hot trained concepts are persisted there on flush/shutdown and loaded on start, so a restarted replica answers repeat queries without retraining; "" defaults to <db>.ccache when the cache is enabled, "off" disables persistence`)
 	fs.Parse(args)
 
-	db, err := milret.LoadDatabase(*dbPath, milret.Options{VerifyOnLoad: !*fastLoad, ConceptCacheMB: *cacheMB})
+	ccFile := resolveCacheFile(*cacheFile, *dbPath, *cacheMB)
+	db, err := milret.LoadDatabase(*dbPath, milret.Options{
+		VerifyOnLoad: !*fastLoad, ConceptCacheMB: *cacheMB, ConceptCacheFile: ccFile,
+	})
 	if err != nil {
 		return err
 	}
@@ -87,16 +94,41 @@ func cmdServe(args []string) error {
 	cacheNote := "off"
 	if *cacheMB > 0 {
 		cacheNote = fmt.Sprintf("%dMB", *cacheMB)
+		if ccFile != "" {
+			warm := int64(0)
+			if st := db.Stats(); st.Cache != nil {
+				warm = st.Cache.WarmLoaded
+			}
+			cacheNote += fmt.Sprintf(", persisted to %s, %d warm", ccFile, warm)
+		}
 	}
 	fmt.Printf("serving %d images (%d shards, concept cache %s) on http://%s (POST /v1/query)\n",
 		db.Len(), db.ShardCount(), cacheNote, ln.Addr())
 	return serveUntilSignal(db, ln, *readOnly, sig)
 }
 
+// resolveCacheFile maps the -concept-cache-file flag to an Options path:
+// the empty default derives "<db>.ccache", "off" (or a disabled cache)
+// means no persistence.
+func resolveCacheFile(flagVal, dbPath string, cacheMB int) string {
+	if cacheMB <= 0 || flagVal == "off" {
+		return ""
+	}
+	if flagVal == "" {
+		return store.CacheSidecarPath(dbPath)
+	}
+	return flagVal
+}
+
+// shutdownDrainTimeout bounds the graceful drain of in-flight requests on
+// shutdown; a variable so the shutdown-under-load test can shorten it.
+var shutdownDrainTimeout = 10 * time.Second
+
 // serveUntilSignal runs the HTTP server on ln until a signal arrives (or
 // the listener fails), then shuts down gracefully: in-flight requests are
 // drained (bounded by a timeout), pending mutations are flushed to the
-// write-ahead log, and the database releases its memory mapping.
+// write-ahead log, the concept cache is captured to its sidecar, and the
+// database releases its memory mapping.
 func serveUntilSignal(db *milret.Database, ln net.Listener, readOnly bool, sig <-chan os.Signal) error {
 	h := server.New(db)
 	h.ReadOnly = readOnly
@@ -113,9 +145,23 @@ func serveUntilSignal(db *milret.Database, ln net.Listener, readOnly bool, sig <
 		// The listener failed outright; nothing is serving anymore.
 	case s := <-sig:
 		fmt.Printf("received %v, shutting down\n", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownDrainTimeout)
 		err = srv.Shutdown(ctx)
 		cancel()
+		if err != nil {
+			// The drain timed out with handlers still running — typically
+			// parked behind an in-flight training run (their own, or one
+			// they coalesced onto). Shutdown does not cancel request
+			// contexts; Close force-closes the remaining connections, which
+			// does, releasing coalesced cache waiters (qcache.DoContext) so
+			// the process always exits instead of deadlocking. Flight
+			// leaders run their training to completion either way, and the
+			// Flush below captures those concepts in the sidecar.
+			fmt.Printf("drain timed out (%v), force-closing remaining connections\n", err)
+			if cerr := srv.Close(); cerr == nil {
+				err = nil // handled: degraded but completed shutdown
+			}
+		}
 		<-errc // Serve has returned http.ErrServerClosed
 	}
 	if ferr := db.Flush(); err == nil {

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -121,6 +122,164 @@ func TestServeGracefulShutdown(t *testing.T) {
 	if _, _, wrecs, err := store.ReadWAL(store.WALPath(dbPath)); err != nil || len(wrecs) != 1 {
 		t.Fatalf("WAL after shutdown: %d recs, %v", len(wrecs), err)
 	}
+}
+
+// TestServeWarmRestart drives the restart-storm fix end to end through the
+// serve loop: prime the cache over HTTP, shut down (which captures the
+// sidecar), bring a second serve loop up on the same store, and the repeat
+// query is a cache hit with warm_loaded visible in /v1/stats.
+func TestServeWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.milret")
+	buildTestStore(t, dbPath)
+	ccFile := resolveCacheFile("", dbPath, 8)
+
+	startServe := func() (string, chan os.Signal, chan error) {
+		t.Helper()
+		db, err := milret.LoadDatabase(dbPath, milret.Options{
+			ConceptCacheMB: 8, ConceptCacheFile: ccFile,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig := make(chan os.Signal, 1)
+		done := make(chan error, 1)
+		go func() { done <- serveUntilSignal(db, ln, false, sig) }()
+		return fmt.Sprintf("http://%s", ln.Addr()), sig, done
+	}
+	stopServe := func(sig chan os.Signal, done chan error) {
+		t.Helper()
+		sig <- os.Interrupt
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("shutdown returned %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("server did not shut down")
+		}
+	}
+	query := func(base string) (code int, cache string) {
+		t.Helper()
+		body := `{"positives":["object-car-00","object-car-01"],"negatives":["object-lamp-00"],"k":3,"mode":"identical"}`
+		var resp *http.Response
+		var err error
+		for i := 0; i < 100; i++ {
+			resp, err = http.Post(base+"/v1/query", "application/json", strings.NewReader(body))
+			if err == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Cache string `json:"cache"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out.Cache
+	}
+
+	base, sig, done := startServe()
+	if code, cache := query(base); code != http.StatusOK || cache != "miss" {
+		t.Fatalf("prime query: %d %q", code, cache)
+	}
+	stopServe(sig, done)
+	if _, err := os.Stat(ccFile); err != nil {
+		t.Fatalf("shutdown did not capture the sidecar: %v", err)
+	}
+
+	base, sig, done = startServe()
+	if code, cache := query(base); code != http.StatusOK || cache != "hit" {
+		t.Fatalf("post-restart query: %d %q, want a warm hit", code, cache)
+	}
+	var stats struct {
+		Cache struct {
+			WarmLoaded int64 `json:"warm_loaded"`
+		} `json:"cache"`
+	}
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Cache.WarmLoaded != 1 {
+		t.Fatalf("warm_loaded = %d, want 1", stats.Cache.WarmLoaded)
+	}
+	stopServe(sig, done)
+}
+
+// TestServeShutdownUnderLoad pins the force-close path: a client that
+// stalls mid-request-body keeps a handler active past the drain timeout,
+// and the serve loop must force-close it and still exit cleanly (nil
+// error, store released) instead of hanging on the drain.
+func TestServeShutdownUnderLoad(t *testing.T) {
+	oldTimeout := shutdownDrainTimeout
+	shutdownDrainTimeout = 100 * time.Millisecond
+	defer func() { shutdownDrainTimeout = oldTimeout }()
+
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.milret")
+	buildTestStore(t, dbPath)
+	db, err := milret.LoadDatabase(dbPath, milret.Options{ConceptCacheMB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- serveUntilSignal(db, ln, false, sig) }()
+
+	// Wait until the server answers, then park a request: headers promise a
+	// body that never arrives, so the handler blocks reading it and the
+	// graceful drain cannot finish.
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(fmt.Sprintf("http://%s/v1/healthz", ln.Addr()))
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "POST /v1/query HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\nContent-Length: 512\r\n\r\n{"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the handler reach the body read
+
+	sig <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown under load returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve loop hung: drain never force-closed the stalled connection")
+	}
+	// The store was released cleanly — it reopens without complaint.
+	back, err := milret.LoadDatabase(dbPath, milret.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back.Close()
 }
 
 // A listener failure (closed underneath the server) must also unwind the

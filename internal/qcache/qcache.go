@@ -21,6 +21,7 @@ package qcache
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"sync"
 
@@ -68,6 +69,9 @@ type Stats struct {
 	Coalesced int64
 	Bypassed  int64
 	Evictions int64
+	// Loaded counts entries installed by Import — concepts warmed from a
+	// persisted snapshot rather than trained by this process.
+	Loaded int64
 }
 
 // entryOverhead approximates the per-entry bookkeeping cost beyond the
@@ -105,7 +109,13 @@ type Cache struct {
 	byKey    map[Key]*list.Element
 	flights  map[Key]*flight
 
-	hits, misses, coalesced, bypassed, evictions int64
+	// gen counts content generations: it advances whenever the set of
+	// cached (key → concept) pairs changes (insert, import, evict, purge)
+	// and is untouched by recency bumps, so a persister can compare
+	// generations and skip rewriting an unchanged snapshot.
+	gen uint64
+
+	hits, misses, coalesced, bypassed, evictions, loaded int64
 }
 
 // New returns a cache bounded to roughly capBytes of cached concept
@@ -131,6 +141,19 @@ func New(capBytes int64) *Cache {
 // trains again. The returned concept is shared and must be treated as
 // immutable.
 func (c *Cache) Do(key Key, train func() (*core.Concept, error)) (*core.Concept, Outcome, error) {
+	return c.DoContext(context.Background(), key, train)
+}
+
+// DoContext is Do with a caller-scoped wait bound: a waiter coalesced onto
+// another caller's flight stops waiting when ctx is done and returns
+// ctx.Err(). The leader is NOT cancelled — it owns the flight and runs
+// train to completion regardless of its own ctx, because abandoning a
+// half-trained concept would strand every other waiter and waste the work;
+// a leader that must observe cancellation can close over ctx in train.
+// This is what keeps server shutdown from deadlocking on in-flight
+// training: force-closed request contexts release their coalesced waiters
+// immediately while the leader lands and caches the result.
+func (c *Cache) DoContext(ctx context.Context, key Key, train func() (*core.Concept, error)) (*core.Concept, Outcome, error) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
@@ -142,8 +165,12 @@ func (c *Cache) Do(key Key, train func() (*core.Concept, error)) (*core.Concept,
 	if f, ok := c.flights[key]; ok {
 		c.coalesced++
 		c.mu.Unlock()
-		<-f.done
-		return f.c, Coalesced, f.err
+		select {
+		case <-f.done:
+			return f.c, Coalesced, f.err
+		case <-ctx.Done():
+			return nil, Coalesced, ctx.Err()
+		}
 	}
 	f := &flight{done: make(chan struct{})}
 	c.flights[key] = f
@@ -213,6 +240,7 @@ func (c *Cache) insertLocked(key Key, cc *core.Concept) {
 	}
 	c.byKey[key] = c.ll.PushFront(&entry{key: key, c: cc, size: size})
 	c.bytes += size
+	c.gen++
 }
 
 // NoteBypass records a request that deliberately skipped the cache.
@@ -227,6 +255,9 @@ func (c *Cache) NoteBypass() {
 // they land.
 func (c *Cache) Purge() {
 	c.mu.Lock()
+	if c.ll.Len() > 0 {
+		c.gen++
+	}
 	c.ll.Init()
 	c.byKey = make(map[Key]*list.Element)
 	c.bytes = 0
@@ -253,5 +284,74 @@ func (c *Cache) Stats() Stats {
 		Coalesced:     c.coalesced,
 		Bypassed:      c.bypassed,
 		Evictions:     c.evictions,
+		Loaded:        c.loaded,
 	}
+}
+
+// Gen returns the cache's content generation. It advances on every change
+// to the cached entry set — inserts, imports, evictions and purges — but
+// not on recency updates, so equal generations mean a previously exported
+// snapshot is still exact.
+func (c *Cache) Gen() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// SavedEntry is one exported cache entry: the fingerprint key and the
+// immutable trained concept it maps to. It is the unit of persistence —
+// the store layer's sidecar codec carries the same pair as raw geometry.
+type SavedEntry struct {
+	Key     Key
+	Concept *core.Concept
+}
+
+// Export snapshots cached entries hottest-first (most recently used
+// first), stopping before the estimated footprint of the exported slice
+// exceeds maxBytes; maxBytes <= 0 exports everything. Hottest-first order
+// is the persistence contract: a budget-bounded export keeps the entries
+// most worth having after a restart, and a torn tail on disk loses only
+// the coldest. The returned concepts are shared, not copied — callers
+// must treat them as immutable.
+func (c *Cache) Export(maxBytes int64) []SavedEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SavedEntry, 0, c.ll.Len())
+	var total int64
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if maxBytes > 0 && total+e.size > maxBytes && len(out) > 0 {
+			break
+		}
+		total += e.size
+		out = append(out, SavedEntry{Key: e.key, Concept: e.c})
+	}
+	return out
+}
+
+// Import installs previously exported entries, given hottest-first (the
+// Export order). Entries are inserted coldest-first so the rebuilt LRU
+// recency order matches the exporting process's; each insert honors the
+// byte budget exactly like a trained result (oversized entries are
+// skipped, cold entries evict). Keys already cached or mid-flight keep
+// their current concept. Returns the number of entries installed.
+func (c *Cache) Import(entries []SavedEntry) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		if e.Concept == nil {
+			continue
+		}
+		if _, ok := c.byKey[e.Key]; ok {
+			continue
+		}
+		c.insertLocked(e.Key, e.Concept)
+		if _, ok := c.byKey[e.Key]; ok {
+			n++
+			c.loaded++
+		}
+	}
+	return n
 }

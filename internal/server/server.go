@@ -212,7 +212,9 @@ type ShardStatsResponse struct {
 
 // CacheStatsResponse is the concept-cache block of /v1/stats: occupancy
 // against the configured memory bound plus the traffic counters (hits,
-// misses, coalesced waits, deliberate bypasses, evictions).
+// misses, coalesced waits, deliberate bypasses, evictions) and the
+// warm-start counter (entries loaded from the persisted sidecar rather
+// than trained by this process — nonzero right after a warm restart).
 type CacheStatsResponse struct {
 	CapacityBytes int64 `json:"capacity_bytes"`
 	Bytes         int64 `json:"bytes"`
@@ -222,6 +224,7 @@ type CacheStatsResponse struct {
 	Coalesced     int64 `json:"coalesced"`
 	Bypassed      int64 `json:"bypassed,omitempty"`
 	Evictions     int64 `json:"evictions,omitempty"`
+	WarmLoaded    int64 `json:"warm_loaded,omitempty"`
 }
 
 // StatsResponse is the /v1/stats reply: the size of the flat columnar
@@ -279,6 +282,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Coalesced:     st.Cache.Coalesced,
 			Bypassed:      st.Cache.Bypassed,
 			Evictions:     st.Cache.Evictions,
+			WarmLoaded:    st.Cache.WarmLoaded,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -420,13 +424,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	concept, outcome, err := s.db.TrainCached(req.Positives, req.Negatives, milret.TrainOptions{
+	// The request context bounds the coalesced wait: a client gone away (or
+	// a force-closed connection during shutdown) releases this handler
+	// instead of stranding it behind another request's training run.
+	concept, outcome, err := s.db.TrainCachedContext(r.Context(), req.Positives, req.Negatives, milret.TrainOptions{
 		Mode:        mode,
 		Alpha:       req.Alpha,
 		Beta:        req.Beta,
 		BypassCache: req.CacheBypass,
 	})
 	if err != nil {
+		if r.Context().Err() != nil {
+			// The client is gone; nobody reads this reply. 499-style bail.
+			return
+		}
 		// Unknown example IDs are client errors; anything else would be a
 		// server bug surfaced as 500 by the JSON encoder below.
 		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
@@ -533,8 +544,11 @@ func (s *Server) handleRetrieveBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		trainStart := time.Now()
-		trained, outcomes, err := s.db.TrainMany(specs)
+		trained, outcomes, err := s.db.TrainManyContext(r.Context(), specs)
 		if err != nil {
+			if r.Context().Err() != nil {
+				return // client gone; see handleQuery
+			}
 			// TrainMany identifies the failing query by index.
 			writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
 			return

@@ -1,0 +1,248 @@
+// The concept-cache sidecar. A trained concept is a per-request byproduct
+// that the query cache (internal/qcache) makes reusable in memory — but the
+// cache dies with the process, so every restarted replica re-pays the
+// training cost for every hot query (the cold-start training storm). The
+// sidecar makes the hot (fingerprint → concept geometry) pairs a durable
+// artifact alongside the store, the same move the WAL makes for mutations:
+// written atomically on Save/Flush/shutdown, loaded on open, so a restarted
+// replica answers repeat queries from the cache without ever invoking the
+// trainer.
+//
+// File layout (all integers little-endian):
+//
+//	header: magic "MILRETC1" | uint32 version | uint32 dim | uint32 count
+//	record: uint32 frameLen | frame | uint32 crc32(frame)
+//	frame:  key[32] | uint8 mode | uint32 starts | uint32 evals |
+//	        float64 negLogDD | dim × float64 point | dim × float64 weights
+//
+// Records are ordered hottest-first (the exporter's eviction order), so a
+// loader with a smaller budget keeps the most valuable prefix, and a torn
+// tail loses only the coldest entries.
+//
+// Durability semantics mirror the WAL's: every record carries its own
+// CRC-32 (IEEE) over the whole frame. A record cut short at the end of the
+// file — or whose checksum fails there — is a torn tail from a crash
+// mid-write and is silently dropped (the cache is an optimization; a lost
+// cold entry costs one retraining). A checksum or structural failure with
+// further bytes after it is bit rot and returns ErrCorrupt so the caller
+// can ignore the whole file loudly. The sidecar is advisory by contract:
+// no load path may fail a database open because the sidecar is damaged or
+// missing — the store of record is the snapshot+WAL pair, never this file.
+//
+// The entries themselves need no snapshot fingerprint (unlike the WAL):
+// keys are content hashes of the example bags' instance vectors, so an
+// entry is valid exactly as long as some future request hashes to it —
+// mutations re-key affected queries by construction, and entries for
+// vanished content are simply never hit again. Staleness checks on load are
+// therefore structural only: wrong dimensionality, non-finite geometry and
+// duplicate keys are dropped.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+)
+
+// CacheSidecarMagic identifies concept-cache sidecar files.
+const CacheSidecarMagic = "MILRETC1"
+
+// CacheSidecarVersion is the current sidecar format version.
+const CacheSidecarVersion = 1
+
+// cacheSidecarHeaderLen is the byte length of the fixed header: magic,
+// version, dim, count.
+const cacheSidecarHeaderLen = len(CacheSidecarMagic) + 4 + 4 + 4
+
+// cacheKeyLen is the byte length of one cache key (a SHA-256 fingerprint).
+const cacheKeyLen = 32
+
+// CacheEntry is one persisted concept-cache entry: the request fingerprint
+// and the trained concept geometry it maps to. The store layer carries the
+// geometry as raw float64 slices; the caller (milret) converts to and from
+// its concept type.
+type CacheEntry struct {
+	// Key is the canonical fingerprint of the training request.
+	Key [cacheKeyLen]byte
+	// Mode, Starts and Evals are the trained concept's provenance fields,
+	// carried through so a warm-served concept is indistinguishable from
+	// the original training run's.
+	Mode   uint8
+	Starts uint32
+	Evals  uint32
+	// NegLogDD is the training objective at the solution.
+	NegLogDD float64
+	// Point and Weights are the concept geometry; both have the sidecar's
+	// declared dimensionality.
+	Point   []float64
+	Weights []float64
+}
+
+// cacheFrameLen is the exact frame length for one entry at dimensionality
+// dim: key, mode, starts, evals, negLogDD, point, weights.
+func cacheFrameLen(dim int) int {
+	return cacheKeyLen + 1 + 4 + 4 + 8 + 2*dim*8
+}
+
+// WriteCacheSidecar writes the entries to path atomically and durably
+// (temp file in the same directory, fsync, rename, directory fsync — the
+// store's standard idiom), replacing any previous sidecar. Entries should
+// be passed hottest-first; every entry's geometry must have dimensionality
+// dim. An empty entries slice writes a valid empty sidecar.
+func WriteCacheSidecar(path string, dim int, entries []CacheEntry) error {
+	if dim <= 0 {
+		return fmt.Errorf("store: non-positive dimension %d", dim)
+	}
+	flen := cacheFrameLen(dim)
+	buf := make([]byte, 0, cacheSidecarHeaderLen+len(entries)*(flen+8))
+	buf = append(buf, CacheSidecarMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, CacheSidecarVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(dim))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
+	frame := make([]byte, 0, flen)
+	for i := range entries {
+		e := &entries[i]
+		if len(e.Point) != dim || len(e.Weights) != dim {
+			return fmt.Errorf("store: cache entry %d has dims %d/%d, sidecar dim %d",
+				i, len(e.Point), len(e.Weights), dim)
+		}
+		frame = frame[:0]
+		frame = append(frame, e.Key[:]...)
+		frame = append(frame, e.Mode)
+		frame = binary.LittleEndian.AppendUint32(frame, e.Starts)
+		frame = binary.LittleEndian.AppendUint32(frame, e.Evals)
+		frame = binary.LittleEndian.AppendUint64(frame, math.Float64bits(e.NegLogDD))
+		for _, v := range e.Point {
+			frame = binary.LittleEndian.AppendUint64(frame, math.Float64bits(v))
+		}
+		for _, v := range e.Weights {
+			frame = binary.LittleEndian.AppendUint64(frame, math.Float64bits(v))
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(frame)))
+		buf = append(buf, frame...)
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(frame))
+	}
+
+	tmp, err := os.CreateTemp(pathDir(path), ".milret-ccache-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	syncDir(path)
+	return nil
+}
+
+// ReadCacheSidecar loads every intact entry from a sidecar file, in file
+// (hottest-first) order. A torn tail — the final record cut short or
+// failing its checksum — is silently dropped: those entries were the
+// coldest, and a crash mid-write was never acknowledged. Mid-file damage
+// returns ErrCorrupt (callers ignore the sidecar and open cold; they must
+// never fail the database open over it). The declared dim is returned so
+// the caller can reject a sidecar from a differently-configured store.
+func ReadCacheSidecar(path string) (dim int, entries []CacheEntry, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(raw) < cacheSidecarHeaderLen {
+		return 0, nil, fmt.Errorf("%w: file too short for cache sidecar header (%d bytes)", ErrCorrupt, len(raw))
+	}
+	if string(raw[:len(CacheSidecarMagic)]) != CacheSidecarMagic {
+		return 0, nil, fmt.Errorf("store: bad cache sidecar magic %q", raw[:len(CacheSidecarMagic)])
+	}
+	version := binary.LittleEndian.Uint32(raw[len(CacheSidecarMagic):])
+	if version != CacheSidecarVersion {
+		return 0, nil, fmt.Errorf("store: unsupported cache sidecar version %d (want %d)", version, CacheSidecarVersion)
+	}
+	dim = int(binary.LittleEndian.Uint32(raw[len(CacheSidecarMagic)+4:]))
+	if dim <= 0 || dim > 1<<20 {
+		return 0, nil, fmt.Errorf("%w: implausible cache sidecar dimension %d", ErrCorrupt, dim)
+	}
+	// The declared count is advisory only (a torn tail legitimately leaves
+	// fewer entries) and never sizes an allocation, so it needs no
+	// plausibility bound; it only arms the overrun check after the scan.
+	count := int(binary.LittleEndian.Uint32(raw[len(CacheSidecarMagic)+8:]))
+	flen := cacheFrameLen(dim)
+
+	off := cacheSidecarHeaderLen
+	for off < len(raw) {
+		if off+4 > len(raw) {
+			break // torn tail: not even a length field
+		}
+		got := int(binary.LittleEndian.Uint32(raw[off:]))
+		if got != flen {
+			// Every frame at this dimensionality has the same exact length;
+			// anything else cannot be resynchronized past. If the remaining
+			// bytes could not have held a full record anyway it is a torn
+			// tail, otherwise damage.
+			if len(raw)-off < 4+flen+4 {
+				break
+			}
+			return 0, nil, fmt.Errorf("%w: cache sidecar frame length %d at offset %d (want %d)",
+				ErrCorrupt, got, off, flen)
+		}
+		end := off + 4 + flen + 4
+		if end > len(raw) {
+			break // torn tail
+		}
+		frame := raw[off+4 : off+4+flen]
+		sum := binary.LittleEndian.Uint32(raw[off+4+flen:])
+		if c := crc32.ChecksumIEEE(frame); c != sum {
+			if end == len(raw) {
+				break // torn tail: the final record never finished writing
+			}
+			return 0, nil, fmt.Errorf("%w: cache sidecar checksum mismatch at offset %d (got %08x, want %08x)",
+				ErrCorrupt, off, c, sum)
+		}
+		var e CacheEntry
+		copy(e.Key[:], frame[:cacheKeyLen])
+		p := cacheKeyLen
+		e.Mode = frame[p]
+		p++
+		e.Starts = binary.LittleEndian.Uint32(frame[p:])
+		p += 4
+		e.Evals = binary.LittleEndian.Uint32(frame[p:])
+		p += 4
+		e.NegLogDD = math.Float64frombits(binary.LittleEndian.Uint64(frame[p:]))
+		p += 8
+		e.Point = make([]float64, dim)
+		for i := range e.Point {
+			e.Point[i] = math.Float64frombits(binary.LittleEndian.Uint64(frame[p:]))
+			p += 8
+		}
+		e.Weights = make([]float64, dim)
+		for i := range e.Weights {
+			e.Weights[i] = math.Float64frombits(binary.LittleEndian.Uint64(frame[p:]))
+			p += 8
+		}
+		entries = append(entries, e)
+		off = end
+	}
+	// The header count is advisory (a torn tail legitimately leaves fewer
+	// entries than declared), but MORE records than declared with a clean
+	// parse means the header and body disagree — damage, not a crash.
+	if len(entries) > count {
+		return 0, nil, fmt.Errorf("%w: cache sidecar holds %d entries, header says %d", ErrCorrupt, len(entries), count)
+	}
+	return dim, entries, nil
+}
+
+// CacheSidecarPath returns the conventional concept-cache sidecar path for
+// a store file.
+func CacheSidecarPath(storePath string) string { return storePath + ".ccache" }

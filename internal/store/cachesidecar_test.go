@@ -1,0 +1,221 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func randCacheEntry(r *rand.Rand, dim int) CacheEntry {
+	var e CacheEntry
+	r.Read(e.Key[:])
+	e.Mode = uint8(r.Intn(4))
+	e.Starts = uint32(1 + r.Intn(5))
+	e.Evals = uint32(100 + r.Intn(10000))
+	e.NegLogDD = r.Float64() * 40
+	e.Point = make([]float64, dim)
+	e.Weights = make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		e.Point[i] = r.NormFloat64()
+		e.Weights[i] = r.Float64()
+	}
+	return e
+}
+
+func writeTestSidecar(t *testing.T, dim, n int) (string, []CacheEntry) {
+	t.Helper()
+	r := rand.New(rand.NewSource(int64(dim)*1000 + int64(n)))
+	entries := make([]CacheEntry, n)
+	for i := range entries {
+		entries[i] = randCacheEntry(r, dim)
+	}
+	path := filepath.Join(t.TempDir(), "db.milret.ccache")
+	if err := WriteCacheSidecar(path, dim, entries); err != nil {
+		t.Fatal(err)
+	}
+	return path, entries
+}
+
+func entriesEqual(a, b CacheEntry) bool {
+	if a.Key != b.Key || a.Mode != b.Mode || a.Starts != b.Starts ||
+		a.Evals != b.Evals || a.NegLogDD != b.NegLogDD {
+		return false
+	}
+	if len(a.Point) != len(b.Point) || len(a.Weights) != len(b.Weights) {
+		return false
+	}
+	for i := range a.Point {
+		if a.Point[i] != b.Point[i] || a.Weights[i] != b.Weights[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCacheSidecarRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ dim, n int }{{4, 0}, {4, 1}, {100, 7}, {1, 3}} {
+		path, want := writeTestSidecar(t, tc.dim, tc.n)
+		dim, got, err := ReadCacheSidecar(path)
+		if err != nil {
+			t.Fatalf("dim %d n %d: %v", tc.dim, tc.n, err)
+		}
+		if dim != tc.dim || len(got) != tc.n {
+			t.Fatalf("dim %d n %d: read dim %d, %d entries", tc.dim, tc.n, dim, len(got))
+		}
+		for i := range want {
+			if !entriesEqual(want[i], got[i]) {
+				t.Fatalf("entry %d round-trips unequal:\n%+v\n%+v", i, want[i], got[i])
+			}
+		}
+	}
+}
+
+// A write replaces the previous sidecar atomically: the reader sees either
+// the old or the new generation, never a blend, and fewer entries after a
+// shrink.
+func TestCacheSidecarRewrite(t *testing.T) {
+	path, _ := writeTestSidecar(t, 8, 5)
+	r := rand.New(rand.NewSource(7))
+	fresh := []CacheEntry{randCacheEntry(r, 8)}
+	if err := WriteCacheSidecar(path, 8, fresh); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := ReadCacheSidecar(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !entriesEqual(got[0], fresh[0]) {
+		t.Fatalf("rewrite not replaced: %d entries", len(got))
+	}
+}
+
+// Every truncation point must either load a clean prefix (a torn tail is a
+// crash artifact, silently dropped) or — when it cuts into the header —
+// fail with ErrCorrupt; it must never yield a damaged entry.
+func TestCacheSidecarTornTailEveryCut(t *testing.T) {
+	path, want := writeTestSidecar(t, 6, 3)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(t.TempDir(), "cut.ccache")
+	for n := 0; n < len(raw); n++ {
+		if err := os.WriteFile(cut, raw[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dim, got, err := ReadCacheSidecar(cut)
+		if n < cacheSidecarHeaderLen {
+			if !errors.Is(err, ErrCorrupt) && err == nil {
+				t.Fatalf("cut %d: header truncation returned %d entries, err %v", n, len(got), err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d: torn tail errored: %v", n, err)
+		}
+		if dim != 6 {
+			t.Fatalf("cut %d: dim %d", n, dim)
+		}
+		if len(got) > len(want) {
+			t.Fatalf("cut %d: %d entries from %d written", n, len(got), len(want))
+		}
+		for i := range got {
+			if !entriesEqual(got[i], want[i]) {
+				t.Fatalf("cut %d: entry %d damaged", n, i)
+			}
+		}
+	}
+}
+
+// Mid-file damage (a flipped byte with intact bytes after it) is bit rot:
+// the reader reports ErrCorrupt rather than serving a bad concept or
+// resynchronizing past the hole.
+func TestCacheSidecarMidFileCorruption(t *testing.T) {
+	path, _ := writeTestSidecar(t, 6, 4)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the middle of the first record's frame.
+	pos := cacheSidecarHeaderLen + 4 + 10
+	mut := append([]byte{}, raw...)
+	mut[pos] ^= 0xA5
+	bad := filepath.Join(t.TempDir(), "bad.ccache")
+	if err := os.WriteFile(bad, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadCacheSidecar(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-file corruption returned %v, want ErrCorrupt", err)
+	}
+
+	// The same flip in the LAST record is indistinguishable from a torn
+	// final write and is dropped silently.
+	last := append([]byte{}, raw...)
+	last[len(last)-6] ^= 0xA5
+	torn := filepath.Join(t.TempDir(), "torn.ccache")
+	if err := os.WriteFile(torn, last, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := ReadCacheSidecar(torn)
+	if err != nil {
+		t.Fatalf("torn last record errored: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("torn last record: %d entries, want 3", len(got))
+	}
+}
+
+func TestCacheSidecarRejects(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, b []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, _, err := ReadCacheSidecar(write("magic", []byte("NOTACACHEFILE...."))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, _, err := ReadCacheSidecar(write("short", []byte("MILRETC1"))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short header: %v", err)
+	}
+	// Version 2 is unknown.
+	path, _ := writeTestSidecar(t, 4, 1)
+	raw, _ := os.ReadFile(path)
+	v2 := append([]byte{}, raw...)
+	v2[len(CacheSidecarMagic)] = 2
+	if _, _, err := ReadCacheSidecar(write("v2", v2)); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	// Implausible dimension.
+	huge := append([]byte{}, raw...)
+	for i := len(CacheSidecarMagic) + 4; i < len(CacheSidecarMagic)+8; i++ {
+		huge[i] = 0xFF
+	}
+	if _, _, err := ReadCacheSidecar(write("dim", huge)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("implausible dim: %v", err)
+	}
+	// More records than the header declares: header/body disagreement.
+	extra := append([]byte{}, raw...)
+	extra = append(extra, raw[cacheSidecarHeaderLen:]...) // duplicate the one record
+	if _, _, err := ReadCacheSidecar(write("extra", extra)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("record overrun vs header count: %v", err)
+	}
+	// Dimension mismatch on write.
+	e := randCacheEntry(rand.New(rand.NewSource(1)), 4)
+	if err := WriteCacheSidecar(filepath.Join(dir, "mismatch"), 5, []CacheEntry{e}); err == nil {
+		t.Fatal("entry/sidecar dim mismatch accepted on write")
+	}
+	if err := WriteCacheSidecar(filepath.Join(dir, "zero"), 0, nil); err == nil {
+		t.Fatal("non-positive dim accepted on write")
+	}
+}
+
+func TestCacheSidecarPath(t *testing.T) {
+	if got := CacheSidecarPath("/x/db.milret"); got != "/x/db.milret.ccache" {
+		t.Fatalf("CacheSidecarPath = %q", got)
+	}
+}

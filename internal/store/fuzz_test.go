@@ -213,3 +213,77 @@ func FuzzOpenFlatFile(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadCacheSidecar: arbitrary bytes fed to the concept-cache sidecar
+// reader must either decode cleanly or return an error — no panics, no
+// runaway allocations. Entries that do decode must carry the declared
+// dimensionality, and re-encoding them must produce a sidecar that reads
+// back identically (the warm-start path trusts these invariants).
+func FuzzReadCacheSidecar(f *testing.F) {
+	r := rand.New(rand.NewSource(55))
+	dir := f.TempDir()
+	valid := filepath.Join(dir, "valid.ccache")
+	entries := []CacheEntry{randCacheEntry(r, 3), randCacheEntry(r, 3)}
+	if err := WriteCacheSidecar(valid, 3, entries); err != nil {
+		f.Fatal(err)
+	}
+	raw, err := os.ReadFile(valid)
+	if err != nil {
+		f.Fatal(err)
+	}
+	empty := filepath.Join(dir, "empty.ccache")
+	if err := WriteCacheSidecar(empty, 2, nil); err != nil {
+		f.Fatal(err)
+	}
+	rawEmpty, err := os.ReadFile(empty)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add(rawEmpty)
+	f.Add(raw[:len(raw)-5]) // torn tail
+	f.Add(raw[:cacheSidecarHeaderLen])
+	f.Add([]byte{})
+	f.Add([]byte(CacheSidecarMagic))
+	corrupt := append([]byte{}, raw...)
+	corrupt[cacheSidecarHeaderLen+8] ^= 0xA5
+	f.Add(corrupt)
+	huge := append([]byte{}, raw...)
+	for i := len(CacheSidecarMagic) + 4; i < cacheSidecarHeaderLen && i < len(huge); i++ {
+		huge[i] = 0xFF // implausible dimension and count
+	}
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz-ccache")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		dim, got, err := ReadCacheSidecar(path)
+		if err != nil {
+			return
+		}
+		for i, e := range got {
+			if len(e.Point) != dim || len(e.Weights) != dim {
+				t.Fatalf("entry %d has dims %d/%d in a dim-%d sidecar", i, len(e.Point), len(e.Weights), dim)
+			}
+		}
+		// Round-trip: rewriting the decoded entries must reproduce them.
+		back := filepath.Join(t.TempDir(), "rt-ccache")
+		if err := WriteCacheSidecar(back, dim, got); err != nil {
+			t.Fatalf("re-encoding decoded entries: %v", err)
+		}
+		dim2, again, err := ReadCacheSidecar(back)
+		if err != nil {
+			t.Fatalf("re-reading round-tripped sidecar: %v", err)
+		}
+		if dim2 != dim || len(again) != len(got) {
+			t.Fatalf("round trip: dim %d→%d, %d→%d entries", dim, dim2, len(got), len(again))
+		}
+		for i := range got {
+			if got[i].Key != again[i].Key {
+				t.Fatalf("round trip changed entry %d key", i)
+			}
+		}
+	})
+}

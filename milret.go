@@ -27,6 +27,7 @@
 package milret
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -142,6 +143,18 @@ type Options struct {
 	// example images changed retrains, and entries for the old content age
 	// out of the LRU.
 	ConceptCacheMB int
+	// ConceptCacheFile makes the concept cache survive restarts: hot
+	// (fingerprint → concept) pairs are serialized to this sidecar file on
+	// every Save, Flush and Close, and loaded back by LoadDatabase, so a
+	// restarted replica answers repeat queries without retraining (no
+	// cold-start training storm). The sidecar is advisory — a missing,
+	// torn or corrupt file never fails an open; the replica just starts
+	// cold. Entries whose dimensionality does not match the store, or
+	// whose geometry is damaged, are dropped on load; content-addressed
+	// keys make any further staleness checks unnecessary (an entry for
+	// since-mutated examples is simply never hit again). Ignored when
+	// ConceptCacheMB is 0. See store.WriteCacheSidecar for the format.
+	ConceptCacheFile string
 }
 
 func (o Options) toFeature() feature.Options {
@@ -246,6 +259,16 @@ type Database struct {
 	// geometry, never views into the store's memory mapping, so Close has
 	// nothing to release here.
 	cache *qcache.Cache
+
+	// cmu guards the concept-cache sidecar writer (cacheFile is immutable
+	// after construction). cacheGenSaved is the cache content generation
+	// the sidecar last captured: persistConceptCache compares it to
+	// Cache.Gen and skips the rewrite when nothing changed, which makes
+	// sidecar persistence on every Flush cheap for mutation-heavy,
+	// query-light workloads.
+	cmu           sync.Mutex
+	cacheFile     string
+	cacheGenSaved uint64
 }
 
 // Persistence-folding policy: an oversized mutation log makes reopening
@@ -325,16 +348,19 @@ func (d *Database) verifyInBackground(flats []*store.FlatDB) {
 // Close releases resources backing the database: the memory mappings
 // adopted from flat stores by LoadDatabase and the open mutation-log
 // writers, if any. Pending (unflushed) mutations are NOT persisted — call
-// Save or Flush first. A closed database must not be used again; it is
-// safe to never call Close and let the mappings live for the process
-// lifetime (they are read-only and page-cache backed).
+// Save or Flush first. The concept-cache sidecar, when configured, IS
+// captured (a graceful shutdown must leave the warm-start file behind;
+// the write is skipped when the cache is unchanged since the last
+// Save/Flush). A closed database must not be used again; it is safe to
+// never call Close and let the mappings live for the process lifetime
+// (they are read-only and page-cache backed).
 func (d *Database) Close() error {
+	err := d.persistConceptCache()
 	d.pmu.Lock()
 	d.closeWALsLocked()
 	d.pmu.Unlock()
 	flats := d.flats
 	d.flats = nil
-	var err error
 	for _, f := range flats {
 		if cerr := f.Close(); err == nil {
 			err = cerr
@@ -357,6 +383,7 @@ func NewDatabase(opts Options) (*Database, error) {
 	d := &Database{opts: fo, db: retrieval.NewDatabaseSharded(opts.Shards)}
 	if opts.ConceptCacheMB > 0 {
 		d.cache = qcache.New(int64(opts.ConceptCacheMB) << 20)
+		d.cacheFile = opts.ConceptCacheFile
 	}
 	return d, nil
 }
@@ -571,6 +598,17 @@ func (o CacheOutcome) String() string {
 // positive order genuinely select different optimization starts, order
 // is part of the key and no such sharing happens.
 func (d *Database) TrainCached(positiveIDs, negativeIDs []string, opts TrainOptions) (*Concept, CacheOutcome, error) {
+	return d.TrainCachedContext(context.Background(), positiveIDs, negativeIDs, opts)
+}
+
+// TrainCachedContext is TrainCached with a caller-scoped wait bound: a
+// call that coalesces onto another caller's in-flight training run stops
+// waiting when ctx is done and returns ctx.Err(). The flight leader is
+// never cancelled — it trains to completion and caches the result for
+// future callers. This is what lets a server drain cleanly under load: a
+// force-closed request context releases its handler immediately instead
+// of stranding it behind someone else's training run.
+func (d *Database) TrainCachedContext(ctx context.Context, positiveIDs, negativeIDs []string, opts TrainOptions) (*Concept, CacheOutcome, error) {
 	mode, err := opts.Mode.toCore()
 	if err != nil {
 		return nil, CacheDisabled, err
@@ -604,7 +642,7 @@ func (d *Database) TrainCached(positiveIDs, negativeIDs []string, opts TrainOpti
 		return &Concept{c: concept}, CacheBypassed, nil
 	}
 	key := trainFingerprint(ds, mode, cfg)
-	concept, qout, err := d.cache.Do(key, train)
+	concept, qout, err := d.cache.DoContext(ctx, key, train)
 	out := CacheMiss
 	switch qout {
 	case qcache.Hit:
@@ -812,10 +850,16 @@ func (d *Database) QueryMany(specs []QuerySpec, k int, exclude []string) ([][]Re
 // slice is parallel to specs. An error identifies the failing spec by
 // index.
 func (d *Database) TrainMany(specs []QuerySpec) ([]*Concept, []CacheOutcome, error) {
+	return d.TrainManyContext(context.Background(), specs)
+}
+
+// TrainManyContext is TrainMany with a caller-scoped wait bound per spec;
+// see TrainCachedContext.
+func (d *Database) TrainManyContext(ctx context.Context, specs []QuerySpec) ([]*Concept, []CacheOutcome, error) {
 	concepts := make([]*Concept, len(specs))
 	outcomes := make([]CacheOutcome, len(specs))
 	for i, sp := range specs {
-		c, out, err := d.TrainCached(sp.Positives, sp.Negatives, sp.Opts)
+		c, out, err := d.TrainCachedContext(ctx, sp.Positives, sp.Negatives, sp.Opts)
 		if err != nil {
 			return nil, nil, fmt.Errorf("milret: query %d: %w", i, err)
 		}
@@ -944,7 +988,91 @@ func (d *Database) persist(path string) error {
 	if stageErr != nil {
 		return stageErr
 	}
-	return syncErr
+	if syncErr != nil {
+		return syncErr
+	}
+	return d.persistConceptCache()
+}
+
+// persistConceptCache captures the concept cache into its sidecar file,
+// hottest-first, so a later LoadDatabase warms the cache with the entries
+// most worth having. The write is skipped when the cache content is
+// unchanged since the last capture (recency-only traffic does not count),
+// which keeps Flush-per-mutation workloads from rewriting an identical
+// sidecar on every acknowledgment. A no-op when the cache is disabled or
+// no sidecar path was configured.
+func (d *Database) persistConceptCache() error {
+	if d.cache == nil || d.cacheFile == "" {
+		return nil
+	}
+	d.cmu.Lock()
+	defer d.cmu.Unlock()
+	gen := d.cache.Gen()
+	if gen == d.cacheGenSaved {
+		return nil
+	}
+	dim := d.opts.Dim()
+	exported := d.cache.Export(0)
+	entries := make([]store.CacheEntry, 0, len(exported))
+	for _, se := range exported {
+		c := se.Concept
+		if len(c.Point) != dim || len(c.Weights) != dim {
+			continue // never let a malformed entry poison the sidecar
+		}
+		entries = append(entries, store.CacheEntry{
+			Key:      [32]byte(se.Key),
+			Mode:     uint8(c.Mode),
+			Starts:   uint32(c.Starts),
+			Evals:    uint32(c.Evals),
+			NegLogDD: c.NegLogDD,
+			Point:    c.Point,
+			Weights:  c.Weights,
+		})
+	}
+	if err := store.WriteCacheSidecar(d.cacheFile, dim, entries); err != nil {
+		return fmt.Errorf("milret: writing concept-cache sidecar: %w", err)
+	}
+	d.cacheGenSaved = gen
+	return nil
+}
+
+// warmConceptCache imports the concept-cache sidecar, if one is readable.
+// The sidecar is advisory by contract: any failure — missing file, torn
+// header, corruption, a dimensionality from a differently-configured
+// store — means a cold start, never a load error. Entries are vetted
+// structurally before install (matching dimensionality is checked for the
+// whole file, finite geometry and a known weight mode per entry); the
+// content-addressed keys need no further staleness check, because an
+// entry for since-changed examples can never be fingerprinted again.
+func (d *Database) warmConceptCache() {
+	dim, raw, err := store.ReadCacheSidecar(d.cacheFile)
+	if err != nil || dim != d.opts.Dim() {
+		return
+	}
+	entries := make([]qcache.SavedEntry, 0, len(raw))
+	for _, e := range raw {
+		if e.Mode > uint8(core.SumConstraint) {
+			continue
+		}
+		c := &core.Concept{
+			Point:    mat.Vector(e.Point),
+			Weights:  mat.Vector(e.Weights),
+			NegLogDD: e.NegLogDD,
+			Mode:     core.WeightMode(e.Mode),
+			Starts:   int(e.Starts),
+			Evals:    int(e.Evals),
+		}
+		if !c.Point.IsFinite() || !c.Weights.IsFinite() || math.IsNaN(c.NegLogDD) {
+			continue
+		}
+		entries = append(entries, qcache.SavedEntry{Key: qcache.Key(e.Key), Concept: c})
+	}
+	d.cache.Import(entries)
+	// The sidecar already holds this content; don't rewrite it on the next
+	// Flush unless training or eviction changes the cache.
+	d.cmu.Lock()
+	d.cacheGenSaved = d.cache.Gen()
+	d.cmu.Unlock()
 }
 
 // stageLocked routes Save(path): a save to a foreign path is a full rewrite
@@ -1217,6 +1345,11 @@ type CacheStats struct {
 	Coalesced int64
 	Bypassed  int64
 	Evictions int64
+	// WarmLoaded counts entries installed from the persisted sidecar
+	// (Options.ConceptCacheFile) rather than trained by this process — the
+	// restart-warming signal: right after a warm open it equals the number
+	// of concepts the replica can serve without ever training.
+	WarmLoaded int64
 }
 
 // Stats reports the size of the underlying flat scoring indexes and the
@@ -1263,6 +1396,7 @@ func (d *Database) Stats() Stats {
 			Coalesced:     cs.Coalesced,
 			Bypassed:      cs.Bypassed,
 			Evictions:     cs.Evictions,
+			WarmLoaded:    cs.Loaded,
 		}
 	}
 	return st
@@ -1402,6 +1536,9 @@ func loadShards(basePath string, shardPaths []string, opts Options) (*Database, 
 	// targets, so a renamed manifest keeps updating the files it references.
 	d.bindLocked(basePath, shardPaths)
 	d.walCounts = walCounts
+	if d.cache != nil && d.cacheFile != "" {
+		d.warmConceptCache()
+	}
 	if len(flats) > 0 && !opts.VerifyOnLoad {
 		d.verifyInBackground(flats)
 	}
