@@ -9,6 +9,14 @@
 //
 //	go test -run='^$' -bench='TopK|ObjectiveEval' ./... | benchjson -out BENCH_topk.json
 //
+// With -merge-into, the capture is folded into a baseline archive instead:
+// the committed file holds one baseline per cpu context line ({"baselines":
+// [...]}), so regenerating numbers on a laptop replaces only the laptop's
+// entry and leaves the CI runner's untouched. Legacy single-File artifacts
+// load as one-entry archives and upgrade on first merge:
+//
+//	go test -run='^$' -bench='TopK' ./... | benchjson -merge-into BENCH_topk.json
+//
 // Compare mode prints an old-vs-new delta table and enforces a regression
 // budget: benchmarks whose name matches -gate fail the run (exit 1) when
 // their ns/op regresses more than -max-regress percent (default 15) or
@@ -53,7 +61,7 @@ type Result struct {
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
-// File is the on-disk artifact schema.
+// File is one captured bench run — the unit a comparison works on.
 type File struct {
 	// Context lines: goos/goarch/pkg/cpu as printed by the bench run.
 	Context []string `json:"context,omitempty"`
@@ -61,6 +69,14 @@ type File struct {
 	Benchmarks map[string]Result `json:"benchmarks"`
 	// Benchfmt preserves the raw lines for benchstat-style tooling.
 	Benchfmt []string `json:"benchfmt"`
+}
+
+// Archive is the committed-baseline schema: one File per cpu context line,
+// so a baseline regenerated on a laptop does not clobber the CI runner's
+// numbers (and vice versa). Legacy single-File artifacts still load — they
+// read as a one-entry archive — so old committed baselines keep working.
+type Archive struct {
+	Baselines []*File `json:"baselines"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
@@ -71,6 +87,7 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two artifact files (old new) instead of capturing")
 	gate := flag.String("gate", "", "regexp of benchmark names whose regressions fail the comparison (empty = warn only)")
 	maxRegress := flag.Float64("max-regress", 15, "ns/op regression percentage beyond which a gated benchmark fails")
+	mergeInto := flag.String("merge-into", "", "merge the capture into this baseline archive, replacing the entry for this run's cpu")
 	flag.Parse()
 
 	if *compare {
@@ -120,6 +137,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if *mergeInto != "" {
+		if err := mergeBaseline(*mergeInto, f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if *out == "" {
+			return
+		}
+	}
 	enc, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -134,6 +160,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// mergeBaseline folds one captured run into the archive at path: the entry
+// recorded for the same cpu context is replaced, any other machine's entry
+// is left untouched, and a legacy single-File artifact upgrades to the
+// archive schema on first merge. A missing file starts a fresh archive; a
+// corrupt one is an error (silently discarding someone's baselines is worse
+// than making the caller look).
+func mergeBaseline(path string, f *File) error {
+	arch := &Archive{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if arch, err = parseBaselines(raw, path); err != nil {
+			return err
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	cpu := cpuContext(f)
+	replaced := false
+	for i, b := range arch.Baselines {
+		if cpuContext(b) == cpu {
+			arch.Baselines[i] = f
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		arch.Baselines = append(arch.Baselines, f)
+	}
+	enc, err := json.MarshalIndent(arch, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
 }
 
 func capture(r *os.File, keep *regexp.Regexp) (*File, error) {
@@ -213,19 +273,23 @@ func appendUnique(s []string, v string) []string {
 // gate means nothing is gated. Benchmarks present only in the new snapshot
 // are listed as fresh (they have no baseline to regress against).
 //
-// When both artifacts record a cpu context line and they differ, the
-// ns/op comparisons downgrade to warnings: cross-machine deltas are
-// meaningless, so a baseline captured on different hardware (bootstrap, a
-// runner-class shift) must prompt a baseline regeneration, not block
-// unrelated changes. The vanished-benchmark rule is hardware-independent
-// and stays enforced even then — including when the two artifacts share
-// no benchmarks at all.
+// The old side may be a per-cpu baseline archive; the entry matching the
+// new run's cpu context is selected (readBaseline), so each runner class
+// gates against its own numbers. When the selected baseline's cpu line
+// still differs from the run's — no matching entry existed — the ns/op
+// comparisons downgrade to warnings: cross-machine deltas are meaningless,
+// so a baseline captured on different hardware (bootstrap, a runner-class
+// shift) must prompt a baseline regeneration, not block unrelated changes.
+// The vanished-benchmark rule is hardware-independent and stays enforced
+// even then — including when the two artifacts share no benchmarks at all,
+// and per selected baseline: a benchmark only recorded by another
+// machine's entry is not demanded of this one.
 func compareFiles(oldPath, newPath string, gate *regexp.Regexp, maxRegress float64) ([]string, error) {
 	cur, err := readFile(newPath)
 	if err != nil {
 		return nil, err
 	}
-	old, err := readFile(oldPath)
+	old, err := readBaseline(oldPath, cpuContext(cur))
 	if err != nil {
 		// No usable baseline — a fresh branch, a renamed artifact, or a
 		// baseline that failed to download. None of these are this change's
@@ -370,14 +434,67 @@ func orderFromBenchfmt(lines []string, names []string) []string {
 	return ordered
 }
 
+// readFile loads one captured run. An archive at this path reads as its
+// first baseline — a fresh capture is never an archive, so this only
+// triggers when someone hands the committed baseline file as the "new"
+// side, and the first entry is the least-surprising pick.
 func readFile(path string) (*File, error) {
+	arch, err := readArchive(path)
+	if err != nil {
+		return nil, err
+	}
+	return arch.Baselines[0], nil
+}
+
+// readBaseline loads the baseline entry to compare this run against: the
+// archive entry recorded for the same cpu context if there is one, else an
+// entry with no recorded cpu (a legacy context-less capture — the gate
+// stays armed, as it always did for those), else the first entry, whose
+// differing cpu line makes compareFiles downgrade ns/op deltas to warnings
+// while the vanished-benchmark rule stays enforced.
+func readBaseline(path, cpu string) (*File, error) {
+	arch, err := readArchive(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range arch.Baselines {
+		if cpuContext(b) == cpu {
+			return b, nil
+		}
+	}
+	for _, b := range arch.Baselines {
+		if cpuContext(b) == "" {
+			return b, nil
+		}
+	}
+	return arch.Baselines[0], nil
+}
+
+func readArchive(path string) (*Archive, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
+	}
+	return parseBaselines(raw, path)
+}
+
+// parseBaselines decodes either artifact schema: the {"baselines": [...]}
+// archive, or a legacy single-File capture, which reads as a one-entry
+// archive. The returned archive always has at least one entry.
+func parseBaselines(raw []byte, path string) (*Archive, error) {
+	var arch Archive
+	if err := json.Unmarshal(raw, &arch); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(arch.Baselines) > 0 {
+		return &arch, nil
 	}
 	var f File
 	if err := json.Unmarshal(raw, &f); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return &f, nil
+	if f.Benchmarks == nil {
+		return nil, fmt.Errorf("%s: no baselines and no benchmarks", path)
+	}
+	return &Archive{Baselines: []*File{&f}}, nil
 }

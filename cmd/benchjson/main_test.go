@@ -218,6 +218,179 @@ func TestCompareGate(t *testing.T) {
 	})
 }
 
+func writeArchive(t *testing.T, dir, name string, baselines ...*File) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	raw, err := json.Marshal(Archive{Baselines: baselines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestArchiveSelectsBaselineByCPU(t *testing.T) {
+	dir := t.TempDir()
+	const xeon = "cpu: Intel(R) Xeon(R) Processor @ 2.10GHz"
+	const epyc = "cpu: AMD EPYC 7763 64-Core Processor"
+	gate := regexp.MustCompile(`^BenchmarkTopK10k$`)
+	archive := writeArchive(t, dir, "base.json",
+		&File{Context: []string{xeon}, Benchmarks: map[string]Result{
+			"BenchmarkTopK10k": {Samples: 1, NsPerOp: 1000},
+		}},
+		&File{Context: []string{epyc}, Benchmarks: map[string]Result{
+			"BenchmarkTopK10k": {Samples: 1, NsPerOp: 4000},
+		}},
+	)
+
+	t.Run("matching entry gates fully", func(t *testing.T) {
+		// 1200 ns/op: +20% against the Xeon entry, a big improvement
+		// against the EPYC one — only the matching entry may decide.
+		run := writeArtifactCtx(t, dir, "xeonrun.json", map[string]Result{
+			"BenchmarkTopK10k": {Samples: 1, NsPerOp: 1200},
+		}, []string{xeon})
+		failures, err := compareFiles(archive, run, gate, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkTopK10k") {
+			t.Fatalf("failures = %v, want the Xeon-entry regression", failures)
+		}
+	})
+
+	t.Run("second entry selected for its machine", func(t *testing.T) {
+		run := writeArtifactCtx(t, dir, "epycrun.json", map[string]Result{
+			"BenchmarkTopK10k": {Samples: 1, NsPerOp: 4200}, // +5% vs EPYC entry
+		}, []string{epyc})
+		failures, err := compareFiles(archive, run, gate, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 0 {
+			t.Fatalf("EPYC run gated against the wrong entry: %v", failures)
+		}
+	})
+
+	t.Run("unknown machine downgrades to warnings", func(t *testing.T) {
+		run := writeArtifactCtx(t, dir, "otherrun.json", map[string]Result{
+			"BenchmarkTopK10k": {Samples: 1, NsPerOp: 9000},
+		}, []string{"cpu: Apple M2"})
+		failures, err := compareFiles(archive, run, gate, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 0 {
+			t.Fatalf("cross-machine deltas were gated: %v", failures)
+		}
+	})
+
+	t.Run("vanished rule enforced per selected baseline", func(t *testing.T) {
+		// The Xeon entry also records a gated benchmark the EPYC entry
+		// lacks; an EPYC run must not be failed for not reporting it, but
+		// must be failed for dropping one its own entry records.
+		gate2 := regexp.MustCompile(`^Benchmark(TopK10k|XeonOnly)$`)
+		arch2 := writeArchive(t, dir, "base2.json",
+			&File{Context: []string{xeon}, Benchmarks: map[string]Result{
+				"BenchmarkTopK10k":  {Samples: 1, NsPerOp: 1000},
+				"BenchmarkXeonOnly": {Samples: 1, NsPerOp: 7},
+			}},
+			&File{Context: []string{epyc}, Benchmarks: map[string]Result{
+				"BenchmarkTopK10k": {Samples: 1, NsPerOp: 4000},
+			}},
+		)
+		run := writeArtifactCtx(t, dir, "epycrun2.json", map[string]Result{
+			"BenchmarkTopK10k": {Samples: 1, NsPerOp: 4100},
+		}, []string{epyc})
+		failures, err := compareFiles(arch2, run, gate2, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 0 {
+			t.Fatalf("EPYC run held to the Xeon entry's benchmark set: %v", failures)
+		}
+		empty := writeArtifactCtx(t, dir, "epycempty.json", map[string]Result{
+			"BenchmarkOther": {Samples: 1, NsPerOp: 1},
+		}, []string{epyc})
+		failures, err = compareFiles(arch2, empty, gate2, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkTopK10k") {
+			t.Fatalf("failures = %v, want the EPYC entry's vanished benchmark", failures)
+		}
+	})
+}
+
+func TestMergeBaseline(t *testing.T) {
+	dir := t.TempDir()
+	const xeon = "cpu: Intel(R) Xeon(R) Processor @ 2.10GHz"
+	const epyc = "cpu: AMD EPYC 7763 64-Core Processor"
+	path := filepath.Join(dir, "base.json")
+
+	xeonRun := &File{Context: []string{xeon}, Benchmarks: map[string]Result{
+		"BenchmarkTopK10k": {Samples: 1, NsPerOp: 1000},
+	}}
+	if err := mergeBaseline(path, xeonRun); err != nil {
+		t.Fatal(err)
+	}
+	epycRun := &File{Context: []string{epyc}, Benchmarks: map[string]Result{
+		"BenchmarkTopK10k": {Samples: 1, NsPerOp: 4000},
+	}}
+	if err := mergeBaseline(path, epycRun); err != nil {
+		t.Fatal(err)
+	}
+	// Re-capturing on the Xeon replaces its entry and leaves the EPYC's.
+	xeonRun2 := &File{Context: []string{xeon}, Benchmarks: map[string]Result{
+		"BenchmarkTopK10k": {Samples: 1, NsPerOp: 900},
+	}}
+	if err := mergeBaseline(path, xeonRun2); err != nil {
+		t.Fatal(err)
+	}
+	arch, err := readArchive(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arch.Baselines) != 2 {
+		t.Fatalf("archive holds %d baselines, want 2", len(arch.Baselines))
+	}
+	if got, err := readBaseline(path, strings.TrimPrefix(xeon, "cpu: ")); err != nil ||
+		got.Benchmarks["BenchmarkTopK10k"].NsPerOp != 900 {
+		t.Fatalf("Xeon entry after re-merge = %+v, %v", got, err)
+	}
+	if got, err := readBaseline(path, strings.TrimPrefix(epyc, "cpu: ")); err != nil ||
+		got.Benchmarks["BenchmarkTopK10k"].NsPerOp != 4000 {
+		t.Fatalf("EPYC entry clobbered by the Xeon merge: %+v, %v", got, err)
+	}
+
+	t.Run("legacy artifact upgrades on first merge", func(t *testing.T) {
+		legacy := writeArtifactCtx(t, dir, "legacy.json", map[string]Result{
+			"BenchmarkTopK10k": {Samples: 1, NsPerOp: 2000},
+		}, []string{xeon})
+		if err := mergeBaseline(legacy, epycRun); err != nil {
+			t.Fatal(err)
+		}
+		arch, err := readArchive(legacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(arch.Baselines) != 2 {
+			t.Fatalf("upgraded archive holds %d baselines, want legacy + new", len(arch.Baselines))
+		}
+	})
+
+	t.Run("corrupt archive refuses to merge", func(t *testing.T) {
+		bad := filepath.Join(dir, "bad.json")
+		if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := mergeBaseline(bad, xeonRun); err == nil {
+			t.Fatal("merging into a corrupt archive must error, not clobber it")
+		}
+	})
+}
+
 func TestCaptureParsesBenchOutput(t *testing.T) {
 	dir := t.TempDir()
 	raw := `goos: linux

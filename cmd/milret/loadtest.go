@@ -102,8 +102,12 @@ func cmdLoadtest(args []string) error {
 	cacheMB := fs.Int("concept-cache-mb", 64, "concept-cache size for the in-process server")
 	repeats := fs.Int("restart-repeats", 20, "repeat queries replayed against each restarted server")
 	out := fs.String("out", "", "also write the report as JSON to this path")
+	applyKernel := kernelFlag(fs)
 	fs.Parse(args)
 
+	if err := applyKernel(); err != nil {
+		return err
+	}
 	rep := &ltReport{Concurrency: *concurrency, RatePerSec: *rate}
 	var base string
 	var h *ltHarness

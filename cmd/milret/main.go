@@ -28,10 +28,27 @@ import (
 	"time"
 
 	"milret"
+	"milret/internal/mat"
 	"milret/internal/server"
 	"milret/internal/store"
 	"milret/internal/synth"
 )
+
+// kernelFlag registers the -kernel flag on a command's flag set. The
+// returned apply func routes the choice through mat.SetKernel (the same
+// switch the MILRET_KERNEL environment variable hits at init) and reports
+// the implementation actually selected, so a startup log always records
+// which kernel produced the run's numbers.
+func kernelFlag(fs *flag.FlagSet) (apply func() error) {
+	mode := fs.String("kernel", "auto", `distance kernel: "auto" (AVX2 when the CPU supports it), "scalar", or "avx2" (error if unsupported)`)
+	return func() error {
+		if err := mat.SetKernel(*mode); err != nil {
+			return err
+		}
+		fmt.Printf("distance kernel: %s\n", mat.Kernel())
+		return nil
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -74,8 +91,12 @@ func cmdServe(args []string) error {
 	readOnly := fs.Bool("readonly", false, "refuse DELETE/PUT mutations")
 	cacheMB := fs.Int("concept-cache-mb", 64, "memory bound of the trained-concept LRU cache in MB; repeat /v1/query requests skip training and concurrent identical ones coalesce (0 disables)")
 	cacheFile := fs.String("concept-cache-file", "", `concept-cache sidecar path: hot trained concepts are persisted there on flush/shutdown and loaded on start, so a restarted replica answers repeat queries without retraining; "" defaults to <db>.ccache when the cache is enabled, "off" disables persistence`)
+	applyKernel := kernelFlag(fs)
 	fs.Parse(args)
 
+	if err := applyKernel(); err != nil {
+		return err
+	}
 	ccFile := resolveCacheFile(*cacheFile, *dbPath, *cacheMB)
 	db, err := milret.LoadDatabase(*dbPath, milret.Options{
 		VerifyOnLoad: !*fastLoad, ConceptCacheMB: *cacheMB, ConceptCacheFile: ccFile,

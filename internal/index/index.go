@@ -38,10 +38,7 @@ package index
 import (
 	"fmt"
 	"math"
-	"math/bits"
-	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"milret/internal/mat"
@@ -58,6 +55,13 @@ type Index struct {
 	bagOffsets []int
 	ids        []string
 	labels     []string
+	// rowBlk packs each row's first kernel block (KernelBlock floats,
+	// exact bit copies of the row's leading dims) into one contiguous
+	// array: row r's block is rowBlk[r*KernelBlock:(r+1)*KernelBlock].
+	// Pruned scans stream this array to decide first-block abandonment
+	// sequentially instead of touching one scattered cache line per row
+	// (mat.MinWeightedSqDistRowsHead). Empty when dim < KernelBlock.
+	rowBlk []float64
 	// dead is a tombstone bitmask over bags (bit i set = bag i deleted).
 	// Dead bags keep their rows in the flat block — scans skip them — until
 	// the owner rebuilds the index (retrieval.Database.Compact). nil while
@@ -112,6 +116,11 @@ func (x *Index) Append(id, label string, instances []mat.Vector) error {
 	for _, inst := range instances {
 		x.data = append(x.data, inst...)
 	}
+	if dim >= mat.KernelBlock {
+		for _, inst := range instances {
+			x.rowBlk = append(x.rowBlk, inst[:mat.KernelBlock]...)
+		}
+	}
 	x.bagOffsets = append(x.bagOffsets, x.bagOffsets[len(x.bagOffsets)-1]+len(instances))
 	x.ids = append(x.ids, id)
 	x.labels = append(x.labels, label)
@@ -151,8 +160,27 @@ func FromFlat(dim int, data []float64, counts []int, ids, labels []string) (*Ind
 	}
 	if len(counts) > 0 {
 		x.dim = dim
+		x.rowBlk = packRowBlocks(dim, data)
 	}
 	return x, nil
+}
+
+// packRowBlocks copies each row's first kernel block out of a row-major
+// data block into the packed side array pruned scans stream (see the
+// rowBlk field). One sequential pass over ~KernelBlock/dim of the block;
+// on a memory-mapped open this faults the block's pages once, trading a
+// fraction of the file read at open time for halved scan traffic. Returns
+// nil when dim < KernelBlock (no full first block to pack).
+func packRowBlocks(dim int, data []float64) []float64 {
+	if dim < mat.KernelBlock || len(data) == 0 {
+		return nil
+	}
+	rows := len(data) / dim
+	blk := make([]float64, rows*mat.KernelBlock)
+	for r := 0; r < rows; r++ {
+		copy(blk[r*mat.KernelBlock:(r+1)*mat.KernelBlock], data[r*dim:])
+	}
+	return blk
 }
 
 // Delete tombstones bag i: its rows stay in the flat block but every scan
@@ -229,9 +257,14 @@ func (x *Index) Snapshot() Snapshot {
 		dead = append(dead, x.dead...)
 	}
 	x.labelsShared.Store(true)
+	var blk []float64
+	if n := x.bagOffsets[len(x.ids)] * mat.KernelBlock; n > 0 && len(x.rowBlk) >= n {
+		blk = x.rowBlk[:n:n]
+	}
 	return Snapshot{
 		dim:        x.dim,
 		data:       x.data[:len(x.data):len(x.data)],
+		rowBlk:     blk,
 		bagOffsets: x.bagOffsets[:len(x.ids)+1],
 		ids:        x.ids[:len(x.ids)],
 		labels:     x.labels[:len(x.ids)],
@@ -249,6 +282,7 @@ func (x *Index) Instances() int { return x.bagOffsets[len(x.bagOffsets)-1] }
 type Snapshot struct {
 	dim        int
 	data       []float64
+	rowBlk     []float64 // packed per-row first blocks; see Index.rowBlk
 	bagOffsets []int
 	ids        []string
 	labels     []string
@@ -266,13 +300,15 @@ func (s Snapshot) Len() int { return len(s.ids) }
 // the live items per query.
 func (s Snapshot) IsDead(i int) bool { return s.isDead(i) }
 
-func (s Snapshot) isDead(i int) bool {
+func (s *Snapshot) isDead(i int) bool {
 	w := i >> 6
 	return w < len(s.dead) && s.dead[w]&(1<<uint(i&63)) != 0
 }
 
 // skip reports whether bag i is out of this scan: tombstoned or excluded.
-func (s Snapshot) skip(i int, exclude map[string]bool) bool {
+// Pointer receiver: this sits on the per-bag hot path of every scan, and a
+// value receiver would copy the whole snapshot header each call.
+func (s *Snapshot) skip(i int, exclude map[string]bool) bool {
 	return s.isDead(i) || exclude[s.ids[i]]
 }
 
@@ -348,22 +384,15 @@ func sortResults(rs []Result) {
 // bag either way.
 func (s Snapshot) bagDist(q Query, bi int, cutoff float64, prune bool) float64 {
 	lo, hi := s.bagOffsets[bi], s.bagOffsets[bi+1]
-	return mat.MinWeightedSqDistRows(q.Point, q.Weights, s.data[lo*s.dim:hi*s.dim], cutoff, prune)
-}
-
-// parallelism clamps the requested worker count to [1, nBags].
-func parallelism(requested, nBags int) int {
-	par := requested
-	if par <= 0 {
-		par = runtime.NumCPU()
+	rows := s.data[lo*s.dim : hi*s.dim]
+	if prune && len(s.rowBlk) > 0 {
+		// Pruned scans stream the packed first-block array instead of
+		// touching one scattered cache line per abandoned row; the packed
+		// values are bit copies of the rows, so the result is identical.
+		heads := s.rowBlk[lo*mat.KernelBlock : hi*mat.KernelBlock]
+		return mat.MinWeightedSqDistRowsHead(q.Point, q.Weights, rows, heads, cutoff, prune)
 	}
-	if par > nBags {
-		par = nBags
-	}
-	if par < 1 {
-		par = 1
-	}
-	return par
+	return mat.MinWeightedSqDistRows(q.Point, q.Weights, rows, cutoff, prune)
 }
 
 // Rank scores every non-excluded bag exactly and returns the full ascending
@@ -371,7 +400,7 @@ func parallelism(requested, nBags int) int {
 // per-bag scan: within a bag, early abandonment only prunes against the
 // bag's own running best, which cannot change the minimum.
 func (s Snapshot) Rank(q Query, exclude map[string]bool, par int) []Result {
-	results := s.rankCandidates(q, exclude, par)
+	results := scanRankCandidates([]Snapshot{s}, q, exclude, resolvePar(par))
 	sortResults(results)
 	return normalizeEmpty(results)
 }
@@ -387,52 +416,6 @@ func normalizeEmpty(rs []Result) []Result {
 		return []Result{}
 	}
 	return rs
-}
-
-// rankCandidates is Rank without the final sort: every live, non-excluded
-// bag scored exactly, in scan order. The sharded fan-out concatenates the
-// per-shard candidate lists and sorts once.
-func (s Snapshot) rankCandidates(q Query, exclude map[string]bool, par int) []Result {
-	n := s.Len()
-	if n == 0 {
-		return nil
-	}
-	q.check(s.dim)
-	prune := q.prunable()
-	par = parallelism(par, n)
-	dists := make([]float64, n)
-	var wg sync.WaitGroup
-	chunk := (n + par - 1) / par
-	for w := 0; w < par; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				if s.skip(i, exclude) {
-					dists[i] = math.Inf(1)
-					continue
-				}
-				dists[i] = s.bagDist(q, i, math.Inf(1), prune)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-
-	results := make([]Result, 0, n)
-	for i := 0; i < n; i++ {
-		if s.skip(i, exclude) {
-			continue
-		}
-		results = append(results, Result{ID: s.ids[i], Label: s.labels[i], Dist: dists[i]})
-	}
-	return results
 }
 
 // sharedCutoff is a monotonically tightening distance bound published
@@ -485,73 +468,12 @@ func (s Snapshot) TopK(q Query, k int, exclude map[string]bool, par int) []Resul
 	if k >= n {
 		return s.Rank(q, exclude, par)
 	}
-	merged := s.topKCandidates(q, k, exclude, par, newSharedCutoff())
+	merged := scanTopKCandidates([]Snapshot{s}, q, k, exclude, resolvePar(par), newSharedCutoff())
 	sortResults(merged)
 	if len(merged) > k {
 		merged = merged[:k]
 	}
 	return normalizeEmpty(merged)
-}
-
-// topKCandidates runs the worker-heap top-k scan and returns the merged
-// (unsorted) contents of the per-worker heaps. The shared cutoff is supplied
-// by the caller so several shards can tighten one bound together: a shard's
-// published k-th best is the k-th smallest of a subset of the global
-// candidate set, hence an upper bound on the global k-th best, so the
-// cross-shard pruning argument is exactly the cross-worker one (see
-// sharedCutoff). The caller sorts the concatenated candidates and truncates
-// to k; any global top-k member survives in its shard's heap, and pruned
-// bags report overshot distances strictly above the cutoff, so they can
-// never displace a survivor.
-func (s Snapshot) topKCandidates(q Query, k int, exclude map[string]bool, par int, shared *sharedCutoff) []Result {
-	n := s.Len()
-	if n == 0 {
-		return nil
-	}
-	q.check(s.dim)
-	prune := q.prunable()
-	par = parallelism(par, n)
-	heaps := make([]resultMaxHeap, par)
-	var wg sync.WaitGroup
-	chunk := (n + par - 1) / par
-	for w := 0; w < par; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			h := make(resultMaxHeap, 0, k)
-			for i := lo; i < hi; i++ {
-				if s.skip(i, exclude) {
-					continue
-				}
-				// Prune against the tightest published k-th best. Equality
-				// is never pruned, preserving ID tie-breaks at the top-k
-				// boundary. A bag pruned here may report an overshot (but
-				// still exact-per-instance) distance > cutoff; such entries
-				// cannot displace a true top-k member in the final merge.
-				cutoff := shared.load()
-				if len(h) == k && h[0].Dist < cutoff {
-					cutoff = h[0].Dist
-				}
-				d := s.bagDist(q, i, cutoff, prune)
-				h.offer(Result{ID: s.ids[i], Label: s.labels[i], Dist: d}, k, shared)
-			}
-			heaps[w] = h
-		}(w, lo, hi)
-	}
-	wg.Wait()
-
-	merged := make([]Result, 0, par*k)
-	for _, h := range heaps {
-		merged = append(merged, h...)
-	}
-	return merged
 }
 
 // MultiTopK scores B queries against the snapshot in one pass over the
@@ -607,142 +529,13 @@ func (s Snapshot) MultiTopK(qs []Query, k int, exclude map[string]bool, par int)
 	for qi := range shared {
 		shared[qi] = newSharedCutoff()
 	}
-	cands := s.multiTopKCandidates(qs, k, exclude, par, shared)
+	cands := scanMultiTopKCandidates([]Snapshot{s}, qs, k, exclude, resolvePar(par), shared)
 	for qi, merged := range cands {
 		sortResults(merged)
 		if len(merged) > k {
 			merged = merged[:k]
 		}
 		outs[qi] = normalizeEmpty(merged)
-	}
-	return outs
-}
-
-// multiTopKCandidates is the batched scan core behind MultiTopK: per query,
-// the merged (unsorted) per-worker heap contents. Like topKCandidates, the
-// per-query shared cutoffs come from the caller so shards can share them;
-// len(qs) must not exceed mat.ScreenMaxConcepts (the caller chunks).
-func (s Snapshot) multiTopKCandidates(qs []Query, k int, exclude map[string]bool, par int, shared []*sharedCutoff) [][]Result {
-	nq := len(qs)
-	outs := make([][]Result, nq)
-	n := s.Len()
-	if n == 0 {
-		return outs
-	}
-	prune := make([]bool, nq)
-	for qi, q := range qs {
-		q.check(s.dim)
-		prune[qi] = q.prunable()
-	}
-	// Pack the concepts' first blocks compactly for the fused screening
-	// kernel; built once, read-only across workers.
-	dim := s.dim
-	points := make([][]float64, nq)
-	weights := make([][]float64, nq)
-	for qi, q := range qs {
-		points[qi] = q.Point
-		weights[qi] = q.Weights
-	}
-	pblk, wblk := mat.ScreenBlocks(points, weights)
-	par = parallelism(par, n)
-	// heaps[w][qi] is worker w's current best-k for query qi.
-	heaps := make([][]resultMaxHeap, par)
-	var wg sync.WaitGroup
-	chunk := (n + par - 1) / par
-	for w := 0; w < par; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			hs := make([]resultMaxHeap, nq)
-			for qi := range hs {
-				hs[qi] = make(resultMaxHeap, 0, k)
-			}
-			screen := make([]float64, nq)
-			bests := make([]float64, nq)
-			cutoffs := make([]float64, nq)
-			thrs := make([]float64, nq)
-			inf := math.Inf(1)
-			exact := dim <= mat.KernelBlock
-			for i := lo; i < hi; i++ {
-				if s.skip(i, exclude) {
-					continue
-				}
-				// Per-concept cutoffs are loaded once per bag, exactly as a
-				// standalone TopK worker passes its cutoff into bagDist.
-				// thrs caches min(bag best, cutoff) — the abandon threshold
-				// the kernel compares against — and is refreshed only when a
-				// concept's bag best improves. Non-prunable concepts keep
-				// thr = +Inf so no row is ever abandoned for them.
-				for qi := range qs {
-					c := shared[qi].load()
-					if h := hs[qi]; len(h) == k && h[0].Dist < c {
-						c = h[0].Dist
-					}
-					cutoffs[qi] = c
-					bests[qi] = inf
-					if prune[qi] {
-						thrs[qi] = c
-					} else {
-						thrs[qi] = inf
-					}
-				}
-				// One pass per row: the fused kernel screens every concept's
-				// first block while the row is register/L1-hot and reports
-				// survivors in a bitmask, so a row no concept wants costs
-				// one call and one branch. Survivors pay for a full
-				// (bit-identical) kernel evaluation. The decisions and
-				// values reproduce bagDist exactly: same thresholds, same
-				// block boundaries, same accumulation.
-				lo2, hi2 := s.bagOffsets[i], s.bagOffsets[i+1]
-				for r := lo2; r < hi2; r++ {
-					row := s.data[r*dim : (r+1)*dim]
-					m := mat.WeightedSqDistFirstBlock(pblk, wblk, nq, row, thrs, screen)
-					for ; m != 0; m &= m - 1 {
-						qi := bits.TrailingZeros64(m)
-						d := screen[qi]
-						if !exact {
-							// Resume the kernel after the screened first
-							// block — bit-identical to evaluating the row
-							// from scratch.
-							var abandoned bool
-							d, abandoned = mat.WeightedSqDistResume(
-								qs[qi].Point, row, qs[qi].Weights, mat.KernelBlock, d, thrs[qi])
-							if abandoned {
-								continue
-							}
-						}
-						if d < bests[qi] {
-							bests[qi] = d
-							if prune[qi] && cutoffs[qi] > d {
-								thrs[qi] = d
-							}
-						}
-					}
-				}
-				for qi := range qs {
-					hs[qi].offer(Result{ID: s.ids[i], Label: s.labels[i], Dist: bests[qi]}, k, shared[qi])
-				}
-			}
-			heaps[w] = hs
-		}(w, lo, hi)
-	}
-	wg.Wait()
-
-	for qi := range qs {
-		merged := make([]Result, 0, par*k)
-		for _, hs := range heaps {
-			if hs != nil {
-				merged = append(merged, hs[qi]...)
-			}
-		}
-		outs[qi] = merged
 	}
 	return outs
 }

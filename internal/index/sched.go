@@ -1,0 +1,533 @@
+// The work-stealing scan scheduler. Every scan — single snapshot or
+// sharded, exhaustive or top-k, one query or a batch — runs on the same
+// core: the bag ranges of all non-empty shards are cut into chunks, the
+// chunks go into one global list, and min(par, len(chunks)) workers claim
+// chunks off a shared atomic cursor until the list is empty.
+//
+// This replaces the old static split (each shard granted par/N workers,
+// each worker granted an n/par range). The static budget stranded cores
+// whenever shards were few or skewed: a finished shard's workers went
+// idle while a big shard's fixed crew kept grinding. With one chunk list
+// there is nothing to strand — intra-shard splitting and cross-shard
+// stealing both fall out of workers claiming whatever chunk is next,
+// and the tail of a scan is bounded by one chunk, not one shard.
+//
+// Scheduling is invisible in the output. Rank writes each bag's exact
+// distance into a per-shard slice (disjoint ranges, no coordination) and
+// emits candidates in shard order afterwards. Top-k workers keep size-k
+// heaps that span shards and share the same atomic k-th-best cutoff as
+// before; any global top-k member is among the k best of whatever subset
+// of bags its worker scanned, so it survives its worker's heap, while
+// pruned bags report overshot distances strictly above the cutoff —
+// which is itself an upper bound on the global k-th best — so overshoot
+// entries sort strictly after every true top-k member and can never
+// displace one, ties included. The final sort-and-truncate therefore
+// returns bit-identical results for any chunking, any worker count, and
+// any claim interleaving (property-tested against the naive scan in
+// sharded_test.go).
+package index
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"milret/internal/mat"
+)
+
+// chunkSpan is one unit of claimable scan work: bags [lo, hi) of shard si.
+type chunkSpan struct{ si, lo, hi int }
+
+// chunkTarget picks the chunk size for a scan of total bags at parallelism
+// par: about eight claims per worker — plenty of stealing granularity to
+// level skew — clamped so tiny scans are not shredded into claim overhead
+// and huge single-threaded scans still refresh their shared-cutoff view at
+// a reasonable cadence.
+func chunkTarget(total, par int) int {
+	c := total / (par * 8)
+	if c < 32 {
+		c = 32
+	}
+	if c > 2048 {
+		c = 2048
+	}
+	return c
+}
+
+// scanChunks cuts every non-empty shard's bag range into chunkTarget-sized
+// spans, in shard order.
+func scanChunks(shards []Snapshot, par int) []chunkSpan {
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+	}
+	if total == 0 {
+		return nil
+	}
+	target := chunkTarget(total, par)
+	chunks := make([]chunkSpan, 0, total/target+len(shards))
+	for si, s := range shards {
+		n := s.Len()
+		for lo := 0; lo < n; lo += target {
+			hi := lo + target
+			if hi > n {
+				hi = n
+			}
+			chunks = append(chunks, chunkSpan{si: si, lo: lo, hi: hi})
+		}
+	}
+	return chunks
+}
+
+// Scan-worker accounting. liveScanWorkers counts scan goroutines currently
+// running; peakScanWorkers keeps the high-water mark (CAS max) so tests can
+// assert the scheduler never exceeds the caller's parallelism budget, no
+// matter the shard count or skew. The counters cost a few atomic ops per
+// worker lifetime, not per bag.
+var (
+	liveScanWorkers atomic.Int64
+	peakScanWorkers atomic.Int64
+)
+
+// resetScanWorkerPeak clears the high-water mark (testing hook).
+func resetScanWorkerPeak() { peakScanWorkers.Store(liveScanWorkers.Load()) }
+
+func enterScanWorker() {
+	live := liveScanWorkers.Add(1)
+	for {
+		peak := peakScanWorkers.Load()
+		if live <= peak || peakScanWorkers.CompareAndSwap(peak, live) {
+			return
+		}
+	}
+}
+
+func exitScanWorker() { liveScanWorkers.Add(-1) }
+
+// runChunked executes the chunk list on min(par, len(chunks)) workers, each
+// repeatedly claiming the next unclaimed chunk. worker receives its dense
+// index (for per-worker state like heaps) and the claim function; it must
+// call claim until the list is exhausted. The spawn count — not a floor per
+// shard — is what guarantees in-flight scan goroutines never exceed par.
+func runChunked(par int, chunks []chunkSpan, worker func(w int, claim func() (chunkSpan, bool))) int {
+	nw := par
+	if nw > len(chunks) {
+		nw = len(chunks)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	var next atomic.Int64
+	claim := func() (chunkSpan, bool) {
+		c := int(next.Add(1)) - 1
+		if c >= len(chunks) {
+			return chunkSpan{}, false
+		}
+		return chunks[c], true
+	}
+	if nw == 1 {
+		// Degenerate single worker: run inline, no goroutine or WaitGroup.
+		enterScanWorker()
+		worker(0, claim)
+		exitScanWorker()
+		return 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			enterScanWorker()
+			defer exitScanWorker()
+			worker(w, claim)
+		}(w)
+	}
+	wg.Wait()
+	return nw
+}
+
+// scanRankDists computes every live, non-excluded bag's exact distance into
+// per-shard slices (excluded/tombstoned bags get +Inf). Chunks touch
+// disjoint ranges, so workers write without coordination.
+func scanRankDists(shards []Snapshot, q Query, exclude map[string]bool, par int) [][]float64 {
+	for _, s := range shards {
+		if s.Len() > 0 {
+			q.check(s.dim)
+		}
+	}
+	prune := q.prunable()
+	dists := make([][]float64, len(shards))
+	for si, s := range shards {
+		dists[si] = make([]float64, s.Len())
+	}
+	chunks := scanChunks(shards, par)
+	runChunked(par, chunks, func(_ int, claim func() (chunkSpan, bool)) {
+		for {
+			c, ok := claim()
+			if !ok {
+				return
+			}
+			s := shards[c.si]
+			d := dists[c.si]
+			for i := c.lo; i < c.hi; i++ {
+				if s.skip(i, exclude) {
+					d[i] = math.Inf(1)
+					continue
+				}
+				d[i] = s.bagDist(q, i, math.Inf(1), prune)
+			}
+		}
+	})
+	return dists
+}
+
+// scanRankCandidates is the exhaustive scan: every live, non-excluded bag
+// scored exactly, candidates emitted in shard-then-bag order (the callers
+// sort, so only determinism matters, not the order itself).
+func scanRankCandidates(shards []Snapshot, q Query, exclude map[string]bool, par int) []Result {
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+	}
+	if total == 0 {
+		return nil
+	}
+	dists := scanRankDists(shards, q, exclude, par)
+	results := make([]Result, 0, total)
+	for si, s := range shards {
+		for i := 0; i < s.Len(); i++ {
+			if s.skip(i, exclude) {
+				continue
+			}
+			results = append(results, Result{ID: s.ids[i], Label: s.labels[i], Dist: dists[si][i]})
+		}
+	}
+	return results
+}
+
+// scanTopKCandidates runs the chunk-claiming top-k scan over the shards and
+// returns the merged (unsorted) contents of the per-worker heaps. Workers'
+// heaps span shards; the shared cutoff spans everything, exactly as the
+// per-shard worker crews shared it before. The caller sorts and truncates.
+// scanTopKChunkScreened scans bags [c.lo, c.hi) of one shard through the
+// packed first-block screen. Windows of up to mat.HeadScreenMaxRows rows
+// spanning whole live bags are screened in one call against a cutoff
+// snapshot — sums and survivors computed from the sequential heads stream,
+// survivor rows prefetched by the screen itself — and the canonical
+// per-bag decision sequence is then replayed exactly: each survivor's
+// block-0 sum is re-checked against the evolving min(best-in-bag, cutoff)
+// before the remaining dimensions resume through the shared kernel, so
+// every bag distance carries the same bits Snapshot.bagDist produces. The
+// screen's cutoff snapshot is merely a stale (hence looser) read of the
+// shared cutoff — exactly what a worker that refreshed less often would
+// use — so the scan's exactness argument is unchanged.
+func scanTopKChunkScreened(s *Snapshot, c chunkSpan, q Query, k int, exclude map[string]bool, shared *sharedCutoff, h *resultMaxHeap) {
+	// A screened window: bags [start, end) covering rows [r0, r0+m), the
+	// cutoff snapshot the screen ran against, and the survivor mask. m == 0
+	// marks a single bag wider than the screen's mask that is scored
+	// directly. Two windows are kept in flight — screen window W+1, then
+	// resume window W's survivors — so the row prefetches the screen
+	// issues get a full extra window of shadow before the resume pass
+	// demands the lines.
+	type window struct {
+		start, end int
+		r0, m      int
+		cutoff     float64
+		mask       uint64
+	}
+	dim := s.dim
+	var sums [2][mat.HeadScreenMaxRows]float64
+	var pend window
+	pendBuf, pendValid := 0, false
+
+	// resume replays the canonical per-bag decision sequence over one
+	// screened window: survivor block-0 sums re-checked against the exact
+	// evolving min(best-in-bag, cutoff), remaining dimensions through the
+	// shared kernel, so each bag distance carries Snapshot.bagDist's bits.
+	resume := func(win window, buf int) {
+		if win.m == 0 {
+			d := s.bagDist(q, win.start, win.cutoff, true)
+			if len(*h) != k || !(d > (*h)[0].Dist) {
+				h.offer(Result{ID: s.ids[win.start], Label: s.labels[win.start], Dist: d}, k, shared)
+			}
+			return
+		}
+		for b := win.start; b < win.end; b++ {
+			lo, hi := s.bagOffsets[b], s.bagOffsets[b+1]
+			// Only survivor bits are walked: a screened-out row's block-0
+			// sum exceeds the cutoff snapshot ≥ every exact threshold, the
+			// same abandon the canonical loop takes at block 0 — and on a
+			// warm scan that is nearly every row of nearly every bag.
+			bagMask := win.mask >> uint(lo-win.r0)
+			if n := hi - lo; n < 64 {
+				bagMask &= uint64(1)<<uint(n) - 1
+			}
+			best := math.Inf(1)
+			for bagMask != 0 {
+				j := bits.TrailingZeros64(bagMask)
+				bagMask &= bagMask - 1
+				r := lo + j
+				thr := best
+				if win.cutoff < thr {
+					thr = win.cutoff
+				}
+				sum := sums[buf][r-win.r0]
+				if sum > thr {
+					continue
+				}
+				got, abandoned := mat.WeightedSqDistResume(q.Point, s.data[r*dim:(r+1)*dim], q.Weights,
+					mat.KernelBlock, sum, thr)
+				if abandoned {
+					continue
+				}
+				if got < best {
+					best = got
+				}
+			}
+			if len(*h) == k && best > (*h)[0].Dist {
+				// Same fast-path as the plain loop: strictly worse than
+				// this worker's k-th best, offer would reject it.
+				continue
+			}
+			h.offer(Result{ID: s.ids[b], Label: s.labels[b], Dist: best}, k, shared)
+		}
+	}
+
+	for bi := c.lo; ; {
+		// Gather the next window of consecutive live bags, capped at the
+		// screen's mask width.
+		for bi < c.hi && s.skip(bi, exclude) {
+			bi++
+		}
+		if bi >= c.hi {
+			break
+		}
+		cutoff := shared.load()
+		if len(*h) == k && (*h)[0].Dist < cutoff {
+			cutoff = (*h)[0].Dist
+		}
+		win := window{start: bi, r0: s.bagOffsets[bi], cutoff: cutoff}
+		for bi < c.hi && !s.skip(bi, exclude) {
+			n := s.bagOffsets[bi+1] - s.bagOffsets[bi]
+			if win.m+n > mat.HeadScreenMaxRows {
+				break
+			}
+			win.m += n
+			bi++
+		}
+		if win.m == 0 {
+			bi++ // single oversized bag; resume scores it via bagDist
+		}
+		win.end = bi
+		buf := 1 - pendBuf
+		if win.m > 0 {
+			win.mask = mat.HeadScreen(q.Point, q.Weights,
+				s.rowBlk[win.r0*mat.KernelBlock:(win.r0+win.m)*mat.KernelBlock],
+				s.data[win.r0*dim:(win.r0+win.m)*dim], cutoff, sums[buf][:win.m])
+		}
+		if pendValid {
+			resume(pend, pendBuf)
+		}
+		pend, pendBuf, pendValid = win, buf, true
+	}
+	if pendValid {
+		resume(pend, pendBuf)
+	}
+}
+
+func scanTopKCandidates(shards []Snapshot, q Query, k int, exclude map[string]bool, par int, shared *sharedCutoff) []Result {
+	for _, s := range shards {
+		if s.Len() > 0 {
+			q.check(s.dim)
+		}
+	}
+	prune := q.prunable()
+	chunks := scanChunks(shards, par)
+	if len(chunks) == 0 {
+		return nil
+	}
+	nw := par
+	if nw > len(chunks) {
+		nw = len(chunks)
+	}
+	heaps := make([]resultMaxHeap, nw)
+	runChunked(par, chunks, func(w int, claim func() (chunkSpan, bool)) {
+		h := make(resultMaxHeap, 0, k)
+		for {
+			c, ok := claim()
+			if !ok {
+				break
+			}
+			s := shards[c.si]
+			if prune && len(s.rowBlk) > 0 {
+				// Pruned scans over a block with packed first blocks go
+				// through the batched screen: sequential heads traffic for
+				// the abandoned majority, scattered row reads only for
+				// block-0 survivors.
+				scanTopKChunkScreened(&s, c, q, k, exclude, shared, &h)
+				continue
+			}
+			for i := c.lo; i < c.hi; i++ {
+				if s.skip(i, exclude) {
+					continue
+				}
+				// Prune against the tightest published k-th best. Equality
+				// is never pruned, preserving ID tie-breaks at the top-k
+				// boundary. A bag pruned here may report an overshot (but
+				// still exact-per-instance) distance > cutoff; such entries
+				// cannot displace a true top-k member in the final merge.
+				cutoff := shared.load()
+				if len(h) == k && h[0].Dist < cutoff {
+					cutoff = h[0].Dist
+				}
+				d := s.bagDist(q, i, cutoff, prune)
+				if len(h) == k && d > h[0].Dist {
+					// Strictly worse than this worker's k-th best: offer
+					// would reject it (ties still go through offer for the
+					// ID tie-break), so skip the call and the Result build —
+					// on a warm scan that is nearly every bag.
+					continue
+				}
+				h.offer(Result{ID: s.ids[i], Label: s.labels[i], Dist: d}, k, shared)
+			}
+		}
+		heaps[w] = h
+	})
+	merged := make([]Result, 0, nw*k)
+	for _, h := range heaps {
+		merged = append(merged, h...)
+	}
+	return merged
+}
+
+// scanMultiTopKCandidates is the batched (multi-query) counterpart: one
+// chunk-claiming pass in which every bag row is screened against all
+// queries' first blocks while it is cache-hot. Per worker, per query, a
+// size-k heap spanning shards; per query, a shared cutoff spanning
+// everything. len(qs) must not exceed mat.ScreenMaxConcepts (callers
+// chunk). The caller sorts and truncates each query's merged candidates.
+func scanMultiTopKCandidates(shards []Snapshot, qs []Query, k int, exclude map[string]bool, par int, shared []*sharedCutoff) [][]Result {
+	nq := len(qs)
+	dim := 0
+	for _, s := range shards {
+		if s.Len() > 0 {
+			for _, q := range qs {
+				q.check(s.dim)
+			}
+			dim = s.dim
+		}
+	}
+	outs := make([][]Result, nq)
+	chunks := scanChunks(shards, par)
+	if len(chunks) == 0 {
+		return outs
+	}
+	prune := make([]bool, nq)
+	points := make([][]float64, nq)
+	weights := make([][]float64, nq)
+	for qi, q := range qs {
+		prune[qi] = q.prunable()
+		points[qi] = q.Point
+		weights[qi] = q.Weights
+	}
+	// Pack the concepts' first blocks compactly for the fused screening
+	// kernel; built once, read-only across workers.
+	pblk, wblk := mat.ScreenBlocks(points, weights)
+	nw := par
+	if nw > len(chunks) {
+		nw = len(chunks)
+	}
+	// heaps[w][qi] is worker w's current best-k for query qi.
+	heaps := make([][]resultMaxHeap, nw)
+	runChunked(par, chunks, func(w int, claim func() (chunkSpan, bool)) {
+		hs := make([]resultMaxHeap, nq)
+		for qi := range hs {
+			hs[qi] = make(resultMaxHeap, 0, k)
+		}
+		screen := make([]float64, nq)
+		bests := make([]float64, nq)
+		cutoffs := make([]float64, nq)
+		thrs := make([]float64, nq)
+		inf := math.Inf(1)
+		exact := dim <= mat.KernelBlock
+		for {
+			c, ok := claim()
+			if !ok {
+				break
+			}
+			s := shards[c.si]
+			for i := c.lo; i < c.hi; i++ {
+				if s.skip(i, exclude) {
+					continue
+				}
+				// Per-concept cutoffs are loaded once per bag, exactly as a
+				// standalone TopK worker passes its cutoff into bagDist.
+				// thrs caches min(bag best, cutoff) — the abandon threshold
+				// the kernel compares against — and is refreshed only when a
+				// concept's bag best improves. Non-prunable concepts keep
+				// thr = +Inf so no row is ever abandoned for them.
+				for qi := range qs {
+					cu := shared[qi].load()
+					if h := hs[qi]; len(h) == k && h[0].Dist < cu {
+						cu = h[0].Dist
+					}
+					cutoffs[qi] = cu
+					bests[qi] = inf
+					if prune[qi] {
+						thrs[qi] = cu
+					} else {
+						thrs[qi] = inf
+					}
+				}
+				// One pass per row: the fused kernel screens every concept's
+				// first block while the row is register/L1-hot and reports
+				// survivors in a bitmask, so a row no concept wants costs
+				// one call and one branch. Survivors pay for a full
+				// (bit-identical) kernel evaluation. The decisions and
+				// values reproduce bagDist exactly: same thresholds, same
+				// block boundaries, same accumulation.
+				lo2, hi2 := s.bagOffsets[i], s.bagOffsets[i+1]
+				for r := lo2; r < hi2; r++ {
+					row := s.data[r*dim : (r+1)*dim]
+					m := mat.WeightedSqDistFirstBlock(pblk, wblk, nq, row, thrs, screen)
+					for ; m != 0; m &= m - 1 {
+						qi := bits.TrailingZeros64(m)
+						d := screen[qi]
+						if !exact {
+							// Resume the kernel after the screened first
+							// block — bit-identical to evaluating the row
+							// from scratch.
+							var abandoned bool
+							d, abandoned = mat.WeightedSqDistResume(
+								qs[qi].Point, row, qs[qi].Weights, mat.KernelBlock, d, thrs[qi])
+							if abandoned {
+								continue
+							}
+						}
+						if d < bests[qi] {
+							bests[qi] = d
+							if prune[qi] && cutoffs[qi] > d {
+								thrs[qi] = d
+							}
+						}
+					}
+				}
+				for qi := range qs {
+					hs[qi].offer(Result{ID: s.ids[i], Label: s.labels[i], Dist: bests[qi]}, k, shared[qi])
+				}
+			}
+		}
+		heaps[w] = hs
+	})
+	for qi := range qs {
+		merged := make([]Result, 0, nw*k)
+		for _, hs := range heaps {
+			if hs != nil {
+				merged = append(merged, hs[qi]...)
+			}
+		}
+		outs[qi] = merged
+	}
+	return outs
+}

@@ -1,38 +1,41 @@
 // Sharded scans: a sharded database's scoring state is N independent
 // Indexes, each with its own flat block and tombstone mask, and a scan view
-// over it is one Snapshot per shard. Fan-out reuses the single-block scan
-// machinery wholesale — each shard runs the same worker loops over its own
-// block — and the shards cooperate exactly the way workers inside one block
-// already do:
+// over it is one Snapshot per shard. Scans run on the unified work-stealing
+// scheduler (sched.go): every shard's bag range is cut into chunks in one
+// global list, and min(par, chunks) workers claim chunks wherever they are —
+// a worker that drains a small shard immediately steals work from a big
+// one, so skewed or few shards never strand cores, and the total worker
+// count never exceeds the caller's budget. The shards cooperate exactly the
+// way workers inside one block already do:
 //
-//   - Top-k scans share one atomic cutoff (per query) across every shard's
-//     workers. A published k-th best is always the k-th smallest of a subset
-//     of the global candidate set, hence an upper bound on the global k-th
-//     best, so pruning against it is exact no matter which shard published
-//     it. Sharding is therefore invisible in the output: distances and ID
+//   - Top-k scans share one atomic cutoff (per query) across every worker.
+//     A published k-th best is always the k-th smallest of a subset of the
+//     global candidate set, hence an upper bound on the global k-th best,
+//     so pruning against it is exact no matter which shard published it.
+//     Sharding is therefore invisible in the output: distances and ID
 //     tie-breaks are bit-identical to scanning one block holding all bags
 //     (property-tested in sharded_test.go).
 //
-//   - Each shard's workers merge into per-shard candidate lists; the final
-//     sort-and-truncate over the concatenation is the same merge the
-//     single-block scan does over its per-worker heaps.
+//   - Workers merge into per-worker candidate heaps spanning shards; the
+//     final sort-and-truncate over the concatenation is the same merge the
+//     single-block scan does.
 //
 // This is the distribution seam: a shard is just a Snapshot plus the top-k
-// merge, so the same fan-out runs shards across cores today and across NUMA
-// nodes or machines later.
+// merge, so the same scheduler runs shards across cores today and across
+// NUMA nodes or machines later.
 package index
 
 import (
 	"runtime"
-	"sync"
 
 	"milret/internal/mat"
 )
 
 // Sharded is a consistent scan view over the shards of a sharded database:
-// element i is shard i's Snapshot. Scans fan out one goroutine per shard and
-// merge the per-shard candidates; results are bit-identical to the same scan
-// over a single block holding all the bags. Empty shards are skipped.
+// element i is shard i's Snapshot. Scans schedule chunks of every shard
+// onto one worker pool and merge the per-worker candidates; results are
+// bit-identical to the same scan over a single block holding all the bags.
+// Empty shards contribute no chunks.
 type Sharded []Snapshot
 
 // Bags returns the total bag count across shards, tombstoned ones included.
@@ -54,7 +57,7 @@ func (sh Sharded) Instances() int {
 }
 
 // resolvePar resolves a requested scan parallelism (0 = NumCPU) once, so
-// the fan-out math splits one concrete budget.
+// every scan core works with one concrete worker budget.
 func resolvePar(par int) int {
 	if par <= 0 {
 		par = runtime.NumCPU()
@@ -65,45 +68,6 @@ func resolvePar(par int) int {
 	return par
 }
 
-// perShardWorkers splits a total worker budget across the shards: each shard
-// scans with its own slice of the budget so the fan-out does not multiply
-// the requested parallelism by the shard count.
-func (sh Sharded) perShardWorkers(par int) int {
-	per := par / len(sh)
-	if per < 1 {
-		per = 1
-	}
-	return per
-}
-
-// fanOut runs fn(i) for every non-empty shard with at most conc shards in
-// flight, so the total goroutine count honors the caller's parallelism
-// budget even when it is smaller than the shard count (shards beyond the
-// budget are scanned as earlier ones finish).
-func (sh Sharded) fanOut(conc int, fn func(i int)) {
-	if conc > len(sh) {
-		conc = len(sh)
-	}
-	idx := make(chan int, len(sh))
-	for i := range sh {
-		if sh[i].Len() > 0 {
-			idx <- i
-		}
-	}
-	close(idx)
-	var wg sync.WaitGroup
-	for w := 0; w < conc; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
 // Rank scores every live, non-excluded bag in every shard exactly and
 // returns the full ascending ranking with ties broken by ID — the same
 // output Snapshot.Rank produces over one block holding all the bags.
@@ -111,29 +75,16 @@ func (sh Sharded) Rank(q Query, exclude map[string]bool, par int) []Result {
 	if len(sh) == 0 {
 		return normalizeEmpty(nil)
 	}
-	if len(sh) == 1 {
-		return sh[0].Rank(q, exclude, par)
-	}
-	par = resolvePar(par)
-	per := sh.perShardWorkers(par)
-	cands := make([][]Result, len(sh))
-	sh.fanOut(par, func(i int) {
-		cands[i] = sh[i].rankCandidates(q, exclude, per)
-	})
-	merged := make([]Result, 0, sh.Bags())
-	for _, c := range cands {
-		merged = append(merged, c...)
-	}
+	merged := scanRankCandidates(sh, q, exclude, resolvePar(par))
 	sortResults(merged)
 	return normalizeEmpty(merged)
 }
 
 // TopK returns the k best live, non-excluded bags across all shards in
-// ascending order, bit-identical to Snapshot.TopK over a single block: the
-// shards share one atomic k-th-best cutoff (see the package comment for why
-// cross-shard pruning is exact) and the per-shard candidate heaps are merged
-// by the same sort-and-truncate a single-block scan applies to its worker
-// heaps.
+// ascending order, bit-identical to Snapshot.TopK over a single block: all
+// workers share one atomic k-th-best cutoff (see the package comment for
+// why cross-shard pruning is exact) and the per-worker candidate heaps are
+// merged by the same sort-and-truncate a single-block scan applies.
 func (sh Sharded) TopK(q Query, k int, exclude map[string]bool, par int) []Result {
 	if k <= 0 {
 		return nil
@@ -147,17 +98,7 @@ func (sh Sharded) TopK(q Query, k int, exclude map[string]bool, par int) []Resul
 	if sh.Bags() == 0 {
 		return normalizeEmpty(nil)
 	}
-	shared := newSharedCutoff()
-	par = resolvePar(par)
-	per := sh.perShardWorkers(par)
-	cands := make([][]Result, len(sh))
-	sh.fanOut(par, func(i int) {
-		cands[i] = sh[i].topKCandidates(q, k, exclude, per, shared)
-	})
-	merged := make([]Result, 0, len(sh)*k)
-	for _, c := range cands {
-		merged = append(merged, c...)
-	}
+	merged := scanTopKCandidates(sh, q, k, exclude, resolvePar(par), newSharedCutoff())
 	sortResults(merged)
 	if len(merged) > k {
 		merged = merged[:k]
@@ -165,10 +106,10 @@ func (sh Sharded) TopK(q Query, k int, exclude map[string]bool, par int) []Resul
 	return normalizeEmpty(merged)
 }
 
-// MultiTopK scores B queries against every shard in one batched pass per
-// shard and returns, per query, exactly the results TopK would return for
-// it. Each query keeps one shared cutoff spanning all shards, so the
-// batched fan-out prunes as tightly as the single-block batched scan.
+// MultiTopK scores B queries against every shard in one batched
+// chunk-claiming pass and returns, per query, exactly the results TopK
+// would return for it. Each query keeps one shared cutoff spanning all
+// shards, so the batched scan prunes as tightly as the single-block one.
 func (sh Sharded) MultiTopK(qs []Query, k int, exclude map[string]bool, par int) [][]Result {
 	nq := len(qs)
 	if nq == 0 {
@@ -203,19 +144,8 @@ func (sh Sharded) MultiTopK(qs []Query, k int, exclude map[string]bool, par int)
 	for qi := range shared {
 		shared[qi] = newSharedCutoff()
 	}
-	par = resolvePar(par)
-	per := sh.perShardWorkers(par)
-	cands := make([][][]Result, len(sh)) // [shard][query] unsorted candidates
-	sh.fanOut(par, func(i int) {
-		cands[i] = sh[i].multiTopKCandidates(qs, k, exclude, per, shared)
-	})
-	for qi := range qs {
-		merged := make([]Result, 0, len(sh)*k)
-		for _, shardCands := range cands {
-			if shardCands != nil {
-				merged = append(merged, shardCands[qi]...)
-			}
-		}
+	cands := scanMultiTopKCandidates(sh, qs, k, exclude, resolvePar(par), shared)
+	for qi, merged := range cands {
 		sortResults(merged)
 		if len(merged) > k {
 			merged = merged[:k]

@@ -1,0 +1,366 @@
+//go:build !purego
+
+// AVX2 implementations of the blocked weighted-squared-distance kernel
+// loops. Every instruction sequence here transcribes the canonical scalar
+// block body in kernel.go one operation at a time — the contract is
+// bit-identical results, so the shape of the code is dictated by the
+// scalar loops, not by what would be fastest in isolation:
+//
+//   - one 4-dimension block per iteration (KernelBlock), threshold check
+//     after every block: d = v − u (VSUBPD), then the products as
+//     (w*d)*d — two separate VMULPDs in that association; FMA would fuse
+//     the multiply-add with a single rounding and change the bits, so no
+//     VFMADD anywhere;
+//   - the lane fold reproduces the scalar (s0,s1) strided pairing:
+//     lanes (0,2) and (1,3) are summed pairwise (VEXTRACTF128+VADDPD
+//     gives [l0+l2, l1+l3] = [s0, s1]), then s0+s1, then sum += that —
+//     the exact adds, in the exact order, of the scalar body;
+//   - the trailing dim%4 dimensions accumulate sequentially into their
+//     own register (X3), added to the sum once, then one threshold
+//     check — mirroring tailSqDist;
+//   - comparisons use VUCOMISD with the branch arranged so the condition
+//     is an "above"-style test taken only on an ordered compare: Go's
+//     `sum > thr` is false for NaN, and JA after UCOMISD is likewise not
+//     taken on unordered, so NaN inputs abandon/update exactly as the
+//     scalar code does. `a < b` sites are flipped to `b > a` form for
+//     the same reason.
+//
+// Only VEX-encoded instructions are used (including the scalar tail ops
+// and register moves) so the ymm pipeline never mixes with legacy SSE
+// encodings, and VZEROUPPER precedes every RET to keep subsequent SSE
+// code (the rest of the Go program) off the state-transition penalty.
+
+#include "textflag.h"
+
+// func wsqResumeAVX2(v, u, w *float64, n, start int, sum, thr float64) (out float64, abandoned bool)
+//
+// Single-vector loop: weightedSqDistResume. Caller guarantees
+// 0 <= start < n, start a multiple of KernelBlock, and n-length buffers.
+TEXT ·wsqResumeAVX2(SB), NOSPLIT, $0-65
+	MOVQ v+0(FP), SI
+	MOVQ u+8(FP), DX
+	MOVQ w+16(FP), DI
+	MOVQ n+24(FP), CX
+	MOVQ start+32(FP), BX
+	VMOVSD sum+40(FP), X8
+	VMOVSD thr+48(FP), X9
+	SHLQ $3, CX  // total bytes
+	SHLQ $3, BX  // cursor: start*8
+	MOVQ CX, R14
+	ANDQ $-32, R14 // tail start: (n &^ 3) * 8
+
+blockLoop:
+	CMPQ BX, R14
+	JGE  tailStart
+	VMOVUPD (SI)(BX*1), Y0 // v block
+	VMOVUPD (DX)(BX*1), Y1 // u block
+	VMOVUPD (DI)(BX*1), Y2 // w block
+	VSUBPD  Y1, Y0, Y0     // d = v - u
+	VMULPD  Y0, Y2, Y2     // w * d
+	VMULPD  Y0, Y2, Y0     // (w*d) * d
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD  X1, X0, X0     // [l0+l2, l1+l3] = [s0, s1]
+	VUNPCKHPD X0, X0, X1   // [s1, s1]
+	VADDSD  X1, X0, X0     // s0 + s1
+	VADDSD  X0, X8, X8     // sum += s0 + s1
+	ADDQ    $32, BX
+	VUCOMISD X9, X8        // sum > thr? (unordered: not taken)
+	JA      abandon
+	JMP     blockLoop
+
+tailStart:
+	CMPQ BX, CX
+	JGE  done
+	VXORPD X3, X3, X3 // tail accumulator s
+
+tailLoop:
+	VMOVSD (SI)(BX*1), X0
+	VMOVSD (DX)(BX*1), X1
+	VMOVSD (DI)(BX*1), X2
+	VSUBSD X1, X0, X0 // d = v - u
+	VMULSD X0, X2, X2 // w * d
+	VMULSD X0, X2, X0 // (w*d) * d
+	VADDSD X0, X3, X3 // s += term
+	ADDQ   $8, BX
+	CMPQ   BX, CX
+	JL     tailLoop
+	VADDSD X3, X8, X8 // sum += s, then one check
+	VUCOMISD X9, X8
+	JA     abandon
+
+done:
+	VMOVSD X8, out+56(FP)
+	MOVB   $0, abandoned+64(FP)
+	VZEROUPPER
+	RET
+
+abandon:
+	VMOVSD X8, out+56(FP)
+	MOVB   $1, abandoned+64(FP)
+	VZEROUPPER
+	RET
+
+// func minRowsAVX2(p, w, rows *float64, dim, nRows int, cutoff float64, prune bool) float64
+//
+// Whole-rows loop: MinWeightedSqDistRows. Caller guarantees dim >= 1 and
+// nRows >= 1. The query's first two blocks (p/w dims 0..7) are hoisted
+// into Y12..Y15 across the row loop: most rows abandon at the very first
+// threshold check, so the dominant cost of a row is its first block, and
+// keeping the query resident halves its loads.
+TEXT ·minRowsAVX2(SB), NOSPLIT, $0-64
+	MOVQ p+0(FP), SI
+	MOVQ w+8(FP), DI
+	MOVQ rows+16(FP), DX
+	MOVQ dim+24(FP), CX
+	MOVQ nRows+32(FP), R9
+	VMOVSD  cutoff+40(FP), X10
+	MOVBLZX prune+48(FP), R13
+	SHLQ $3, CX    // row stride / total bytes
+	MOVQ CX, R14
+	ANDQ $-32, R14 // tail start offset
+	LEAQ (CX)(CX*8), R15 // prefetch distance: 9 rows ahead
+	MOVQ $0x7FF0000000000000, AX
+	MOVQ AX, X11   // best = +Inf
+	MOVQ AX, X7    // keep +Inf handy for thr
+	CMPQ R14, $0
+	JE   rowLoop   // dim < 4: no full blocks to hoist
+	VMOVUPD (SI), Y12 // p[0:4]
+	VMOVUPD (DI), Y13 // w[0:4]
+	CMPQ R14, $64
+	JL   rowLoop
+	VMOVUPD 32(SI), Y14 // p[4:8]
+	VMOVUPD 32(DI), Y15 // w[4:8]
+
+rowLoop:
+	// Pull the next rows' leading cache line while this row computes: the
+	// dominant scan profile abandons almost every row at its first block,
+	// which reads only the first 32 bytes of each stride-dim*8 row — a
+	// pattern whose effective latency is DRAM, not the kernel. A prefetch
+	// is a hint (never faults), so reaching past the rows block is safe
+	// and the results are untouched.
+	PREFETCHT0 (DX)(R15*1)
+	// thr = prune ? min(best, cutoff) : +Inf — scalar form:
+	// thr := best; if cutoff < thr { thr = cutoff }, NaN-exact.
+	TESTL R13, R13
+	JZ    thrInf
+	VMOVAPD X11, X9
+	VUCOMISD X10, X9 // thr > cutoff? (unordered: keep best)
+	JBE   thrDone
+	VMOVAPD X10, X9
+	JMP   thrDone
+
+thrInf:
+	VMOVAPD X7, X9
+
+thrDone:
+	VXORPD X8, X8, X8 // sum = 0
+	XORQ   BX, BX
+	CMPQ   R14, $0
+	JE     rowTail
+
+	// block 0, query from Y12/Y13
+	VMOVUPD (DX), Y1
+	VSUBPD  Y1, Y12, Y0
+	VMULPD  Y0, Y13, Y2
+	VMULPD  Y0, Y2, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD  X1, X0, X0
+	VUNPCKHPD X0, X0, X1
+	VADDSD  X1, X0, X0
+	VADDSD  X0, X8, X8
+	MOVQ    $32, BX
+	VUCOMISD X9, X8
+	JA      rowNext
+	CMPQ    R14, $64
+	JL      rowBlocks
+
+	// block 1, query from Y14/Y15
+	VMOVUPD 32(DX), Y1
+	VSUBPD  Y1, Y14, Y0
+	VMULPD  Y0, Y15, Y2
+	VMULPD  Y0, Y2, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD  X1, X0, X0
+	VUNPCKHPD X0, X0, X1
+	VADDSD  X1, X0, X0
+	VADDSD  X0, X8, X8
+	MOVQ    $64, BX
+	VUCOMISD X9, X8
+	JA      rowNext
+
+rowBlocks:
+	CMPQ BX, R14
+	JGE  rowTail
+	VMOVUPD (SI)(BX*1), Y0
+	VMOVUPD (DX)(BX*1), Y1
+	VMOVUPD (DI)(BX*1), Y2
+	VSUBPD  Y1, Y0, Y0
+	VMULPD  Y0, Y2, Y2
+	VMULPD  Y0, Y2, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD  X1, X0, X0
+	VUNPCKHPD X0, X0, X1
+	VADDSD  X1, X0, X0
+	VADDSD  X0, X8, X8
+	ADDQ    $32, BX
+	VUCOMISD X9, X8
+	JA      rowNext
+	JMP     rowBlocks
+
+rowTail:
+	CMPQ BX, CX
+	JGE  rowUpdate
+	VXORPD X3, X3, X3
+
+rowTailLoop:
+	VMOVSD (SI)(BX*1), X0
+	VMOVSD (DX)(BX*1), X1
+	VMOVSD (DI)(BX*1), X2
+	VSUBSD X1, X0, X0
+	VMULSD X0, X2, X2
+	VMULSD X0, X2, X0
+	VADDSD X0, X3, X3
+	ADDQ   $8, BX
+	CMPQ   BX, CX
+	JL     rowTailLoop
+	VADDSD X3, X8, X8
+	VUCOMISD X9, X8
+	JA     rowNext
+
+rowUpdate:
+	VUCOMISD X8, X11 // best > sum? (i.e. sum < best; unordered: keep)
+	JBE  rowNext
+	VMOVAPD X8, X11
+
+rowNext:
+	ADDQ CX, DX // next row
+	DECQ R9
+	JNZ  rowLoop
+	VMOVSD X11, ret+56(FP)
+	VZEROUPPER
+	RET
+
+// func headScreenAVX2(p, w, heads, rows *float64, nRows, rowStride int, thr float64, sums *float64) uint64
+//
+// Block-0 screen over packed row heads: for each of nRows rows (nRows in
+// [1,64]) the first-block sum is computed from the sequential heads stream
+// with the canonical block body — bit-identical to the scalar kernel's
+// block 0 — and stored in sums[r]. Bit r of the returned mask is set when
+// the row survives (!(sum > thr), NaN surviving, the exact complement of
+// the scalar abandon test), and a survivor's row data is prefetched the
+// moment it is found so the caller's resume pass runs in the prefetch
+// shadow of the remaining screen. There is no cross-row dependency — thr
+// is a snapshot the caller re-checks exactly before resuming — so the
+// loop pipelines at heads-stream throughput instead of serializing on a
+// per-row best/threshold chain.
+TEXT ·headScreenAVX2(SB), NOSPLIT, $0-72
+	MOVQ p+0(FP), SI
+	MOVQ w+8(FP), DI
+	MOVQ heads+16(FP), R8
+	MOVQ rows+24(FP), DX
+	MOVQ nRows+32(FP), R9
+	MOVQ rowStride+40(FP), CX
+	VMOVSD thr+48(FP), X9
+	MOVQ sums+56(FP), R10
+	VMOVUPD (SI), Y12 // p[0:4]
+	VMOVUPD (DI), Y13 // w[0:4]
+	XORQ R11, R11 // survivor mask
+	XORQ R12, R12 // row bit index
+
+screenLoop:
+	// Canonical block body on the packed head, folded (s0,s1) exactly like
+	// the scalar loop, including the 0 + (s0+s1) accumulation start.
+	VMOVUPD (R8), Y1
+	VSUBPD  Y1, Y12, Y0
+	VMULPD  Y0, Y13, Y2
+	VMULPD  Y0, Y2, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD  X1, X0, X0
+	VUNPCKHPD X0, X0, X1
+	VADDSD  X1, X0, X0
+	VXORPD  X8, X8, X8
+	VADDSD  X0, X8, X8
+	VMOVSD  X8, (R10)
+	VUCOMISD X9, X8 // sum > thr? (unordered: survive)
+	JA      screenNoBit
+	BTSQ    R12, R11
+	// Pull the survivor's leading lines now; by the time the caller's
+	// resume pass reaches this row the screen has walked the rest of the
+	// chunk, hiding most of the scattered-line latency.
+	PREFETCHT0 (DX)
+	PREFETCHT0 64(DX)
+
+screenNoBit:
+	ADDQ $32, R8
+	ADDQ $8, R10
+	ADDQ CX, DX
+	INCQ R12
+	DECQ R9
+	JNZ  screenLoop
+	MOVQ R11, ret+64(FP)
+	VZEROUPPER
+	RET
+
+// func firstBlockAVX2(pblk, wblk, row, thrs, out *float64, nq int) uint64
+//
+// Multi-concept screen: the dim >= KernelBlock arm of
+// WeightedSqDistFirstBlock. One row block held in Y3 across all concepts;
+// per concept one block evaluation, out[c] store, and a survivors-mask
+// bit when sum <= thrs[c]. Caller guarantees nq >= 1.
+TEXT ·firstBlockAVX2(SB), NOSPLIT, $0-56
+	MOVQ pblk+0(FP), SI
+	MOVQ wblk+8(FP), DI
+	MOVQ row+16(FP), DX
+	MOVQ thrs+24(FP), R9
+	MOVQ out+32(FP), R10
+	MOVQ nq+40(FP), CX
+	VMOVUPD (DX), Y3 // row[0:4]
+	XORQ R11, R11    // mask
+	XORQ R8, R8      // concept index
+
+conceptLoop:
+	VMOVUPD (SI), Y0 // concept point block
+	VMOVUPD (DI), Y2 // concept weight block
+	VSUBPD  Y3, Y0, Y0 // d = p - row
+	VMULPD  Y0, Y2, Y2
+	VMULPD  Y0, Y2, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD  X1, X0, X0
+	VUNPCKHPD X0, X0, X1
+	VADDSD  X1, X0, X0 // sum = s0 + s1
+	VMOVSD  X0, (R10)  // out[c] = sum
+	VMOVSD  (R9), X2
+	VUCOMISD X0, X2 // thrs[c] >= sum? (unordered: no bit)
+	JB      noBit
+	BTSQ    R8, R11 // mask |= 1 << c
+
+noBit:
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $8, R9
+	ADDQ $8, R10
+	INCQ R8
+	CMPQ R8, CX
+	JL   conceptLoop
+	MOVQ R11, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,70 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Kernel micro-benches, one per implementation, shaped like the retrieval
+// scan: MinRowsPruned is the hot path of a warm top-k scan (tight cutoff,
+// most rows abandoned at the first block), MinRowsFull the training /
+// unpruned shape, Blocked the bare single-vector kernel. BenchmarkKernelAVX2
+// vs BenchmarkKernelScalar on the same host is the recorded SIMD speedup;
+// both run regardless of MILRET_KERNEL so the comparison is always present
+// in one capture.
+
+var benchKernelSink float64
+
+func benchKernel(b *testing.B, avx2 bool) {
+	if avx2 && !kernelAVX2Available() {
+		b.Skip("no AVX2 on this host")
+	}
+	const dim, nRows = 100, 1000
+	rng := rand.New(rand.NewSource(42))
+	p := make([]float64, dim)
+	w := make([]float64, dim)
+	rows := make([]float64, dim*nRows)
+	for i := range p {
+		p[i] = rng.Float64()
+		w[i] = rng.Float64()
+	}
+	for i := range rows {
+		rows[i] = rng.Float64()
+	}
+	// Tight cutoff: the true minimum, so pruning behaves like a warm top-k
+	// heap boundary and nearly every row abandons early.
+	cutoff := MinWeightedSqDistRows(p, w, rows, math.Inf(1), false)
+
+	b.Run("MinRowsPruned", func(b *testing.B) {
+		withKernel(avx2, func() {
+			b.SetBytes(int64(dim * nRows * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchKernelSink = MinWeightedSqDistRows(p, w, rows, cutoff, true)
+			}
+		})
+	})
+	b.Run("MinRowsFull", func(b *testing.B) {
+		withKernel(avx2, func() {
+			b.SetBytes(int64(dim * nRows * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchKernelSink = MinWeightedSqDistRows(p, w, rows, math.Inf(1), false)
+			}
+		})
+	})
+	b.Run("Blocked", func(b *testing.B) {
+		u := rows[:dim]
+		withKernel(avx2, func() {
+			b.SetBytes(int64(dim * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchKernelSink = WeightedSqDistBlocked(p, u, w)
+			}
+		})
+	})
+}
+
+func BenchmarkKernelAVX2(b *testing.B)   { benchKernel(b, true) }
+func BenchmarkKernelScalar(b *testing.B) { benchKernel(b, false) }

@@ -1,0 +1,83 @@
+//go:build amd64 && !purego
+
+package mat
+
+// CPU feature detection for the AVX2 kernel. Using AVX2 safely needs three
+// things, all probed at init through raw CPUID/XGETBV (cpu feature asm in
+// kernel_amd64.s — no external dependency):
+//
+//   - CPUID.1:ECX reports OSXSAVE (bit 27) and AVX (bit 28): the CPU has
+//     the AVX state machinery and the OS exposed XGETBV;
+//   - XCR0 bits 1 and 2: the OS actually saves/restores the XMM and YMM
+//     halves across context switches (without this, executing VEX.256
+//     instructions faults or corrupts state);
+//   - CPUID.7.0:EBX bit 5: the AVX2 instruction set itself.
+var haveAVX2 = detectAVX2()
+
+// kernelAVX2Available reports whether the assembly kernel can run on this
+// CPU. The purego / non-amd64 counterpart in kernel_noasm.go always
+// reports false.
+func kernelAVX2Available() bool { return haveAVX2 }
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsaveAndAVX = 1<<27 | 1<<28
+	if ecx1&osxsaveAndAVX != osxsaveAndAVX {
+		return false
+	}
+	if xcr0, _ := xgetbv0(); xcr0&6 != 6 { // XMM and YMM state enabled
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}
+
+// cpuid executes CPUID with the given leaf/subleaf (kernel_amd64.s).
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the extended-state enable mask (kernel_amd64.s).
+// Only call when CPUID.1:ECX.OSXSAVE is set.
+func xgetbv0() (eax, edx uint32)
+
+// The AVX2 kernel loops (kernel_amd64.s). Each is the exact instruction-
+// level transcription of its scalar oracle in kernel.go — same block
+// boundaries, same (s0,s1) strided fold, separate vmulpd/vaddpd with no
+// FMA contraction, threshold compared after every block with the same
+// NaN-false semantics — so results are bit-identical (see the package
+// comment in kernel.go for the one NaN-payload caveat). Callers guarantee
+// in-bounds, equal-length inputs; the pointers are to the first elements.
+
+// wsqResumeAVX2 is weightedSqDistResume: the single-vector blocked loop
+// from dimension offset start with the partial sum accumulated so far.
+// Requires 0 ≤ start < n.
+//
+//go:noescape
+func wsqResumeAVX2(v, u, w *float64, n, start int, sum, thr float64) (out float64, abandoned bool)
+
+// minRowsAVX2 is the MinWeightedSqDistRows row loop: the minimum blocked
+// distance from p to any of nRows rows, abandoning each row against
+// min(best so far, cutoff) when prune is set (+Inf otherwise). Requires
+// dim ≥ 1 and nRows ≥ 1.
+//
+//go:noescape
+func minRowsAVX2(p, w, rows *float64, dim, nRows int, cutoff float64, prune bool) float64
+
+// headScreenAVX2 is MinWeightedSqDistRowsHead's block-0 screen: first-block
+// sums for nRows rows (1..64) from the packed heads stream into sums, the
+// survivor mask (!(sum > thr)) returned, each survivor's row data
+// prefetched as it is found. Requires nRows in [1, 64].
+//
+//go:noescape
+func headScreenAVX2(p, w, heads, rows *float64, nRows, rowStride int, thr float64, sums *float64) uint64
+
+// firstBlockAVX2 is the dim ≥ KernelBlock arm of WeightedSqDistFirstBlock:
+// every concept's first-block sum against one row, survivors ≤ thrs[c]
+// reported in the mask. Requires nq ≥ 1 and a row of at least KernelBlock
+// dimensions.
+//
+//go:noescape
+func firstBlockAVX2(pblk, wblk, row, thrs, out *float64, nq int) uint64

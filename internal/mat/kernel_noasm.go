@@ -1,0 +1,29 @@
+//go:build !amd64 || purego
+
+package mat
+
+// kernelAVX2Available: no assembly in this build (non-amd64 target or the
+// purego tag), so the scalar loops are the only kernel and useAVX2 can
+// never become true.
+func kernelAVX2Available() bool { return false }
+
+// The SIMD entry points referenced by the dispatch branches in kernel.go.
+// Unreachable in this build — useAVX2 is pinned false — so they panic
+// loudly instead of silently falling back, which would hide a dispatch
+// invariant violation.
+
+func wsqResumeAVX2(v, u, w *float64, n, start int, sum, thr float64) (float64, bool) {
+	panic("mat: SIMD kernel dispatched in a build without assembly")
+}
+
+func minRowsAVX2(p, w, rows *float64, dim, nRows int, cutoff float64, prune bool) float64 {
+	panic("mat: SIMD kernel dispatched in a build without assembly")
+}
+
+func headScreenAVX2(p, w, heads, rows *float64, nRows, rowStride int, thr float64, sums *float64) uint64 {
+	panic("mat: SIMD kernel dispatched in a build without assembly")
+}
+
+func firstBlockAVX2(pblk, wblk, row, thrs, out *float64, nq int) uint64 {
+	panic("mat: SIMD kernel dispatched in a build without assembly")
+}
