@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPkg is the subset of `go list -json` output the standalone
+// driver needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// runStandalone resolves package patterns with the go tool, compiling
+// export data for every dependency as a side effect, then analyzes
+// each matched package from source.
+func runStandalone(patterns []string) int {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,ImportMap,Export,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "milretlint: go list: %v\n", err)
+		return 1
+	}
+
+	exports := make(map[string]string)
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			fmt.Fprintf(os.Stderr, "milretlint: decoding go list output: %v\n", err)
+			return 1
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	exit := 0
+	for _, p := range targets {
+		if p.Error != nil {
+			fmt.Fprintf(os.Stderr, "milretlint: %s: %s\n", p.ImportPath, p.Error.Err)
+			exit = 1
+			continue
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		code := analyzePkg(p, exports)
+		if code > exit {
+			exit = code
+		}
+	}
+	return exit
+}
+
+func analyzePkg(p listPkg, exports map[string]string) int {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if c, ok := p.ImportMap[path]; ok {
+			path = c
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	diags, errs := analyze(fset, files, p.ImportPath, "", imp)
+	if len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, e)
+		}
+		return 1
+	}
+	return printDiags(fset, diags)
+}

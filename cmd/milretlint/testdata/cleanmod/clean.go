@@ -1,0 +1,66 @@
+// Package clean holds disciplined counterparts of every fixture
+// violation; the e2e test asserts milretlint passes it silently.
+package clean
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+type box struct {
+	mu sync.Mutex
+
+	// milret:guarded-by mu
+	n int
+
+	hits atomic.Uint64
+}
+
+// Inc mutates under the lock.
+func (b *box) Inc() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+// Hits uses the wrapper's methods.
+func (b *box) Hits() uint64 {
+	return b.hits.Load()
+}
+
+func syncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// AtomicWrite is the complete audited rename sequence.
+//
+// milret:atomic-rename
+func AtomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "w-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}

@@ -1,0 +1,3 @@
+module milretlint.example/clean
+
+go 1.24

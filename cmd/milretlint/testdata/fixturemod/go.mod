@@ -1,0 +1,3 @@
+module milretlint.example/fixture
+
+go 1.24

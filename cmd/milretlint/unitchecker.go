@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"milret/internal/lint"
+)
+
+// vetConfig mirrors the JSON cmd/go writes to <objdir>/vet.cfg for
+// each package when driving a vet tool (see cmd/go/internal/work and
+// x/tools' unitchecker, which define the de-facto schema).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitChecker analyzes the single package described by cfgPath.
+func runUnitChecker(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "milretlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// cmd/go expects the facts ("vetx") output to exist afterwards even
+	// though these analyzers exchange no facts across packages.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("milretlint-no-facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data cmd/go already compiled:
+	// source import path -> canonical path (ImportMap) -> export file
+	// (PackageFile). The gc importer handles the archive framing.
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if p, ok := cfg.ImportMap[path]; ok {
+			path = p
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	diags, errs := analyze(fset, files, cfg.ImportPath, cfg.GoVersion, imp)
+	if len(errs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, e)
+		}
+		return 1
+	}
+	return printDiags(fset, diags)
+}
+
+// analyze type-checks one package and runs every milret analyzer over
+// it. Type errors are returned rather than printed so each driver can
+// apply its own policy.
+func analyze(fset *token.FileSet, files []*ast.File, path, goVersion string, imp types.Importer) ([]lint.Diagnostic, []error) {
+	var typeErrs []error
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Error:     func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, _ := conf.Check(path, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, typeErrs
+	}
+	diags, err := lint.Run(fset, files, pkg, info, lint.All())
+	if err != nil {
+		return nil, []error{err}
+	}
+	return diags, nil
+}
+
+// printDiags writes diagnostics in the conventional vet shape and
+// returns the exit code cmd/go expects: 2 when anything was reported.
+func printDiags(fset *token.FileSet, diags []lint.Diagnostic) int {
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [milretlint:%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 2
+}

@@ -1,0 +1,24 @@
+package lint_test
+
+import (
+	"testing"
+
+	"milret/internal/lint"
+	"milret/internal/lint/linttest"
+)
+
+func TestGuardCheck(t *testing.T) {
+	linttest.Run(t, "testdata/src/guardcheck", lint.GuardCheck)
+}
+
+func TestDurably(t *testing.T) {
+	linttest.Run(t, "testdata/src/durably", lint.Durably)
+}
+
+func TestKernelPure(t *testing.T) {
+	linttest.Run(t, "testdata/src/kernelpure", lint.KernelPure)
+}
+
+func TestAtomicField(t *testing.T) {
+	linttest.Run(t, "testdata/src/atomicfield", lint.AtomicField)
+}

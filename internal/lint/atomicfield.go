@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces atomic-only access to fields that take part in
+// lock-free protocols. A field is atomic-only when any of:
+//
+//   - it carries the `// milret:atomic` annotation;
+//   - its address is passed to a sync/atomic function anywhere in the
+//     package (atomic.AddUint64(&s.n, 1) makes every other access of
+//     s.n a race);
+//   - its type is a sync/atomic wrapper (atomic.Bool, atomic.Int64,
+//     atomic.Uint64, atomic.Value, ...).
+//
+// Rules:
+//
+//   - a plain-typed atomic-only field may only appear as &x.f directly
+//     inside a sync/atomic call — any other read, write or
+//     address-taking is flagged;
+//   - a wrapper-typed field may only be used as a method-call receiver
+//     (x.f.Load()) or have its address taken — using it as a value
+//     copies the atomic, which detaches it from every concurrent
+//     reader;
+//   - a struct containing atomic-only fields must not be copied by
+//     value: `*p` dereferences used as values, and value (non-pointer)
+//     receivers and parameters of such types, are flagged.
+//
+// Test files are skipped: -race owns data-race detection in tests, and
+// white-box tests legitimately poke fields of quiescent values.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "checks that atomically-accessed fields are never read, written or copied plainly",
+	Run:  runAtomicField,
+}
+
+type atomicChecker struct {
+	pass *Pass
+	// plain holds plain-typed fields that must only be touched through
+	// sync/atomic calls; wrapper holds fields of sync/atomic wrapper
+	// types.
+	plain   map[*types.Var]bool
+	wrapper map[*types.Var]bool
+	// sanctioned marks SelectorExpr/StarExpr nodes that appear in an
+	// approved position and must not be re-flagged by the use walk.
+	sanctioned map[ast.Expr]bool
+	// atomicStructs holds named struct types containing atomic-only
+	// fields (directly or through unnamed nested structs).
+	atomicStructs map[*types.Named]bool
+}
+
+func runAtomicField(pass *Pass) error {
+	c := &atomicChecker{
+		pass:          pass,
+		plain:         make(map[*types.Var]bool),
+		wrapper:       make(map[*types.Var]bool),
+		sanctioned:    make(map[ast.Expr]bool),
+		atomicStructs: make(map[*types.Named]bool),
+	}
+	c.collect()
+	if len(c.plain) == 0 && len(c.wrapper) == 0 {
+		return nil
+	}
+	c.collectStructs()
+	c.flagUses()
+	return nil
+}
+
+// collect gathers the atomic-only field sets and sanctions the
+// approved access sites, across the whole package, before any use is
+// judged.
+func (c *atomicChecker) collect() {
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					_, annotated := directive("atomic", field.Doc, field.Comment)
+					for _, name := range field.Names {
+						obj, ok := c.pass.TypesInfo.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						if isAtomicWrapperType(obj.Type()) {
+							c.wrapper[obj] = true
+						} else if annotated {
+							c.plain[obj] = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if c.isAtomicPkgCall(n) {
+					for _, a := range n.Args {
+						if sel, ok := addrOfFieldSel(a); ok {
+							if obj := c.fieldObj(sel); obj != nil {
+								if !isAtomicWrapperType(obj.Type()) {
+									c.plain[obj] = true
+								}
+								c.sanctioned[sel] = true
+							}
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				// x.f.Load(): the inner selector is a wrapper field used
+				// as a method receiver — approved.
+				if inner, ok := n.X.(*ast.SelectorExpr); ok {
+					if obj := c.fieldObj(inner); obj != nil && isAtomicWrapperType(obj.Type()) {
+						c.sanctioned[inner] = true
+					}
+				}
+				// (*p).f: the deref exists only to reach a field, not to
+				// copy the struct.
+				if star, ok := n.X.(*ast.StarExpr); ok {
+					c.sanctioned[star] = true
+				}
+			case *ast.UnaryExpr:
+				// &x.f on a wrapper field passes the atomic by pointer —
+				// approved. (&x.f on a plain atomic-only field is only
+				// sanctioned inside a sync/atomic call, handled above.)
+				if n.Op == token.AND {
+					if sel, ok := n.X.(*ast.SelectorExpr); ok {
+						if obj := c.fieldObj(sel); obj != nil && isAtomicWrapperType(obj.Type()) {
+							c.sanctioned[sel] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// collectStructs records every named struct type that carries an
+// atomic-only field, directly or through unnamed nested structs.
+func (c *atomicChecker) collectStructs() {
+	hasAtomic := func(s *types.Struct) bool {
+		var scan func(*types.Struct) bool
+		scan = func(s *types.Struct) bool {
+			for i := 0; i < s.NumFields(); i++ {
+				f := s.Field(i)
+				if c.plain[f] || c.wrapper[f] || isAtomicWrapperType(f.Type()) {
+					return true
+				}
+				if nested, ok := f.Type().(*types.Struct); ok && scan(nested) {
+					return true
+				}
+			}
+			return false
+		}
+		return scan(s)
+	}
+	scope := c.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if s, ok := named.Underlying().(*types.Struct); ok && hasAtomic(s) {
+			c.atomicStructs[named] = true
+		}
+	}
+}
+
+func (c *atomicChecker) flagUses() {
+	for _, f := range c.pass.Files {
+		if c.pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if c.sanctioned[n] {
+					return true
+				}
+				obj := c.fieldObj(n)
+				if obj == nil {
+					return true
+				}
+				if c.plain[obj] {
+					c.pass.Reportf(n.Sel.Pos(), "plain access to %s: the field is accessed via sync/atomic elsewhere, so every access must go through sync/atomic", obj.Name())
+				} else if c.wrapper[obj] {
+					c.pass.Reportf(n.Sel.Pos(), "%s used as a value: copying an atomic wrapper detaches it from concurrent readers — call its methods or pass its address", obj.Name())
+				}
+			case *ast.StarExpr:
+				if c.sanctioned[n] {
+					return true
+				}
+				if named := c.namedAtomicStruct(c.pass.TypesInfo.TypeOf(n)); named != nil {
+					c.pass.Reportf(n.Pos(), "dereference copies %s by value, which copies its atomic fields mid-flight — keep it behind the pointer", named.Obj().Name())
+				}
+			case *ast.FuncDecl:
+				c.checkSignature(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkSignature flags value (non-pointer) receivers and parameters of
+// atomic-carrying struct types.
+func (c *atomicChecker) checkSignature(fn *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if named := c.namedAtomicStruct(c.pass.TypesInfo.TypeOf(field.Type)); named != nil {
+				c.pass.Reportf(field.Type.Pos(), "%s passes %s by value, which copies its atomic fields — use *%s", what, named.Obj().Name(), named.Obj().Name())
+			}
+		}
+	}
+	check(fn.Recv, "receiver")
+	if fn.Type.Params != nil {
+		check(fn.Type.Params, "parameter")
+	}
+}
+
+// namedAtomicStruct returns the named type when t is (not a pointer
+// to) a struct carrying atomic-only fields.
+func (c *atomicChecker) namedAtomicStruct(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !c.atomicStructs[named] {
+		return nil
+	}
+	return named
+}
+
+func (c *atomicChecker) fieldObj(sel *ast.SelectorExpr) *types.Var {
+	obj, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !obj.IsField() {
+		return nil
+	}
+	return obj
+}
+
+func (c *atomicChecker) isAtomicPkgCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+func addrOfFieldSel(e ast.Expr) (*ast.SelectorExpr, bool) {
+	u, ok := e.(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil, false
+	}
+	sel, ok := u.X.(*ast.SelectorExpr)
+	return sel, ok
+}
+
+// isAtomicWrapperType reports whether t is one of the sync/atomic
+// wrapper types (atomic.Bool, atomic.Int64, atomic.Value, ...).
+func isAtomicWrapperType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Durably enforces the crash-durability idiom for data files: an
+// os.Rename onto a data path is only safe when the temp file was
+// fsynced before the rename and the containing directory is fsynced
+// after it (see internal/store's atomicWriteFile). Two rules:
+//
+//   - An os.Rename call in a function *without* the
+//     `// milret:atomic-rename` annotation is flagged outright: the
+//     four hand-rolled copies of the sequence collapsed onto one
+//     audited helper, and new copies must not creep back in.
+//   - Inside an annotated helper, every os.Rename must be preceded in
+//     the source by a Sync() call on an *os.File (the temp-file fsync)
+//     and followed by a directory fsync — either a syncDir(...) call
+//     or another Sync(). Missing halves get targeted diagnostics.
+//
+// Test files are skipped: tests rename files to simulate crashes and
+// torn states on purpose.
+var Durably = &Analyzer{
+	Name: "durably",
+	Doc:  "checks that os.Rename onto data paths goes through the audited fsync-rename-fsync helper",
+	Run:  runDurably,
+}
+
+func runDurably(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || pass.InTestFile(fn.Pos()) {
+				continue
+			}
+			_, audited := funcDirective("atomic-rename", fn)
+			checkRenames(pass, fn, audited)
+		}
+	}
+	return nil
+}
+
+func checkRenames(pass *Pass, fn *ast.FuncDecl, audited bool) {
+	var renames []token.Pos
+	var fileSyncs, dirSyncs []token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isOSRename(pass, call):
+			renames = append(renames, call.Pos())
+		case isFileSync(pass, call):
+			fileSyncs = append(fileSyncs, call.Pos())
+		case isSyncDir(call):
+			dirSyncs = append(dirSyncs, call.Pos())
+		}
+		return true
+	})
+	for _, r := range renames {
+		if !audited {
+			pass.Reportf(r, "os.Rename outside a milret:atomic-rename helper: use atomicWriteFile so the temp-file fsync and directory fsync cannot be forgotten")
+			continue
+		}
+		if !anyBefore(fileSyncs, r) {
+			pass.Reportf(r, "os.Rename without a preceding Sync() of the temp file: a crash can publish an empty or torn file")
+		}
+		if !anyAfter(dirSyncs, r) && !anyAfter(fileSyncs, r) {
+			pass.Reportf(r, "os.Rename without a following directory fsync (syncDir): a crash can lose the rename itself")
+		}
+	}
+}
+
+func anyBefore(ps []token.Pos, ref token.Pos) bool {
+	for _, p := range ps {
+		if p < ref {
+			return true
+		}
+	}
+	return false
+}
+
+func anyAfter(ps []token.Pos, ref token.Pos) bool {
+	for _, p := range ps {
+		if p > ref {
+			return true
+		}
+	}
+	return false
+}
+
+func isOSRename(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Rename" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "os"
+}
+
+func isFileSync(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sync" {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File"
+}
+
+// isSyncDir matches a call to any function named syncDir — the
+// directory-fsync helper each package carrying the idiom defines.
+func isSyncDir(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "syncDir"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "syncDir"
+	}
+	return false
+}

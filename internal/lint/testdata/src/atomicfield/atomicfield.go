@@ -1,0 +1,72 @@
+// Package atomfix is the atomicfield fixture: annotated, inferred and
+// wrapper-typed atomic fields with plain, copied and disciplined uses.
+package atomfix
+
+import "sync/atomic"
+
+type counters struct {
+	// milret:atomic
+	hits      uint64
+	evictions uint64 // atomic-only by inference: see hit()
+
+	ready atomic.Bool
+}
+
+// hit is the disciplined path, and what makes evictions atomic-only by
+// inference.
+func (c *counters) hit() {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&c.evictions, 1)
+}
+
+func (c *counters) goodLoad() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func (c *counters) goodReady() bool {
+	return c.ready.Load()
+}
+
+func goodPointerUse(p *counters) *atomic.Bool {
+	return &p.ready
+}
+
+func (c *counters) badPlainRead() uint64 {
+	return c.hits // want `plain access to hits`
+}
+
+func (c *counters) badPlainWrite() {
+	c.evictions = 0 // want `plain access to evictions`
+}
+
+func (c *counters) badCopyWrapper() *atomic.Bool {
+	cp := c.ready // want `ready used as a value`
+	return &cp
+}
+
+func badValueParam(c counters) uint64 { // want `parameter passes counters by value`
+	return atomic.LoadUint64(&c.hits)
+}
+
+func badDeref(p *counters) counters {
+	return *p // want `dereference copies counters by value`
+}
+
+// justified reads a counter plainly under a documented suppression.
+func (c *counters) justified() uint64 {
+	//lint:ignore atomicfield snapshot during single-threaded shutdown
+	return c.hits
+}
+
+var (
+	_ = (*counters).hit
+	_ = (*counters).goodLoad
+	_ = (*counters).goodReady
+	_ = goodPointerUse
+	_ = (*counters).badPlainRead
+	_ = (*counters).badPlainWrite
+	_ = (*counters).badCopyWrapper
+	_ = badValueParam
+	_ = badDeref
+	_ = (*counters).justified
+)

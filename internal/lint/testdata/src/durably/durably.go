@@ -1,0 +1,97 @@
+// Package durafix is the durably fixture: hand-rolled and half-done
+// rename dances next to the audited idiom.
+package durafix
+
+import "os"
+
+func syncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// saveHandRolled renames without the audited helper: flagged outright.
+func saveHandRolled(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want `os\.Rename outside a milret:atomic-rename helper`
+}
+
+// badNoSync is annotated but forgets the temp-file fsync.
+//
+// milret:atomic-rename
+func badNoSync(path string, data []byte) error {
+	tmp, err := os.CreateTemp(".", "w-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil { // want `without a preceding Sync`
+		return err
+	}
+	return syncDir(".")
+}
+
+// badNoDirSync fsyncs the temp file but not the directory, so a crash
+// can lose the rename.
+//
+// milret:atomic-rename
+func badNoDirSync(path string, data []byte) error {
+	tmp, err := os.CreateTemp(".", "w-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path) // want `without a following directory fsync`
+}
+
+// atomicWrite is the complete audited sequence: clean.
+//
+// milret:atomic-rename
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(".", "w-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(".")
+}
+
+var (
+	_ = saveHandRolled
+	_ = badNoSync
+	_ = badNoDirSync
+	_ = atomicWrite
+)

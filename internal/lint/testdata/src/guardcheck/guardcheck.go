@@ -1,0 +1,116 @@
+// Package guardfix is the guardcheck fixture: a miniature of the real
+// retrieval shard, with both disciplined and undisciplined accesses.
+package guardfix
+
+import "sync"
+
+type shard struct {
+	mu sync.RWMutex
+
+	// milret:guarded-by mu
+	items []int
+	count int // milret:guarded-by mu
+}
+
+// Add holds the write lock for the whole mutation: clean, and the
+// deferred unlock must not count as a release.
+func (s *shard) Add(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = append(s.items, v)
+	s.count++
+}
+
+// Len reads under the read lock: clean.
+func (s *shard) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.items)
+}
+
+// BadWrite mutates without any lock: both the store and the load are
+// flagged.
+func (s *shard) BadWrite(v int) {
+	s.items = append(s.items, v) // want `write to s\.items without s\.mu held` `read of s\.items without s\.mu`
+}
+
+// BadReadLockWrite writes while holding only the read lock.
+func (s *shard) BadReadLockWrite() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.count++ // want `write to s\.count without s\.mu held`
+}
+
+// BadGap keeps reading after releasing the lock.
+func (s *shard) BadGap() int {
+	s.mu.Lock()
+	n := len(s.items)
+	s.mu.Unlock()
+	return n + len(s.items) // want `read of s\.items without s\.mu`
+}
+
+// BadGoroutine spawns a literal that runs concurrently: the caller's
+// lock does not protect it.
+func (s *shard) BadGoroutine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.count++ // want `write to s\.count without s\.mu held`
+	}()
+}
+
+// GoodGoroutine locks for itself inside the literal: clean.
+func (s *shard) GoodGoroutine() {
+	go func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.count++
+	}()
+}
+
+// GoodBranchReturn releases in an early-return branch; the branch's
+// unlock must not leak into the fallthrough path.
+func (s *shard) GoodBranchReturn(limit int) int {
+	s.mu.RLock()
+	if len(s.items) > limit {
+		s.mu.RUnlock()
+		return limit
+	}
+	n := len(s.items)
+	s.mu.RUnlock()
+	return n
+}
+
+// compactLocked follows the Locked-suffix convention: the caller holds
+// the receiver's mutexes.
+func (s *shard) compactLocked() {
+	s.items = s.items[:0]
+	s.count = 0
+}
+
+// renumber declares the held mutex explicitly.
+//
+// milret:locked mu
+func (s *shard) renumber() {
+	s.count = len(s.items)
+}
+
+// newShard is construction-time code: the value is not shared yet.
+//
+// milret:unguarded construction, nothing else can hold the shard
+func newShard(vs []int) *shard {
+	s := &shard{}
+	s.items = vs
+	s.count = len(vs)
+	return s
+}
+
+// Drain carries a justified suppression.
+func (s *shard) Drain() []int {
+	//lint:ignore guardcheck teardown runs after all readers have exited
+	return s.items
+}
+
+var _ = (*shard).compactLocked
+var _ = (*shard).renumber
+var _ = newShard

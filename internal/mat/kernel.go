@@ -68,6 +68,7 @@ const KernelBlock = 4
 
 // tailSqDist accumulates a trailing partial block (fewer than KernelBlock
 // dimensions) sequentially. All kernel loops delegate their tail here.
+// milret:kernel
 func tailSqDist(v, u, w []float64) float64 {
 	var s float64
 	for i, x := range v {
@@ -80,6 +81,7 @@ func tailSqDist(v, u, w []float64) float64 {
 // WeightedSqDistBlocked returns Σ_k w_k (v_k − u_k)² using the blocked
 // multi-accumulator kernel. All three slices must share a length; this is
 // the canonical full evaluation every scoring path reduces to.
+// milret:kernel
 func WeightedSqDistBlocked(v, u, w []float64) float64 {
 	mustSameLen(len(v), len(u))
 	mustSameLen(len(v), len(w))
@@ -102,6 +104,7 @@ func WeightedSqDistBlocked(v, u, w []float64) float64 {
 // abandoned, preserving tie-breaking at top-k boundaries. Negative weights
 // break the monotonicity argument; callers disable pruning for them by
 // passing thr = +Inf.
+// milret:kernel
 func WeightedSqDistPartial(v, u, w []float64, thr float64) (sum float64, abandoned bool) {
 	mustSameLen(len(v), len(u))
 	mustSameLen(len(v), len(w))
@@ -116,6 +119,7 @@ func WeightedSqDistPartial(v, u, w []float64, thr float64) (sum float64, abandon
 // firstBlockSum is the kernel's own first-block sum (e.g. from
 // WeightedSqDistFirstBlock) — this is how the batched scan picks up a
 // screened row without redoing its first block.
+// milret:kernel
 func WeightedSqDistResume(v, u, w []float64, start int, sum, thr float64) (float64, bool) {
 	mustSameLen(len(v), len(u))
 	mustSameLen(len(v), len(w))
@@ -130,6 +134,7 @@ func WeightedSqDistResume(v, u, w []float64, start int, sum, thr float64) (float
 // otherwise. Validation stays in the public wrappers; both implementations
 // assume equal-length slices. An empty vector (or a resume at the very end)
 // never reaches the assembly so the pointer derefs below stay in bounds.
+// milret:kernel
 func kernResume(v, u, w []float64, start int, sum, thr float64) (float64, bool) {
 	if useAVX2.Load() && start < len(v) {
 		return wsqResumeAVX2(&v[0], &u[0], &w[0], len(v), start, sum, thr)
@@ -140,12 +145,14 @@ func kernResume(v, u, w []float64, start int, sum, thr float64) (float64, bool) 
 // weightedSqDistPartial is the single-vector kernel loop. It assumes the
 // slices have equal length. Its block body is the canonical one; the loop in
 // MinWeightedSqDistRows carries an exact copy (see the package comment).
+// milret:kernel
 func weightedSqDistPartial(v, u, w []float64, thr float64) (float64, bool) {
 	return weightedSqDistResume(v, u, w, 0, 0, thr)
 }
 
 // weightedSqDistResume is the shared single-vector loop body behind both
 // WeightedSqDistPartial (start 0) and WeightedSqDistResume.
+// milret:kernel
 func weightedSqDistResume(v, u, w []float64, start int, sum float64, thr float64) (float64, bool) {
 	n := len(v)
 	// Reslicing to the common length lets the compiler drop redundant
@@ -186,6 +193,7 @@ const ScreenMaxConcepts = 64
 // concept c, its point and weight values for dimensions
 // [0, min(dim, KernelBlock)), contiguously. Compacting keeps the whole
 // screen working set in a handful of cache lines regardless of dim.
+// milret:kernel
 func ScreenBlocks(points, weights [][]float64) (pblk, wblk []float64) {
 	if len(points) == 0 {
 		return nil, nil
@@ -223,6 +231,7 @@ func ScreenBlocks(points, weights [][]float64) (pblk, wblk []float64) {
 // kernel call and a single mask==0 branch in the caller. The block
 // expressions are an exact copy of the canonical body (v→p, u→row); keep
 // them in lockstep, kernel_test.go enforces the bit-identity.
+// milret:kernel
 func WeightedSqDistFirstBlock(pblk, wblk []float64, nq int, row, thrs, out []float64) uint64 {
 	dim := len(row)
 	if nq > ScreenMaxConcepts {
@@ -287,6 +296,7 @@ func WeightedSqDistFirstBlock(pblk, wblk []float64, nq int, row, thrs, out []flo
 // vectors carry bit-identical kernel values, and ties keep the earliest
 // index (a later vector must be strictly smaller to displace the argmin), so
 // naive rankings stay bit-identical to the flat scan's.
+// milret:kernel
 func MinWeightedSqDistVecs(p, w []float64, vecs []Vector, cutoff float64, prune bool) (float64, int) {
 	dim := len(p)
 	mustSameLen(dim, len(w))
@@ -390,6 +400,7 @@ vecLoop:
 // ≤ cutoff, and completed rows carry bit-identical kernel values, so the
 // result equals the unpruned scan whenever it is ≤ cutoff and exceeds
 // cutoff otherwise. Returns +Inf for an empty rows slice.
+// milret:kernel
 func MinWeightedSqDistRows(p, w, rows []float64, cutoff float64, prune bool) float64 {
 	dim := len(p)
 	mustSameLen(dim, len(w))
@@ -488,6 +499,7 @@ const HeadScreenMaxRows = 64
 // AVX2 screen only prefetches a survivor's leading lines so the caller's
 // resume pass runs in the prefetch shadow of the remaining screen.
 // Requires dim ≥ KernelBlock and 1 ≤ rows ≤ HeadScreenMaxRows.
+// milret:kernel
 func HeadScreen(p, w, heads, rows []float64, thr float64, sums []float64) uint64 {
 	dim := len(p)
 	mustSameLen(dim, len(w))
@@ -524,6 +536,7 @@ func HeadScreen(p, w, heads, rows []float64, thr float64, sums []float64) uint64
 		var sum float64
 		sum += s0 + s1
 		sums[r] = sum
+		//lint:ignore kernelpure survivor mask needs the exact complement of the abandon test: a NaN sum must survive screening so the full kernel reproduces it
 		if !(sum > thr) {
 			mask |= 1 << uint(r)
 		}
@@ -545,6 +558,7 @@ func HeadScreen(p, w, heads, rows []float64, thr float64, sums []float64) uint64
 // every row is read in full anyway, so the heads stream would be pure
 // overhead and the call delegates to the plain row scan. Requires
 // dim ≥ KernelBlock.
+// milret:kernel
 func MinWeightedSqDistRowsHead(p, w, rows, heads []float64, cutoff float64, prune bool) float64 {
 	dim := len(p)
 	mustSameLen(dim, len(w))

@@ -194,6 +194,7 @@ func (v Vector) Standardize() Vector {
 }
 
 // SqDist returns the squared Euclidean distance between v and u.
+// milret:kernel
 func SqDist(v, u Vector) float64 {
 	mustSameLen(len(v), len(u))
 	var s float64
@@ -209,6 +210,7 @@ func SqDist(v, u Vector) float64 {
 // that use the w² parametrization square before calling). It delegates to
 // the blocked kernel (kernel.go), the single implementation shared with the
 // flat columnar scan so all scoring paths agree bit-for-bit.
+// milret:kernel
 func WeightedSqDist(v, u, w Vector) float64 {
 	return WeightedSqDistBlocked(v, u, w)
 }

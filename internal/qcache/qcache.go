@@ -103,18 +103,25 @@ type flight struct {
 // construct with New. All methods are safe for concurrent use.
 type Cache struct {
 	mu       sync.Mutex
-	capBytes int64
-	bytes    int64
-	ll       *list.List // front = most recently used; values are *entry
-	byKey    map[Key]*list.Element
-	flights  map[Key]*flight
+	capBytes int64 // immutable after New
+	// milret:guarded-by mu
+	bytes int64
+	// milret:guarded-by mu
+	ll *list.List // front = most recently used; values are *entry
+	// milret:guarded-by mu
+	byKey map[Key]*list.Element
+	// milret:guarded-by mu
+	flights map[Key]*flight
 
 	// gen counts content generations: it advances whenever the set of
 	// cached (key → concept) pairs changes (insert, import, evict, purge)
 	// and is untouched by recency bumps, so a persister can compare
 	// generations and skip rewriting an unchanged snapshot.
+	//
+	// milret:guarded-by mu
 	gen uint64
 
+	// milret:guarded-by mu
 	hits, misses, coalesced, bypassed, evictions, loaded int64
 }
 

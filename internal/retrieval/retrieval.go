@@ -74,11 +74,15 @@ type Item struct {
 // one shard lock and a compaction rebuilds exactly one flat block while the
 // other shards keep serving reads and writes.
 type shard struct {
-	mu    sync.RWMutex
-	items []Item   // parallel to index slots; tombstoned slots stay in place
-	seqs  []uint64 // global insertion sequence per slot (orders Items/Get)
-	byID  map[string]int
-	idx   *index.Index
+	mu sync.RWMutex
+	// milret:guarded-by mu
+	items []Item // parallel to index slots; tombstoned slots stay in place
+	// milret:guarded-by mu
+	seqs []uint64 // global insertion sequence per slot (orders Items/Get)
+	// milret:guarded-by mu
+	byID map[string]int
+	// milret:guarded-by mu
+	idx *index.Index
 	// itemsShared marks items as aliased by a fallback-scan view, so an
 	// in-place label swap must clone the slice first (copy-on-write, same
 	// discipline as the index's label column). Atomic because views are
@@ -201,6 +205,9 @@ func NewDatabaseFromFlat(items []Item, dim int, data []float64) (*Database, erro
 // Every item must hash to the shard that carries it — the placement
 // invariant Save preserves when it writes one snapshot per shard — so that
 // lookups and mutation routing find it again.
+//
+// milret:unguarded construction: the shards are not visible to any other
+// goroutine until this returns.
 func NewDatabaseFromFlats(flats []FlatShard, dim int) (*Database, error) {
 	db := NewDatabaseSharded(len(flats))
 	nItems := 0
@@ -480,9 +487,9 @@ func (db *Database) Get(i int) Item {
 		sh := db.shards[0]
 		sh.mu.RLock()
 		if sh.idx.Dead() == 0 {
-			if i < 0 || i >= len(sh.items) {
+			if n := len(sh.items); i < 0 || i >= n {
 				sh.mu.RUnlock()
-				panic(fmt.Sprintf("retrieval: Get(%d) of %d live items", i, len(sh.items)))
+				panic(fmt.Sprintf("retrieval: Get(%d) of %d live items", i, n))
 			}
 			it := sh.items[i]
 			sh.mu.RUnlock()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -594,4 +595,51 @@ func TestConcurrentReadsDuringAdds(t *testing.T) {
 	if db.Len() != 200 {
 		t.Fatalf("Len = %d, want 200", db.Len())
 	}
+}
+
+// Regression test: the out-of-range panic in Get must capture the live
+// count while the read lock is still held. An earlier version re-read
+// len(sh.items) after RUnlock to build the panic message, which raced
+// with concurrent Adds growing the slice (visible under -race).
+func TestGetOutOfRangePanicRace(t *testing.T) {
+	db := buildDB(t, item("a", "l", mat.Vector{1}))
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := db.Add(item(fmt.Sprintf("extra-%d", i), "l", mat.Vector{2})); err != nil {
+				return
+			}
+			if i == 0 {
+				close(started)
+			}
+		}
+	}()
+	// Only start probing once the mutator is demonstrably running, so the
+	// panicking Gets genuinely overlap concurrent Adds.
+	<-started
+	for i := 0; i < 200; i++ {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("Get out of range did not panic")
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "retrieval: Get(1000000) of") {
+					t.Fatalf("unexpected panic payload %v", r)
+				}
+			}()
+			db.Get(1000000)
+		}()
+	}
+	close(stop)
+	wg.Wait()
 }

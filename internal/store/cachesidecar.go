@@ -125,27 +125,10 @@ func WriteCacheSidecar(path string, dim int, entries []CacheEntry) error {
 		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(frame))
 	}
 
-	tmp, err := os.CreateTemp(pathDir(path), ".milret-ccache-*")
-	if err != nil {
+	return atomicWriteFile(path, ".milret-ccache-*", func(tmp *os.File) error {
+		_, err := tmp.Write(buf)
 		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return err
-	}
-	syncDir(path)
-	return nil
+	})
 }
 
 // ReadCacheSidecar loads every intact entry from a sidecar file, in file

@@ -76,27 +76,9 @@ func flatPad(end int) int {
 // contents disappears. Record bags must be valid and share dimensionality
 // dim.
 func WriteFlatFile(path string, dim int, recs []Record) error {
-	tmp, err := os.CreateTemp(pathDir(path), ".milret-store-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := writeFlat(tmp, dim, recs); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return err
-	}
-	syncDir(path)
-	return nil
+	return atomicWriteFile(path, ".milret-store-*", func(tmp *os.File) error {
+		return writeFlat(tmp, dim, recs)
+	})
 }
 
 func writeFlat(w io.Writer, dim int, recs []Record) error {
@@ -203,11 +185,15 @@ type FlatDB struct {
 
 	// mu serializes VerifyData against Close so a background verification
 	// (milret runs one after a fast load) can never race the munmap.
-	mu       sync.Mutex
-	mapped   []byte // retained memory mapping backing Data, nil otherwise
-	raw      []byte // file bytes backing Data (zero-copy), nil if converted
-	dataOff  int
-	dataSum  uint32
+	mu sync.Mutex
+	// milret:guarded-by mu
+	mapped []byte // retained memory mapping backing Data, nil otherwise
+	// milret:guarded-by mu
+	raw []byte // file bytes backing Data (zero-copy), nil if converted
+	// dataOff and dataSum are fixed at parse time and immutable after.
+	dataOff int
+	dataSum uint32
+	// milret:guarded-by mu
 	verified bool
 }
 
@@ -286,6 +272,9 @@ func hostLittleEndian() bool {
 // headers; the instance floats are not touched — call VerifyData to pay one
 // checksum pass when end-to-end integrity matters more than open latency
 // (ReadFlatFile and ReadAnyFile do this).
+//
+// milret:unguarded construction: the FlatDB is not shared until this
+// returns.
 func OpenFlatFile(path string) (*FlatDB, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -336,6 +325,9 @@ func OpenFlatFile(path string) (*FlatDB, error) {
 // hosts with 8-byte data alignment the returned FlatDB adopts raw's data
 // section in place (CRC deferred to VerifyData); otherwise the data is bulk
 // converted and checksummed on the way through.
+//
+// milret:unguarded construction: the FlatDB is not shared until this
+// returns.
 func parseFlat(raw []byte) (*FlatDB, error) {
 	if len(raw) < flatHeaderLen+4 {
 		return nil, fmt.Errorf("%w: file too short for flat header (%d bytes)", ErrCorrupt, len(raw))

@@ -79,27 +79,10 @@ func WriteManifest(path string, shardNames []string) error {
 	buf = append(buf, body...)
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
 
-	tmp, err := os.CreateTemp(pathDir(path), ".milret-manifest-*")
-	if err != nil {
+	return atomicWriteFile(path, ".milret-manifest-*", func(tmp *os.File) error {
+		_, err := tmp.Write(buf)
 		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return err
-	}
-	syncDir(path)
-	return nil
+	})
 }
 
 // ReadManifest loads a MILRETS1 manifest and returns the shard snapshot

@@ -164,20 +164,28 @@ type WALWriter struct {
 	dim int
 
 	// mu guards the file, the buffered writer and the append counters.
-	mu       sync.Mutex
-	f        *os.File
-	w        *bufio.Writer
-	n        int
+	mu sync.Mutex
+	// milret:guarded-by mu
+	f *os.File
+	// milret:guarded-by mu
+	w *bufio.Writer
+	// milret:guarded-by mu
+	n int
+	// milret:guarded-by mu
 	appended uint64 // records appended so far (monotonic)
-	closed   bool
+	// milret:guarded-by mu
+	closed bool
 
 	// smu guards the group-commit state; the leader releases it around the
 	// fsync so followers can queue up on cond for the next batch.
-	smu     sync.Mutex
-	cond    *sync.Cond
+	smu  sync.Mutex
+	cond *sync.Cond
+	// milret:guarded-by smu
 	syncing bool
-	synced  uint64 // highest append count covered by a completed fsync
-	syncErr error  // sticky: once an fsync fails, no later ack may succeed
+	// milret:guarded-by smu
+	synced uint64 // highest append count covered by a completed fsync
+	// milret:guarded-by smu
+	syncErr error // sticky: once an fsync fails, no later ack may succeed
 }
 
 func newWALWriter(f *os.File, dim, n int) *WALWriter {
@@ -194,6 +202,9 @@ var ErrWALClosed = errors.New("store: WAL writer closed")
 // returns a writer positioned after the header. The new name's directory
 // entry is fsynced so the log cannot vanish after its first acknowledged
 // Sync.
+//
+// milret:unguarded construction: the writer is not shared until this
+// returns.
 func CreateWAL(path string, dim int, fp WALFingerprint) (*WALWriter, error) {
 	if dim <= 0 {
 		return nil, fmt.Errorf("store: non-positive dimension %d", dim)

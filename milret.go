@@ -206,6 +206,8 @@ type Database struct {
 	// flats retains the zero-copy stores backing this database when it was
 	// opened by LoadDatabase from flat files (one per adopted shard), so
 	// Close can release the memory mappings.
+	//
+	// milret:guarded-by pmu
 	flats []*store.FlatDB
 
 	// pmu guards the persistence journal: mutators append the op they just
@@ -219,6 +221,8 @@ type Database struct {
 	// set, mutations are journaled in pending until flushed. For a
 	// single-shard database basePath is the flat file itself; for a sharded
 	// one it is the manifest, with shard i's snapshot at shardPaths[i].
+	//
+	// milret:guarded-by pmu
 	basePath string
 	// shardPaths[i] is shard i's snapshot file. Saves to a fresh path use
 	// the canonical store.ShardPath names, but a database loaded from a
@@ -226,18 +230,26 @@ type Database struct {
 	// manifest accepts arbitrary bare names (e.g. after the manifest file
 	// was renamed), and folding through recomputed canonical names would
 	// write mutations to orphan files the manifest never references.
+	//
+	// milret:guarded-by pmu
 	shardPaths []string
 	// walCounts[i] is the number of mutation records already durable in
 	// shard i's log; -1 marks a shard whose log state is unknown (a failed
 	// sync), forcing a fold on the next flush.
+	//
+	// milret:guarded-by pmu
 	walCounts []int
 	// pending[i] holds shard i's mutations applied in memory but not yet
 	// persisted.
+	//
+	// milret:guarded-by pmu
 	pending [][]store.WALRecord
 	// wals[i] is the open log writer for shard i, held across flushes so a
 	// flush costs buffered appends plus one (group-committed) fsync per
 	// touched shard; nil until the shard's first flush and after every
 	// fold.
+	//
+	// milret:guarded-by pmu
 	wals []*store.WALWriter
 	// walGens[i] is shard i's log generation: a fresh value (drawn from
 	// genSeq, which never repeats) every time a fold or rewrite supersedes
@@ -245,14 +257,19 @@ type Database struct {
 	// and then lost its fsync checks the shard's generation: if it moved,
 	// a fold — which snapshots the full in-memory state, records included —
 	// covered those records and the flush is retroactively durable.
+	//
+	// milret:guarded-by pmu
 	walGens []uint64
-	genSeq  uint64
+	// milret:guarded-by pmu
+	genSeq uint64
 
 	// vmu guards the background data-verification outcome (see
 	// VerifyStatus).
-	vmu        sync.Mutex
+	vmu sync.Mutex
+	// milret:guarded-by vmu
 	verifyStat VerifyStatus
-	verifyErr  error
+	// milret:guarded-by vmu
+	verifyErr error
 
 	// cache is the trained-concept LRU (nil when disabled). It needs no
 	// lifecycle of its own: cached concepts hold freshly allocated
@@ -266,8 +283,9 @@ type Database struct {
 	// Cache.Gen and skips the rewrite when nothing changed, which makes
 	// sidecar persistence on every Flush cheap for mutation-heavy,
 	// query-light workloads.
-	cmu           sync.Mutex
-	cacheFile     string
+	cmu       sync.Mutex
+	cacheFile string // immutable after construction
+	// milret:guarded-by cmu
 	cacheGenSaved uint64
 }
 
@@ -323,7 +341,9 @@ func (d *Database) Verification() (VerifyStatus, error) {
 // case the verdict stays pending (the mapping is gone, there is nothing
 // left to attest).
 func (d *Database) verifyInBackground(flats []*store.FlatDB) {
+	d.vmu.Lock()
 	d.verifyStat = VerifyPending
+	d.vmu.Unlock()
 	go func() {
 		var err error
 		for _, flat := range flats {
@@ -358,9 +378,11 @@ func (d *Database) Close() error {
 	err := d.persistConceptCache()
 	d.pmu.Lock()
 	d.closeWALsLocked()
-	d.pmu.Unlock()
+	// Take ownership of the flat stores under pmu: a concurrent Close must
+	// not see (and double-release) the same slice.
 	flats := d.flats
 	d.flats = nil
+	d.pmu.Unlock()
 	for _, f := range flats {
 		if cerr := f.Close(); err == nil {
 			err = cerr
@@ -1442,6 +1464,8 @@ func LoadDatabase(path string, opts Options) (*Database, error) {
 // loadShards opens one store file per shard and assembles the database:
 // every shard's records and (for flat files) adopted block, a scoring index
 // per shard, and each shard's replayed mutation log.
+//
+// milret:unguarded construction: the Database is not shared until this returns.
 func loadShards(basePath string, shardPaths []string, opts Options) (*Database, error) {
 	n := len(shardPaths)
 	recsPer := make([][]store.Record, n)

@@ -5,6 +5,7 @@ import (
 	"math"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 
 	"milret/internal/store"
@@ -485,4 +486,35 @@ func TestDatabaseClose(t *testing.T) {
 	if err := loaded.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
 	}
+}
+
+// Regression test: Close must take ownership of the adopted flat stores
+// while holding pmu. An earlier version read and cleared d.flats outside
+// the lock, so two overlapping Close calls raced on the slice (and could
+// release the same memory mappings twice); the race detector sees the
+// unsynchronized read/write pair.
+func TestCloseConcurrent(t *testing.T) {
+	db := testDB(t, 2, "car")
+	path := filepath.Join(t.TempDir(), "db.milret")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDatabase(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := back.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
 }
