@@ -236,11 +236,22 @@ func (s naiveOnlyScorer) BagDist(b *mil.Bag) float64 { return s.c.BagDist(b) }
 // pathological worst case for any pruning scheme.
 const benchCorpusCats = 8
 
+// benchCats scales category count with corpus size the way curated CBIR
+// corpora do (Corel-style collections run ~10² to low-10³ images per
+// category): a fixed 8 categories at 100k bags would make 12.5k images
+// "relevant" to every query, which no retrieval workload looks like.
+func benchCats(n int) int {
+	if c := n / 1500; c > benchCorpusCats {
+		return c
+	}
+	return benchCorpusCats
+}
+
 // benchCenters draws the per-category cluster centers; both the corpus and
 // the multi-concept benches derive them from the same seed so concepts land
 // near real categories without retraining.
-func benchCenters(r *rand.Rand, dim int) [][]float64 {
-	centers := make([][]float64, benchCorpusCats)
+func benchCenters(r *rand.Rand, dim, nCats int) [][]float64 {
+	centers := make([][]float64, nCats)
 	for c := range centers {
 		centers[c] = make([]float64, dim)
 		for k := range centers[c] {
@@ -254,18 +265,40 @@ func benchCorpusDB(n, inst, dim int) (*retrieval.Database, *core.Concept) {
 	return benchCorpusDBSharded(n, inst, dim, 1)
 }
 
+// benchRegionProtos is the shared pool of background region prototypes.
+// Featurized image regions repeat a limited vocabulary of surface types
+// (sky, foliage, water, pavement …), each compact in feature space; a bag's
+// clutter is a handful of those types re-sampled with small within-type
+// spread, not isotropic wide-band noise.
+const benchRegionProtos = 32
+
+// benchClutterTypes is how many distinct region types one image's clutter
+// draws from — images repeat their few backgrounds across regions.
+const benchClutterTypes = 3
+
 func benchCorpusDBSharded(n, inst, dim, shards int) (*retrieval.Database, *core.Concept) {
-	const nCats = benchCorpusCats
+	nCats := benchCats(n)
 	r := rand.New(rand.NewSource(42))
-	centers := benchCenters(r, dim)
+	centers := benchCenters(r, dim, nCats)
+	protos := make([][]float64, benchRegionProtos)
+	for t := range protos {
+		protos[t] = make([]float64, dim)
+		for k := range protos[t] {
+			protos[t][k] = r.NormFloat64() * 2
+		}
+	}
 	db := retrieval.NewDatabaseSharded(shards)
 	for i := 0; i < n; i++ {
 		cat := i % nCats
 		bag := &mil.Bag{ID: fmt.Sprintf("img-%06d", i)}
 		// The MIL premise: one region matches the image's concept, the rest
-		// is background clutter. The matching instance lands at a random
-		// position in the bag.
+		// is background clutter from the image's few region types. The
+		// matching instance lands at a random position in the bag.
 		match := r.Intn(inst)
+		var types [benchClutterTypes]int
+		for t := range types {
+			types[t] = r.Intn(benchRegionProtos)
+		}
 		for j := 0; j < inst; j++ {
 			v := make([]float64, dim)
 			if j == match {
@@ -273,8 +306,9 @@ func benchCorpusDBSharded(n, inst, dim, shards int) (*retrieval.Database, *core.
 					v[k] = centers[cat][k] + r.NormFloat64()*0.4
 				}
 			} else {
+				proto := protos[types[r.Intn(benchClutterTypes)]]
 				for k := range v {
-					v[k] = r.NormFloat64() * 2.5
+					v[k] = proto[k] + r.NormFloat64()*0.4
 				}
 			}
 			bag.Instances = append(bag.Instances, v)
@@ -311,6 +345,18 @@ func benchFlatTopK(b *testing.B, n, inst, dim, k int) {
 	}
 }
 
+// benchFlatTopKPruned is benchFlatTopK through the candidate-pruning tier
+// at the conservative (bit-identical) setting — the pair with the exact
+// bench of the same shape measures the sketch filter's win.
+func benchFlatTopKPruned(b *testing.B, n, inst, dim, k int) {
+	db, concept := benchCorpusDB(n, inst, dim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		retrieval.TopK(db, concept, k, retrieval.Options{Recall: 1})
+	}
+}
+
 func BenchmarkRank1k(b *testing.B)  { benchFlatRank(b, 1_000, 40, 100) }
 func BenchmarkRank10k(b *testing.B) { benchFlatRank(b, 10_000, 10, 100) }
 func BenchmarkRank50k(b *testing.B) { benchFlatRank(b, 50_000, 4, 64) }
@@ -318,6 +364,14 @@ func BenchmarkRank50k(b *testing.B) { benchFlatRank(b, 50_000, 4, 64) }
 func BenchmarkTopK1k(b *testing.B)  { benchFlatTopK(b, 1_000, 40, 100, 20) }
 func BenchmarkTopK10k(b *testing.B) { benchFlatTopK(b, 10_000, 10, 100, 20) }
 func BenchmarkTopK50k(b *testing.B) { benchFlatTopK(b, 50_000, 4, 64, 20) }
+
+func BenchmarkTopKPruned10k(b *testing.B) { benchFlatTopKPruned(b, 10_000, 10, 100, 20) }
+
+// The ≥100k pair the pruning tier's acceptance criterion is judged on:
+// identical corpus and query, exact vs filtered, at the same bag shape the
+// 1k/10k benches use (10 regions per image, 100 features).
+func BenchmarkTopK100k(b *testing.B)       { benchFlatTopK(b, 100_000, 10, 100, 20) }
+func BenchmarkTopKPruned100k(b *testing.B) { benchFlatTopKPruned(b, 100_000, 10, 100, 20) }
 
 // Delete-heavy workload: the same 10k corpus with 30% of the bags
 // tombstoned (below the auto-compaction threshold shape: deletes spread
@@ -465,7 +519,7 @@ func BenchmarkTopKNaive10k(b *testing.B) {
 // prove MultiTopK ≡ per-concept TopK).
 func benchCorpusConcepts(nc, dim int) []retrieval.Scorer {
 	r := rand.New(rand.NewSource(42))
-	centers := benchCenters(r, dim)
+	centers := benchCenters(r, dim, benchCorpusCats)
 	scorers := make([]retrieval.Scorer, nc)
 	for i := range scorers {
 		point := make([]float64, dim)

@@ -25,6 +25,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -72,12 +73,25 @@ type ltPhase struct {
 	Classes map[string]*ltLatency `json:"classes"`
 }
 
+// ltPrune is the candidate-filter block of the report: the server's
+// cumulative screen counters after the steady phase, plus the achieved
+// recall measured by replaying each query fingerprint pruned and exact and
+// comparing the top-k sets (only measurable against a filtered scan).
+type ltPrune struct {
+	Screened       int64   `json:"screened"`
+	Admitted       int64   `json:"admitted"`
+	Rejected       int64   `json:"rejected"`
+	AchievedRecall float64 `json:"achieved_recall,omitempty"`
+}
+
 // ltReport is the loadtest's full output, also written as JSON via -out.
 type ltReport struct {
 	Target      string   `json:"target"`
 	Images      int      `json:"images"`
 	Concurrency int      `json:"concurrency"`
 	RatePerSec  float64  `json:"rate_per_sec,omitempty"`
+	Recall      float64  `json:"recall,omitempty"`
+	Prune       *ltPrune `json:"prune,omitempty"`
 	Steady      *ltPhase `json:"steady"`
 	WarmRestart *ltPhase `json:"warm_restart,omitempty"`
 	ColdRestart *ltPhase `json:"cold_restart,omitempty"`
@@ -92,6 +106,8 @@ func cmdLoadtest(args []string) error {
 	dbPath := fs.String("db", "", "existing database to serve in-process (default: build a synthetic corpus)")
 	addr := fs.String("addr", "", "drive an already-running server at this address instead of starting one in-process (restart phases are skipped)")
 	synthN := fs.Int("synth", 3, "images per category of the synthetic corpus built when -db is empty")
+	imagesN := fs.Int("images", 0, "total synthetic corpus size when -db is empty (overrides -synth): images are generated and ingested one at a time, so large corpora build without holding the corpus in memory")
+	recall := fs.Float64("recall", 0, "candidate-pruning tier for query scans (see serve -recall): 0 leaves the server's default, 1.0 the bit-identical filter, (0,1) calibrated; sent per request, so it also applies to an external -addr server")
 	duration := fs.Duration("duration", 10*time.Second, "steady-phase length")
 	concurrency := fs.Int("concurrency", 4, "closed-loop worker count")
 	rate := fs.Float64("rate", 0, "open-loop target ops/sec across all workers (0 = closed loop, as fast as the server allows)")
@@ -108,7 +124,7 @@ func cmdLoadtest(args []string) error {
 	if err := applyKernel(); err != nil {
 		return err
 	}
-	rep := &ltReport{Concurrency: *concurrency, RatePerSec: *rate}
+	rep := &ltReport{Concurrency: *concurrency, RatePerSec: *rate, Recall: *recall}
 	var base string
 	var h *ltHarness
 	if *addr != "" {
@@ -116,7 +132,7 @@ func cmdLoadtest(args []string) error {
 		rep.Target = base
 	} else {
 		var err error
-		h, err = startHarness(*dbPath, *synthN, *cacheMB)
+		h, err = startHarness(*dbPath, *synthN, *imagesN, *cacheMB, *recall)
 		if err != nil {
 			return err
 		}
@@ -137,6 +153,9 @@ func cmdLoadtest(args []string) error {
 		base: base, specs: specs, k: *k,
 		mutEvery: *mutEvery, batchEvery: *batchEvery,
 	}
+	if *recall != 0 {
+		gen.recall = recall
+	}
 	if gen.mutEvery > 0 {
 		if gen.mutIDs, err = fetchIDs(base); err != nil {
 			return err
@@ -144,6 +163,19 @@ func cmdLoadtest(args []string) error {
 	}
 	rep.Steady = runPhase(gen, *concurrency, *rate, *duration)
 	printPhase("steady", rep.Steady)
+
+	if pr := fetchPrune(base); pr != nil {
+		rep.Prune = &ltPrune{Screened: pr.Screened, Admitted: pr.Admitted, Rejected: pr.Rejected}
+		line := fmt.Sprintf("prune: screened %d, admitted %d, rejected %d (%.1f%%)",
+			pr.Screened, pr.Admitted, pr.Rejected, 100*float64(pr.Rejected)/float64(pr.Screened))
+		if *recall > 0 {
+			if ar, ok := measureAchievedRecall(gen, specs, *recall); ok {
+				rep.Prune.AchievedRecall = ar
+				line += fmt.Sprintf(", achieved recall %.4f", ar)
+			}
+		}
+		fmt.Println(line)
+	}
 
 	if h != nil {
 		// Warm restart: capture the sidecar, reopen with it, replay.
@@ -198,16 +230,24 @@ type ltHarness struct {
 	dbPath  string
 	ccFile  string
 	cacheMB int
+	recall  float64
 	db      *milret.Database
 	srv     *http.Server
 	ln      net.Listener
 	done    chan error
 }
 
+// errCorpusReady stops the streaming corpus generator once the -images
+// target is reached.
+var errCorpusReady = errors.New("corpus target reached")
+
 // startHarness builds (or opens) the store and starts serving it on an
-// ephemeral local port.
-func startHarness(dbPath string, synthN, cacheMB int) (*ltHarness, error) {
-	h := &ltHarness{cacheMB: cacheMB}
+// ephemeral local port. A synthetic corpus is generated item by item
+// (synth.ObjectsEach) and ingested as it streams, so the harness never
+// holds more than one decoded image — -images can exceed RAM-sized
+// corpora without the builder itself becoming the bottleneck.
+func startHarness(dbPath string, synthN, images, cacheMB int, recall float64) (*ltHarness, error) {
+	h := &ltHarness{cacheMB: cacheMB, recall: recall}
 	if dbPath == "" {
 		dir, err := os.MkdirTemp("", "milret-loadtest-*")
 		if err != nil {
@@ -218,10 +258,25 @@ func startHarness(dbPath string, synthN, cacheMB int) (*ltHarness, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, it := range synth.ObjectsN(41, synthN) {
-			if err := db.AddImage(it.ID, it.Label, it.Image); err != nil {
-				return nil, err
+		perCat, target := synthN, 0
+		if images > 0 {
+			nCats := len(synth.ObjectCategories)
+			perCat = (images + nCats - 1) / nCats
+			target = images
+		}
+		added := 0
+		err = synth.ObjectsEach(41, perCat, func(it synth.Item) error {
+			if target > 0 && added >= target {
+				return errCorpusReady
 			}
+			if err := db.AddImage(it.ID, it.Label, it.Image); err != nil {
+				return err
+			}
+			added++
+			return nil
+		})
+		if err != nil && err != errCorpusReady {
+			return nil, err
 		}
 		if err := db.Save(dbPath); err != nil {
 			return nil, err
@@ -243,7 +298,7 @@ func (h *ltHarness) open(warm bool) error {
 		ccFile = ""
 	}
 	db, err := milret.LoadDatabase(h.dbPath, milret.Options{
-		ConceptCacheMB: h.cacheMB, ConceptCacheFile: ccFile,
+		ConceptCacheMB: h.cacheMB, ConceptCacheFile: ccFile, Recall: h.recall,
 	})
 	if err != nil {
 		return err
@@ -312,6 +367,59 @@ func fetchLabeled(base string) (map[string][]string, error) {
 	return byLabel, nil
 }
 
+// fetchPrune reads the server's cumulative candidate-filter counters from
+// /v1/stats; nil when the server has not run a pruned scan (the stats block
+// is omitted) or the endpoint is unreachable.
+func fetchPrune(base string) *server.PruneStatsResponse {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var st server.StatsResponse
+	if json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return nil
+	}
+	return st.Prune
+}
+
+// measureAchievedRecall replays each query fingerprint twice — once through
+// the filter at the requested recall, once with pruning forced off — and
+// returns the fraction of exact top-k results the pruned scan kept. ok is
+// false when no comparison could be made.
+func measureAchievedRecall(g *ltGen, specs []ltSpec, recall float64) (float64, bool) {
+	exact := -1.0
+	total, kept := 0, 0
+	for _, sp := range specs {
+		req := server.QueryRequest{
+			Positives: sp.Positives, Negatives: sp.Negatives, K: g.k, Mode: "identical",
+			Recall: &recall,
+		}
+		var pruned, full server.QueryResponse
+		if g.post("/v1/query", req, &pruned) != nil {
+			return 0, false
+		}
+		req.Recall = &exact
+		if g.post("/v1/query", req, &full) != nil {
+			return 0, false
+		}
+		got := make(map[string]bool, len(pruned.Results))
+		for _, r := range pruned.Results {
+			got[r.ID] = true
+		}
+		for _, r := range full.Results {
+			total++
+			if got[r.ID] {
+				kept++
+			}
+		}
+	}
+	if total == 0 {
+		return 0, false
+	}
+	return float64(kept) / float64(total), true
+}
+
 func fetchIDs(base string) ([]string, error) {
 	byLabel, err := fetchLabeled(base)
 	if err != nil {
@@ -376,6 +484,7 @@ type ltGen struct {
 	k          int
 	mutEvery   int
 	batchEvery int
+	recall     *float64 // per-request pruning override; nil leaves the server default
 	client     http.Client
 }
 
@@ -407,6 +516,7 @@ func (g *ltGen) query(seq int) (string, error) {
 	var resp server.QueryResponse
 	err := g.post("/v1/query", server.QueryRequest{
 		Positives: sp.Positives, Negatives: sp.Negatives, K: g.k, Mode: "identical",
+		Recall: g.recall,
 	}, &resp)
 	if err != nil {
 		return "", err
@@ -425,7 +535,7 @@ func (g *ltGen) batch(seq int) (string, error) {
 		qs = append(qs, server.BatchQuery{Positives: sp.Positives, Negatives: sp.Negatives, Mode: "identical"})
 	}
 	var resp server.BatchRetrieveResponse
-	if err := g.post("/v1/retrieve/batch", server.BatchRetrieveRequest{Queries: qs, K: g.k}, &resp); err != nil {
+	if err := g.post("/v1/retrieve/batch", server.BatchRetrieveRequest{Queries: qs, K: g.k, Recall: g.recall}, &resp); err != nil {
 		return "", err
 	}
 	return "batch", nil

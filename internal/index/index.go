@@ -62,6 +62,20 @@ type Index struct {
 	// sequentially instead of touching one scattered cache line per row
 	// (mat.MinWeightedSqDistRowsHead). Empty when dim < KernelBlock.
 	rowBlk []float64
+	// boxes packs each bag's axis-aligned instance bounding box (float32,
+	// lo/hi interleaved per dimension — mat.PackBagSketch) over the bag's
+	// leading boxDims(dim) dimensions: bag i's box is
+	// boxes[i*mat.BoxStride*boxDims(dim) : (i+1)*mat.BoxStride*boxDims(dim)].
+	// Capping the box at ScreenBoxDims keeps the screen's stream small and
+	// sequential — a prefix bound is still a valid lower bound (its dropped
+	// terms are non-negative), and in practice rejection decides within the
+	// first few kernel blocks. reps packs each bag's float32 centroid
+	// representative over all dims: reps[i*dim : (i+1)*dim]. Both are
+	// maintained on every build path exactly like rowBlk — Append, FromFlat
+	// (so a zero-copy open and a compaction rebuild them for free) — and
+	// consumed by the opt-in candidate-pruning tier (prune.go).
+	boxes []float32
+	reps  []float32
 	// dead is a tombstone bitmask over bags (bit i set = bag i deleted).
 	// Dead bags keep their rows in the flat block — scans skip them — until
 	// the owner rebuilds the index (retrieval.Database.Compact). nil while
@@ -76,6 +90,23 @@ type Index struct {
 	// owner's read lock: concurrent snapshotters may set it simultaneously,
 	// while UpdateLabel inspects it only under the owner's write lock.
 	labelsShared atomic.Bool
+}
+
+// ScreenBoxDims caps how many leading dimensions a bag's screen box covers.
+// The candidate filter streams every live bag's box on each pruned scan, so
+// box bytes are the screen's cost floor; measured crossing points (the
+// dimension at which a rejected bag's bound passes the cutoff) sit in the
+// first few kernel blocks, so dimensions past the cap almost never decide a
+// rejection — they would only widen the stream.
+const ScreenBoxDims = 64
+
+// boxDims returns how many leading dimensions the screen boxes of a
+// dim-dimensional index cover.
+func boxDims(dim int) int {
+	if dim < ScreenBoxDims {
+		return dim
+	}
+	return ScreenBoxDims
 }
 
 // New returns an empty index.
@@ -113,6 +144,7 @@ func (x *Index) Append(id, label string, instances []mat.Vector) error {
 	if x.dim == 0 {
 		x.dim = dim
 	}
+	rowStart := x.bagOffsets[len(x.bagOffsets)-1]
 	for _, inst := range instances {
 		x.data = append(x.data, inst...)
 	}
@@ -121,6 +153,11 @@ func (x *Index) Append(id, label string, instances []mat.Vector) error {
 			x.rowBlk = append(x.rowBlk, inst[:mat.KernelBlock]...)
 		}
 	}
+	bi := len(x.ids)
+	bd := boxDims(dim)
+	x.boxes = append(x.boxes, make([]float32, mat.BoxStride*bd)...)
+	x.reps = append(x.reps, make([]float32, dim)...)
+	mat.PackBagSketch(dim, x.data[rowStart*dim:], x.boxes[bi*mat.BoxStride*bd:(bi+1)*mat.BoxStride*bd], x.reps[bi*dim:])
 	x.bagOffsets = append(x.bagOffsets, x.bagOffsets[len(x.bagOffsets)-1]+len(instances))
 	x.ids = append(x.ids, id)
 	x.labels = append(x.labels, label)
@@ -161,8 +198,28 @@ func FromFlat(dim int, data []float64, counts []int, ids, labels []string) (*Ind
 	if len(counts) > 0 {
 		x.dim = dim
 		x.rowBlk = packRowBlocks(dim, data)
+		x.boxes, x.reps = packSketches(dim, data, offsets)
 	}
 	return x, nil
+}
+
+// packSketches builds every bag's bounding box and representative from a
+// row-major data block (mat.PackBagSketch per bag) — the FromFlat
+// counterpart of the incremental sketch maintenance in Append. Like
+// packRowBlocks this is one sequential pass at open time; the sketches are
+// what the candidate-pruning tier screens bags with, and rebuilding them
+// here is why the store format needs no sketch record: a zero-copy open or
+// a compaction regenerates them from the rows.
+func packSketches(dim int, data []float64, offsets []int) (boxes, reps []float32) {
+	nb := len(offsets) - 1
+	bd := boxDims(dim)
+	boxes = make([]float32, nb*mat.BoxStride*bd)
+	reps = make([]float32, nb*dim)
+	for i := 0; i < nb; i++ {
+		mat.PackBagSketch(dim, data[offsets[i]*dim:offsets[i+1]*dim],
+			boxes[i*mat.BoxStride*bd:(i+1)*mat.BoxStride*bd], reps[i*dim:])
+	}
+	return boxes, reps
 }
 
 // packRowBlocks copies each row's first kernel block out of a row-major
@@ -261,10 +318,19 @@ func (x *Index) Snapshot() Snapshot {
 	if n := x.bagOffsets[len(x.ids)] * mat.KernelBlock; n > 0 && len(x.rowBlk) >= n {
 		blk = x.rowBlk[:n:n]
 	}
+	var boxes, reps []float32
+	if n := len(x.ids) * mat.BoxStride * boxDims(x.dim); n > 0 && len(x.boxes) >= n {
+		boxes = x.boxes[:n:n]
+	}
+	if n := len(x.ids) * x.dim; n > 0 && len(x.reps) >= n {
+		reps = x.reps[:n:n]
+	}
 	return Snapshot{
 		dim:        x.dim,
 		data:       x.data[:len(x.data):len(x.data)],
 		rowBlk:     blk,
+		boxes:      boxes,
+		reps:       reps,
 		bagOffsets: x.bagOffsets[:len(x.ids)+1],
 		ids:        x.ids[:len(x.ids)],
 		labels:     x.labels[:len(x.ids)],
@@ -283,6 +349,8 @@ type Snapshot struct {
 	dim        int
 	data       []float64
 	rowBlk     []float64 // packed per-row first blocks; see Index.rowBlk
+	boxes      []float32 // per-bag bounding boxes; see Index.boxes
+	reps       []float32 // per-bag representatives; see Index.reps
 	bagOffsets []int
 	ids        []string
 	labels     []string
@@ -468,7 +536,7 @@ func (s Snapshot) TopK(q Query, k int, exclude map[string]bool, par int) []Resul
 	if k >= n {
 		return s.Rank(q, exclude, par)
 	}
-	merged := scanTopKCandidates([]Snapshot{s}, q, k, exclude, resolvePar(par), newSharedCutoff())
+	merged := scanTopKCandidates([]Snapshot{s}, q, k, exclude, resolvePar(par), newSharedCutoff(), nil)
 	sortResults(merged)
 	if len(merged) > k {
 		merged = merged[:k]
@@ -529,7 +597,7 @@ func (s Snapshot) MultiTopK(qs []Query, k int, exclude map[string]bool, par int)
 	for qi := range shared {
 		shared[qi] = newSharedCutoff()
 	}
-	cands := scanMultiTopKCandidates([]Snapshot{s}, qs, k, exclude, resolvePar(par), shared)
+	cands := scanMultiTopKCandidates([]Snapshot{s}, qs, k, exclude, resolvePar(par), shared, nil)
 	for qi, merged := range cands {
 		sortResults(merged)
 		if len(merged) > k {

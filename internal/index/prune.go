@@ -1,0 +1,345 @@
+// The candidate-pruning tier: an opt-in coarse filter in front of the exact
+// scan. Every bag carries a compact sketch (a float32 bounding box over its
+// instances plus a centroid representative — Index.boxes/Index.reps, built
+// on Append and FromFlat exactly like rowBlk), and a pruned top-k scan
+// screens each bag's box against the current k-th-best cutoff before
+// touching any instance row: mat.BoxBoundExceeds lower-bounds the bag's
+// exact min-instance distance, so a bag whose bound already exceeds the
+// cutoff provably cannot enter the top-k and is skipped without reading its
+// rows. Surviving bags run through the unchanged exact blocked kernel.
+//
+// Correctness at Recall ≥ 1 (rho = 1) is unconditional, not probabilistic:
+//
+//   - The bound never exceeds the exact distance (outward-rounded box +
+//     mirrored accumulation order — see mat/sketch.go), so for a true top-k
+//     member bound ≤ exact ≤ cutoff and the strict > rejection never fires.
+//   - The shared cutoff is always an upper bound on the global k-th best
+//     (any worker's published root is the k-th best of a candidate subset),
+//     so a rejected bag has exact distance strictly above the global k-th
+//     best and cannot appear in the output even via ID tie-breaks.
+//   - Skipping such a bag is semantically identical to tombstoning it:
+//     cutoffs only ever tighten from bags that produce results, so
+//     survivors' distances and order carry the exact scan's bits.
+//
+// Recall < 1 trades that guarantee for speed: rejection tightens to
+// bound > rho·cutoff with rho the Recall-quantile of sampled bound/exact
+// ratios, so the probability that a uniformly sampled true member is
+// wrongly rejected is ≈ 1−Recall (quantified in prune_test.go).
+//
+// Pruned single-query scans additionally seed the shared cutoff before the
+// scan starts: a strided sample of bags is ordered by representative
+// distance, the best k are scored exactly, and their worst distance — an
+// upper bound on the global k-th best by the same subset argument — primes
+// the filter so rejection starts at bag 0 instead of after the heaps fill.
+package index
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"milret/internal/mat"
+)
+
+// PruneOpts configures the candidate filter for one query. The zero value
+// disables it (the scan is the plain exact scan).
+type PruneOpts struct {
+	// Recall selects the filter tier: ≤ 0 disables the filter; ≥ 1 enables
+	// the conservative bound (results bit-identical to the exact scan);
+	// values in (0, 1) additionally tighten the bound by a
+	// quantile-calibrated slack so that an expected ≥ Recall fraction of
+	// true top-k members survive.
+	Recall float64
+	// Stats, when non-nil, accumulates the filter's admission counters
+	// (flushed once per scan worker, not per bag).
+	Stats *PruneStats
+}
+
+// PruneStats counts candidate-filter admission decisions. Screened is the
+// number of bags that reached an armed filter (a finite cutoff existed);
+// every screened bag is either Admitted (scored exactly) or Rejected
+// (skipped on its box bound alone). Bags scanned while the cutoff was still
+// +Inf are not counted — the filter cannot act without a cutoff.
+type PruneStats struct {
+	Screened atomic.Int64
+	Admitted atomic.Int64
+	Rejected atomic.Int64
+}
+
+func (st *PruneStats) add(screened, admitted, rejected int64) {
+	if st == nil || screened == 0 {
+		return
+	}
+	st.Screened.Add(screened)
+	st.Admitted.Add(admitted)
+	st.Rejected.Add(rejected)
+}
+
+// pruneFilter is one query's armed filter: its geometry, the calibrated
+// rejection slack (1 = conservative), and the stats sink.
+type pruneFilter struct {
+	q     Query
+	rho   float64
+	stats *PruneStats
+}
+
+// reject reports whether bag i of s is screened out: its box lower bound —
+// over the box's leading boxDims(dim) dimensions; the dropped dimensions'
+// terms are non-negative, so the prefix bound only under-estimates —
+// strictly exceeds rho·cutoff. With rho = 1 this is a proof the bag cannot
+// enter the top-k; with rho < 1 it is a calibrated prediction.
+func (f *pruneFilter) reject(s *Snapshot, i int, cutoff float64) bool {
+	thr := cutoff
+	if f.rho < 1 {
+		thr = f.rho * cutoff
+	}
+	bd := boxDims(s.dim)
+	stride := mat.BoxStride * bd
+	return mat.BoxBoundExceeds(f.q.Point[:bd], f.q.Weights[:bd], s.boxes[i*stride:(i+1)*stride], thr)
+}
+
+// calibrationSample is the number of bags sampled to estimate the
+// bound/exact ratio distribution when Recall < 1.
+const calibrationSample = 64
+
+// seedSample is the number of bags whose representatives are probed to
+// seed the shared cutoff before a pruned single-query scan.
+const seedSample = 256
+
+// newPruneFilter arms the filter for q, or returns nil when it is off or
+// cannot apply: Recall ≤ 0 (disabled), negative weights (the bound's
+// monotonicity argument needs non-negative terms), or missing sketches.
+func newPruneFilter(q Query, opts PruneOpts, shards []Snapshot) *pruneFilter {
+	if opts.Recall <= 0 || !q.prunable() {
+		return nil
+	}
+	for _, s := range shards {
+		if s.Len() > 0 && len(s.boxes) < s.Len()*mat.BoxStride*boxDims(s.dim) {
+			return nil
+		}
+	}
+	rho := 1.0
+	if opts.Recall < 1 {
+		rho = calibrateRho(shards, q, opts.Recall)
+	}
+	return &pruneFilter{q: q, rho: rho, stats: opts.Stats}
+}
+
+// calibrateRho estimates the rejection slack for a target recall: sample
+// live bags strided across the shards, measure each one's bound/exact
+// ratio (always ≤ 1 — the bound is a lower bound), and return the
+// recall-quantile of the ratios. Rejecting at bound > rho·cutoff then
+// wrongly rejects a true member only when its ratio exceeds rho, which a
+// uniformly sampled bag does with probability ≈ 1−recall.
+func calibrateRho(shards []Snapshot, q Query, recall float64) float64 {
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+	}
+	stride := total/calibrationSample + 1
+	ratios := make([]float64, 0, calibrationSample)
+	for si := range shards {
+		s := &shards[si]
+		bd := boxDims(s.dim)
+		boxStride := mat.BoxStride * bd
+		for i := 0; i < s.Len(); i += stride {
+			if s.isDead(i) {
+				continue
+			}
+			exact := s.bagDist(q, i, math.Inf(1), false)
+			if math.IsNaN(exact) || math.IsInf(exact, 0) {
+				continue
+			}
+			if exact <= 0 {
+				ratios = append(ratios, 1)
+				continue
+			}
+			bound := mat.BoxBound(q.Point[:bd], q.Weights[:bd], s.boxes[i*boxStride:(i+1)*boxStride])
+			ratios = append(ratios, bound/exact)
+		}
+	}
+	if len(ratios) == 0 {
+		return 1
+	}
+	sort.Float64s(ratios)
+	idx := int(math.Ceil(recall*float64(len(ratios)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ratios) {
+		idx = len(ratios) - 1
+	}
+	return ratios[idx]
+}
+
+// seedCutoff primes the shared cutoff before a pruned single-query scan: a
+// strided sample of live, non-excluded bags is ordered by (cheap, float32)
+// representative distance, the k most promising are scored exactly, and the
+// worst of those k exact distances is published. That maximum is an upper
+// bound on the global k-th best — the k-th smallest over all candidates
+// cannot exceed the largest of any k of them — so tightening to it is as
+// safe as any worker-published root, and the filter starts rejecting from
+// the first bag instead of idling until k bags have been scored.
+func seedCutoff(shards []Snapshot, q Query, k int, exclude map[string]bool, shared *sharedCutoff) {
+	type seed struct {
+		si, i int
+		repD  float64
+	}
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+	}
+	stride := total/seedSample + 1
+	cands := make([]seed, 0, seedSample)
+	for si := range shards {
+		s := &shards[si]
+		for i := 0; i < s.Len(); i += stride {
+			if s.skip(i, exclude) {
+				continue
+			}
+			d := mat.RepSqDist(q.Point, q.Weights, s.reps[i*s.dim:(i+1)*s.dim], math.Inf(1))
+			if math.IsNaN(d) {
+				d = math.Inf(1) // order NaN reps last; they stay candidates
+			}
+			cands = append(cands, seed{si: si, i: i, repD: d})
+		}
+	}
+	if len(cands) < k {
+		return
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].repD < cands[b].repD })
+	worst := 0.0
+	for _, c := range cands[:k] {
+		s := &shards[c.si]
+		d := s.bagDist(q, c.i, math.Inf(1), true)
+		if math.IsNaN(d) {
+			return // a NaN exact distance has no usable ordering; skip seeding
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	shared.tighten(worst)
+}
+
+// TopKPruned is TopK behind the candidate filter: identical signature
+// semantics plus PruneOpts. With opts.Recall ≥ 1 (or a zero opts, where the
+// filter stays off) the output is bit-identical to TopK; Recall in (0, 1)
+// trades a quantified fraction of recall for speed.
+func (s Snapshot) TopKPruned(q Query, k int, exclude map[string]bool, par int, opts PruneOpts) []Result {
+	if k <= 0 {
+		return nil
+	}
+	n := s.Len()
+	if n == 0 {
+		return normalizeEmpty(nil)
+	}
+	if k >= n {
+		return s.Rank(q, exclude, par)
+	}
+	return topKFiltered([]Snapshot{s}, q, k, exclude, resolvePar(par), opts)
+}
+
+// TopKPruned is the sharded counterpart of Snapshot.TopKPruned: Sharded.TopK
+// behind the candidate filter, one filter and one seeded cutoff spanning
+// every shard.
+func (sh Sharded) TopKPruned(q Query, k int, exclude map[string]bool, par int, opts PruneOpts) []Result {
+	if k <= 0 {
+		return nil
+	}
+	if len(sh) == 0 {
+		return normalizeEmpty(nil)
+	}
+	if len(sh) == 1 {
+		return sh[0].TopKPruned(q, k, exclude, par, opts)
+	}
+	if sh.Bags() == 0 {
+		return normalizeEmpty(nil)
+	}
+	return topKFiltered(sh, q, k, exclude, resolvePar(par), opts)
+}
+
+func topKFiltered(shards []Snapshot, q Query, k int, exclude map[string]bool, par int, opts PruneOpts) []Result {
+	filt := newPruneFilter(q, opts, shards)
+	shared := newSharedCutoff()
+	if filt != nil {
+		seedCutoff(shards, q, k, exclude, shared)
+	}
+	merged := scanTopKCandidates(shards, q, k, exclude, par, shared, filt)
+	sortResults(merged)
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return normalizeEmpty(merged)
+}
+
+// MultiTopKPruned is MultiTopK behind the candidate filter: every query gets
+// its own filter (armed independently — a query with negative weights scans
+// unfiltered while its batch-mates prune). Cutoffs are not pre-seeded; the
+// batched scan's heaps arm the filters within the first k bags.
+func (s Snapshot) MultiTopKPruned(qs []Query, k int, exclude map[string]bool, par int, opts PruneOpts) [][]Result {
+	return multiTopKFiltered([]Snapshot{s}, s.Len(), qs, k, exclude, par, opts)
+}
+
+// MultiTopKPruned is the sharded counterpart of Snapshot.MultiTopKPruned.
+func (sh Sharded) MultiTopKPruned(qs []Query, k int, exclude map[string]bool, par int, opts PruneOpts) [][]Result {
+	if len(sh) == 1 {
+		return sh[0].MultiTopKPruned(qs, k, exclude, par, opts)
+	}
+	return multiTopKFiltered(sh, sh.Bags(), qs, k, exclude, par, opts)
+}
+
+func multiTopKFiltered(shards []Snapshot, n int, qs []Query, k int, exclude map[string]bool, par int, opts PruneOpts) [][]Result {
+	nq := len(qs)
+	if nq == 0 {
+		return nil
+	}
+	outs := make([][]Result, nq)
+	if k <= 0 {
+		return outs
+	}
+	if n == 0 {
+		for qi := range outs {
+			outs[qi] = normalizeEmpty(nil)
+		}
+		return outs
+	}
+	if k >= n {
+		// Degenerate: every candidate survives, so there is nothing to
+		// filter; match MultiTopK's exact behavior per query.
+		for qi, q := range qs {
+			outs[qi] = Sharded(shards).Rank(q, exclude, par)
+		}
+		return outs
+	}
+	if nq > mat.ScreenMaxConcepts {
+		for lo := 0; lo < nq; lo += mat.ScreenMaxConcepts {
+			hi := lo + mat.ScreenMaxConcepts
+			if hi > nq {
+				hi = nq
+			}
+			copy(outs[lo:hi], multiTopKFiltered(shards, n, qs[lo:hi], k, exclude, par, opts))
+		}
+		return outs
+	}
+	shared := make([]*sharedCutoff, nq)
+	filts := make([]*pruneFilter, nq)
+	armed := false
+	for qi := range shared {
+		shared[qi] = newSharedCutoff()
+		filts[qi] = newPruneFilter(qs[qi], opts, shards)
+		armed = armed || filts[qi] != nil
+	}
+	if !armed {
+		filts = nil
+	}
+	cands := scanMultiTopKCandidates(shards, qs, k, exclude, resolvePar(par), shared, filts)
+	for qi, merged := range cands {
+		sortResults(merged)
+		if len(merged) > k {
+			merged = merged[:k]
+		}
+		outs[qi] = normalizeEmpty(merged)
+	}
+	return outs
+}

@@ -1,0 +1,349 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"milret/internal/mat"
+)
+
+// exactOpts is the conservative tier: every result must be bit-identical to
+// the unfiltered scan.
+var exactOpts = PruneOpts{Recall: 1}
+
+// The tentpole acceptance property: at Recall 1 the filtered scans are
+// bit-identical — distances, labels, ID tie-breaks — to the exact TopK and
+// MultiTopK, across random shard counts, tombstones, exclusions, k and
+// parallelism.
+func TestQuickPrunedMatchesExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(20)
+		n := 1 + r.Intn(60)
+		nShards := 1 + r.Intn(5)
+		single, sharded := buildShardedPair(t, r, n, dim, 3, nShards, r.Intn(2) == 0)
+
+		q := randQueryFor(r, dim)
+		q2 := randQueryFor(r, dim)
+		exclude := map[string]bool{}
+		for i := 0; i < n; i++ {
+			if r.Intn(6) == 0 {
+				exclude[fmt.Sprintf("img-%04d", i)] = true
+			}
+		}
+		par := 1 + r.Intn(8)
+		for _, k := range []int{1, n / 2, n, n + 7} {
+			if k < 1 {
+				k = 1
+			}
+			if !reflect.DeepEqual(single.TopKPruned(q, k, exclude, par, exactOpts), single.TopK(q, k, exclude, par)) {
+				t.Logf("single-block TopKPruned(%d) diverged", k)
+				return false
+			}
+			if !reflect.DeepEqual(sharded.TopKPruned(q, k, exclude, par, exactOpts), sharded.TopK(q, k, exclude, par)) {
+				t.Logf("sharded TopKPruned(%d) diverged", k)
+				return false
+			}
+		}
+		k := 1 + r.Intn(n)
+		if !reflect.DeepEqual(
+			single.MultiTopKPruned([]Query{q, q2}, k, exclude, par, exactOpts),
+			single.MultiTopK([]Query{q, q2}, k, exclude, par)) {
+			t.Logf("single-block MultiTopKPruned(%d) diverged", k)
+			return false
+		}
+		if !reflect.DeepEqual(
+			sharded.MultiTopKPruned([]Query{q, q2}, k, exclude, par, exactOpts),
+			sharded.MultiTopK([]Query{q, q2}, k, exclude, par)) {
+			t.Logf("sharded MultiTopKPruned(%d) diverged", k)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Cross-shard ties at the k-th boundary must break by ID through the filter
+// too: identical bags across shards, pruned scan vs exact single-block scan.
+func TestPrunedCrossShardTieBreaks(t *testing.T) {
+	ids := []string{"d", "a", "c", "b", "f", "e"}
+	single := New()
+	sharded := []*Index{New(), New()}
+	for i, id := range ids {
+		insts := []mat.Vector{{1, 0}}
+		if err := single.Append(id, "l", insts); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded[i%2].Append(id, "l", insts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	view := Sharded{sharded[0].Snapshot(), sharded[1].Snapshot()}
+	q := Query{Point: []float64{0, 0}, Weights: []float64{1, 1}}
+	for k := 1; k <= len(ids)+1; k++ {
+		got := view.TopKPruned(q, k, nil, 3, exactOpts)
+		want := single.Snapshot().TopK(q, k, nil, 3)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("k=%d: got %+v want %+v", k, got, want)
+		}
+	}
+}
+
+// A block adopted via FromFlat (the compaction / load path) must carry
+// sketches equivalent to the Append-built ones: pruned scans over both
+// stay bit-identical to the exact scan after deletes and further appends.
+func TestPrunedFromFlatAndMutation(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	dim, n := 6, 40
+	var data []float64
+	var counts []int
+	var ids, labels []string
+	x := New()
+	for i := 0; i < n; i++ {
+		nInst := 1 + r.Intn(3)
+		insts := make([]mat.Vector, nInst)
+		for j := range insts {
+			v := make(mat.Vector, dim)
+			for k := range v {
+				v[k] = r.NormFloat64()
+			}
+			insts[j] = v
+			data = append(data, v...)
+		}
+		id := fmt.Sprintf("b%03d", i)
+		ids = append(ids, id)
+		labels = append(labels, "l")
+		counts = append(counts, nInst)
+		if err := x.Append(id, "l", insts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	adopted, err := FromFlat(dim, data, counts, ids, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate both the same way: tombstone a third, append two more bags.
+	for _, idx := range []*Index{x, adopted} {
+		for i := 0; i < n; i += 3 {
+			if err := idx.Delete(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 2; i++ {
+			v := make(mat.Vector, dim)
+			for k := range v {
+				v[k] = float64(i*dim + k)
+			}
+			if err := idx.Append(fmt.Sprintf("extra%d", i), "l", []mat.Vector{v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := randQueryFor(r, dim)
+		k := 1 + r.Intn(n)
+		want := x.Snapshot().TopK(q, k, nil, 4)
+		for name, s := range map[string]Snapshot{"append": x.Snapshot(), "fromflat": adopted.Snapshot()} {
+			if got := s.TopKPruned(q, k, nil, 4, exactOpts); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d (%s): pruned diverged\n got %+v\nwant %+v", trial, name, got, want)
+			}
+		}
+	}
+}
+
+// Pruned scans against immutable snapshots must stay bit-identical to exact
+// scans while the owning index mutates concurrently — the -race build of
+// this test is the concurrency half of the tentpole acceptance. Index is
+// not itself goroutine-safe; as in the retrieval layer, mutations and
+// Snapshot() serialize on a lock while the snapshot scans run lock-free.
+func TestPrunedConcurrentMutations(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	dim := 5
+	x := New()
+	var mu sync.Mutex // the test's stand-in for the shard lock
+	for i := 0; i < 30; i++ {
+		v := make(mat.Vector, dim)
+		for k := range v {
+			v[k] = r.NormFloat64()
+		}
+		if err := x.Append(fmt.Sprintf("seed%03d", i), "l", []mat.Vector{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var mut sync.WaitGroup
+	mut.Add(1)
+	go func() {
+		defer mut.Done()
+		mr := rand.New(rand.NewSource(13))
+		// Bounded: an unthrottled mutator grows the index faster than the
+		// racing scans can keep up with, ballooning the -race build's
+		// runtime without adding coverage.
+		for i := 0; i < 500; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := make(mat.Vector, dim)
+			for k := range v {
+				v[k] = mr.NormFloat64()
+			}
+			mu.Lock()
+			err := x.Append(fmt.Sprintf("mut%04d", i), "l", []mat.Vector{v})
+			if err == nil && mr.Intn(2) == 0 {
+				x.Delete(mr.Intn(x.Len()))
+			}
+			mu.Unlock()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var scans sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		scans.Add(1)
+		go func(w int) {
+			defer scans.Done()
+			sr := rand.New(rand.NewSource(int64(100 + w)))
+			for trial := 0; trial < 25; trial++ {
+				mu.Lock()
+				s := x.Snapshot()
+				mu.Unlock()
+				q := randQueryFor(sr, dim)
+				k := 1 + sr.Intn(10)
+				got := s.TopKPruned(q, k, nil, 2, exactOpts)
+				want := s.TopK(q, k, nil, 2)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("worker %d trial %d: pruned diverged under mutation", w, trial)
+					return
+				}
+			}
+		}(w)
+	}
+	scans.Wait()
+	close(stop)
+	mut.Wait()
+}
+
+// At Recall r < 1 the calibrated tier may drop true members, but the
+// achieved recall over many queries must stay near the dial: clustered
+// corpora keep the bound tight, so wrong rejections are the calibrated
+// minority, not the norm. The floor is deliberately loose (r − 0.15) — this
+// pins "the dial means something", not a distributional exactness claim.
+func TestQuantifiedRecallBelowOne(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	dim, n, k := 8, 400, 10
+	x := New()
+	for i := 0; i < n; i++ {
+		center := float64(i % 4)
+		nInst := 1 + r.Intn(3)
+		insts := make([]mat.Vector, nInst)
+		for j := range insts {
+			v := make(mat.Vector, dim)
+			for d := range v {
+				v[d] = center + r.NormFloat64()*0.3
+			}
+			insts[j] = v
+		}
+		if err := x.Append(fmt.Sprintf("bag%04d", i), "l", insts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := x.Snapshot()
+	const recall = 0.9
+	kept, total := 0, 0
+	var stats PruneStats
+	for trial := 0; trial < 50; trial++ {
+		q := randQueryFor(r, dim)
+		exact := s.TopK(q, k, nil, 4)
+		pruned := s.TopKPruned(q, k, nil, 4, PruneOpts{Recall: recall, Stats: &stats})
+		got := map[string]bool{}
+		for _, res := range pruned {
+			got[res.ID] = true
+		}
+		for _, res := range exact {
+			total++
+			if got[res.ID] {
+				kept++
+			}
+		}
+	}
+	achieved := float64(kept) / float64(total)
+	t.Logf("achieved recall %.4f over %d results (screened %d, rejected %d)",
+		achieved, total, stats.Screened.Load(), stats.Rejected.Load())
+	if achieved < recall-0.15 {
+		t.Fatalf("achieved recall %.4f too far below dial %.2f", achieved, recall)
+	}
+	if got := stats.Admitted.Load() + stats.Rejected.Load(); got != stats.Screened.Load() {
+		t.Fatalf("stats invariant broken: screened %d != admitted+rejected %d", stats.Screened.Load(), got)
+	}
+}
+
+// PruneStats must account every screened bag exactly once
+// (Screened = Admitted + Rejected) and only accumulate when a filter is
+// armed; Recall ≤ 0 never screens.
+func TestPruneStatsAccounting(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	dim := 4
+	x := New()
+	for i := 0; i < 200; i++ {
+		v := make(mat.Vector, dim)
+		for k := range v {
+			v[k] = r.NormFloat64()
+		}
+		if err := x.Append(fmt.Sprintf("bag%03d", i), "l", []mat.Vector{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := x.Snapshot()
+	var stats PruneStats
+	q := randQueryFor(r, dim)
+	s.TopKPruned(q, 5, nil, 4, PruneOpts{Recall: 0, Stats: &stats})
+	if stats.Screened.Load() != 0 {
+		t.Fatalf("Recall 0 screened %d bags", stats.Screened.Load())
+	}
+	s.TopKPruned(q, 5, nil, 4, PruneOpts{Recall: 1, Stats: &stats})
+	s.MultiTopKPruned([]Query{q, randQueryFor(r, dim)}, 5, nil, 4, PruneOpts{Recall: 1, Stats: &stats})
+	sc, ad, rj := stats.Screened.Load(), stats.Admitted.Load(), stats.Rejected.Load()
+	if sc == 0 {
+		t.Fatal("armed filter screened nothing")
+	}
+	if ad+rj != sc {
+		t.Fatalf("screened %d != admitted %d + rejected %d", sc, ad, rj)
+	}
+}
+
+// Filtered-scan edge cases mirror the exact scan's: k ≤ 0 is nil, empty
+// views return empty non-nil slices, k ≥ n falls back to the full ranking.
+func TestPrunedEdgeCases(t *testing.T) {
+	q := Query{Point: []float64{0}, Weights: []float64{1}}
+	empty := Sharded{New().Snapshot(), New().Snapshot()}
+	if got := empty.TopKPruned(q, 3, nil, 2, exactOpts); got == nil || len(got) != 0 {
+		t.Fatalf("TopKPruned over empty shards = %+v", got)
+	}
+	if got := New().Snapshot().TopKPruned(q, 0, nil, 1, exactOpts); got != nil {
+		t.Fatalf("k=0 = %+v, want nil", got)
+	}
+	x := New()
+	for i, id := range []string{"a", "b", "c"} {
+		if err := x.Append(id, "l", []mat.Vector{{float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := x.Snapshot()
+	if !reflect.DeepEqual(s.TopKPruned(q, 10, nil, 2, exactOpts), s.TopK(q, 10, nil, 2)) {
+		t.Fatal("k >= n pruned diverged from exact")
+	}
+	outs := empty.MultiTopKPruned([]Query{q}, 3, nil, 2, exactOpts)
+	if len(outs) != 1 || outs[0] == nil || len(outs[0]) != 0 {
+		t.Fatalf("MultiTopKPruned over empty shards = %+v", outs)
+	}
+}

@@ -336,7 +336,7 @@ func scanTopKChunkScreened(s *Snapshot, c chunkSpan, q Query, k int, exclude map
 	}
 }
 
-func scanTopKCandidates(shards []Snapshot, q Query, k int, exclude map[string]bool, par int, shared *sharedCutoff) []Result {
+func scanTopKCandidates(shards []Snapshot, q Query, k int, exclude map[string]bool, par int, shared *sharedCutoff, filt *pruneFilter) []Result {
 	for _, s := range shards {
 		if s.Len() > 0 {
 			q.check(s.dim)
@@ -354,17 +354,20 @@ func scanTopKCandidates(shards []Snapshot, q Query, k int, exclude map[string]bo
 	heaps := make([]resultMaxHeap, nw)
 	runChunked(par, chunks, func(w int, claim func() (chunkSpan, bool)) {
 		h := make(resultMaxHeap, 0, k)
+		var screened, admitted, rejected int64
 		for {
 			c, ok := claim()
 			if !ok {
 				break
 			}
 			s := shards[c.si]
-			if prune && len(s.rowBlk) > 0 {
+			if filt == nil && prune && len(s.rowBlk) > 0 {
 				// Pruned scans over a block with packed first blocks go
 				// through the batched screen: sequential heads traffic for
 				// the abandoned majority, scattered row reads only for
-				// block-0 survivors.
+				// block-0 survivors. Filtered scans take the plain loop
+				// instead — the box test already skips the majority of bags
+				// before any row (or head) is read.
 				scanTopKChunkScreened(&s, c, q, k, exclude, shared, &h)
 				continue
 			}
@@ -381,6 +384,18 @@ func scanTopKCandidates(shards []Snapshot, q Query, k int, exclude map[string]bo
 				if len(h) == k && h[0].Dist < cutoff {
 					cutoff = h[0].Dist
 				}
+				if filt != nil && !math.IsInf(cutoff, 1) {
+					// Box screen: skip the bag without touching its rows when
+					// its lower bound proves (rho = 1) or predicts (rho < 1)
+					// it cannot beat the cutoff. Unarmed until a cutoff
+					// exists — the bound has nothing to beat at +Inf.
+					screened++
+					if filt.reject(&s, i, cutoff) {
+						rejected++
+						continue
+					}
+					admitted++
+				}
 				d := s.bagDist(q, i, cutoff, prune)
 				if len(h) == k && d > h[0].Dist {
 					// Strictly worse than this worker's k-th best: offer
@@ -391,6 +406,9 @@ func scanTopKCandidates(shards []Snapshot, q Query, k int, exclude map[string]bo
 				}
 				h.offer(Result{ID: s.ids[i], Label: s.labels[i], Dist: d}, k, shared)
 			}
+		}
+		if filt != nil {
+			filt.stats.add(screened, admitted, rejected)
 		}
 		heaps[w] = h
 	})
@@ -407,7 +425,13 @@ func scanTopKCandidates(shards []Snapshot, q Query, k int, exclude map[string]bo
 // size-k heap spanning shards; per query, a shared cutoff spanning
 // everything. len(qs) must not exceed mat.ScreenMaxConcepts (callers
 // chunk). The caller sorts and truncates each query's merged candidates.
-func scanMultiTopKCandidates(shards []Snapshot, qs []Query, k int, exclude map[string]bool, par int, shared []*sharedCutoff) [][]Result {
+// When filts is non-nil, filts[qi] (possibly nil per query) is qi's armed
+// candidate filter: a rejected (bag, query) pair is dropped from the fused
+// screen by forcing its abandon threshold to -Inf — no row of the bag can
+// survive the first-block screen for that query, and the final offer is
+// skipped — so a rejected pair costs a box test instead of a row walk,
+// while batch-mates keep scoring the bag normally.
+func scanMultiTopKCandidates(shards []Snapshot, qs []Query, k int, exclude map[string]bool, par int, shared []*sharedCutoff, filts []*pruneFilter) [][]Result {
 	nq := len(qs)
 	dim := 0
 	for _, s := range shards {
@@ -449,6 +473,12 @@ func scanMultiTopKCandidates(shards []Snapshot, qs []Query, k int, exclude map[s
 		bests := make([]float64, nq)
 		cutoffs := make([]float64, nq)
 		thrs := make([]float64, nq)
+		var screenedN, admittedN, rejectedN []int64
+		if filts != nil {
+			screenedN = make([]int64, nq)
+			admittedN = make([]int64, nq)
+			rejectedN = make([]int64, nq)
+		}
 		inf := math.Inf(1)
 		exact := dim <= mat.KernelBlock
 		for {
@@ -467,6 +497,8 @@ func scanMultiTopKCandidates(shards []Snapshot, qs []Query, k int, exclude map[s
 				// the kernel compares against — and is refreshed only when a
 				// concept's bag best improves. Non-prunable concepts keep
 				// thr = +Inf so no row is ever abandoned for them.
+				var rej uint64
+				nRej := 0
 				for qi := range qs {
 					cu := shared[qi].load()
 					if h := hs[qi]; len(h) == k && h[0].Dist < cu {
@@ -479,6 +511,22 @@ func scanMultiTopKCandidates(shards []Snapshot, qs []Query, k int, exclude map[s
 					} else {
 						thrs[qi] = inf
 					}
+					if filts != nil && filts[qi] != nil && !math.IsInf(cu, 1) {
+						screenedN[qi]++
+						if filts[qi].reject(&s, i, cu) {
+							// Dropped from the fused screen: -Inf survives no
+							// first-block sum, and the offer below is skipped.
+							thrs[qi] = math.Inf(-1)
+							rej |= 1 << uint(qi)
+							nRej++
+							rejectedN[qi]++
+						} else {
+							admittedN[qi]++
+						}
+					}
+				}
+				if nRej == nq {
+					continue // every query rejected this bag: skip its rows
 				}
 				// One pass per row: the fused kernel screens every concept's
 				// first block while the row is register/L1-hot and reports
@@ -514,8 +562,16 @@ func scanMultiTopKCandidates(shards []Snapshot, qs []Query, k int, exclude map[s
 					}
 				}
 				for qi := range qs {
+					if rej&(1<<uint(qi)) != 0 {
+						continue
+					}
 					hs[qi].offer(Result{ID: s.ids[i], Label: s.labels[i], Dist: bests[qi]}, k, shared[qi])
 				}
+			}
+		}
+		for qi := range qs {
+			if filts != nil && filts[qi] != nil {
+				filts[qi].stats.add(screenedN[qi], admittedN[qi], rejectedN[qi])
 			}
 		}
 		heaps[w] = hs

@@ -98,7 +98,7 @@ func (sh Sharded) TopK(q Query, k int, exclude map[string]bool, par int) []Resul
 	if sh.Bags() == 0 {
 		return normalizeEmpty(nil)
 	}
-	merged := scanTopKCandidates(sh, q, k, exclude, resolvePar(par), newSharedCutoff())
+	merged := scanTopKCandidates(sh, q, k, exclude, resolvePar(par), newSharedCutoff(), nil)
 	sortResults(merged)
 	if len(merged) > k {
 		merged = merged[:k]
@@ -144,7 +144,7 @@ func (sh Sharded) MultiTopK(qs []Query, k int, exclude map[string]bool, par int)
 	for qi := range shared {
 		shared[qi] = newSharedCutoff()
 	}
-	cands := scanMultiTopKCandidates(sh, qs, k, exclude, resolvePar(par), shared)
+	cands := scanMultiTopKCandidates(sh, qs, k, exclude, resolvePar(par), shared, nil)
 	for qi, merged := range cands {
 		sortResults(merged)
 		if len(merged) > k {

@@ -346,6 +346,106 @@ noBit:
 	VZEROUPPER
 	RET
 
+// func boxBoundExceedsAVX2(p, w *float64, box *float32, dim int, thr float64) bool
+//
+// Box lower-bound screen: BoxBoundExceeds. Per 4-dimension block the
+// interleaved float32 lo/hi pairs are deinterleaved with two VSHUFPS,
+// widened to float64, and the per-dimension excess e = max(0, lo−p, p−hi)
+// is built from two VMAXPDs arranged so an unordered compare keeps the
+// accumulated value — x86 MAX*(src1, src2) returns src2 when either input
+// is NaN, so max(src1=t1, src2=0) then max(src1=t2, src2=m1) reproduces
+// the scalar boxExcess's NaN-false compares exactly (a NaN query dimension
+// contributes 0). The weighted fold, (s0,s1) pairing, per-block threshold
+// check and the tail's separate accumulator all mirror the scalar oracle
+// in sketch.go, so the decision and every partial sum are bit-identical.
+// Requires dim >= 1; box holds BoxStride*dim float32s.
+TEXT ·boxBoundExceedsAVX2(SB), NOSPLIT, $0-41
+	MOVQ p+0(FP), SI
+	MOVQ w+8(FP), DI
+	MOVQ box+16(FP), R8
+	MOVQ dim+24(FP), CX
+	VMOVSD thr+32(FP), X9
+	VXORPD Y10, Y10, Y10 // zero, packed and scalar
+	VXORPD X8, X8, X8    // sum = 0
+	SHLQ $3, CX          // p/w bytes; box bytes coincide (2×float32 per dim)
+	MOVQ CX, R14
+	ANDQ $-32, R14       // tail start: (dim &^ 3) * 8
+	XORQ BX, BX
+
+	// The screen walks a packed array of boxes, one call per bag, and most
+	// bags abandon within the first blocks — so the demand-read pattern is
+	// short touches at a CX-byte stride, which the hardware stride
+	// prefetchers track poorly. Hint the next bag's first lines (the call
+	// for bag i covers bag i+1); past the array's end this is a harmless
+	// no-op, prefetches never fault.
+	PREFETCHT0 (R8)(CX*1)
+	PREFETCHT0 64(R8)(CX*1)
+
+boxBlockLoop:
+	CMPQ BX, R14
+	JGE  boxTailStart
+	VMOVUPS (R8)(BX*1), X1    // lo0 hi0 lo1 hi1
+	VMOVUPS 16(R8)(BX*1), X2  // lo2 hi2 lo3 hi3
+	VSHUFPS $0x88, X2, X1, X3 // lo0 lo1 lo2 lo3
+	VSHUFPS $0xDD, X2, X1, X4 // hi0 hi1 hi2 hi3
+	// hi first: writing Y4 clobbers X4 (its low half), so the lo convert
+	// must come after the hi lanes are consumed.
+	VCVTPS2PD X4, Y5          // hi widened
+	VCVTPS2PD X3, Y4          // lo widened
+	VMOVUPD (SI)(BX*1), Y6    // p block
+	VSUBPD  Y6, Y4, Y0        // t1 = lo - p
+	VSUBPD  Y5, Y6, Y1        // t2 = p - hi
+	VMAXPD  Y10, Y0, Y0       // m1 = t1 > 0 ? t1 : 0 (NaN -> 0)
+	VMAXPD  Y0, Y1, Y0        // e = t2 > m1 ? t2 : m1 (NaN -> m1)
+	VMOVUPD (DI)(BX*1), Y2    // w block
+	VMULPD  Y0, Y2, Y2        // w * e
+	VMULPD  Y0, Y2, Y0        // (w*e) * e
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD  X1, X0, X0        // [l0+l2, l1+l3] = [s0, s1]
+	VUNPCKHPD X0, X0, X1
+	VADDSD  X1, X0, X0        // s0 + s1
+	VADDSD  X0, X8, X8        // sum += s0 + s1
+	ADDQ    $32, BX
+	VUCOMISD X9, X8           // sum > thr? (unordered: not taken)
+	JA      boxExceeds
+	JMP     boxBlockLoop
+
+boxTailStart:
+	CMPQ BX, CX
+	JGE  boxDone
+	VXORPD X3, X3, X3 // tail accumulator t
+
+boxTailLoop:
+	VMOVSS (R8)(BX*1), X0
+	VCVTSS2SD X0, X0, X0  // lo widened
+	VMOVSS 4(R8)(BX*1), X1
+	VCVTSS2SD X1, X1, X1  // hi widened
+	VMOVSD (SI)(BX*1), X6 // p
+	VSUBSD X6, X0, X0     // t1 = lo - p
+	VSUBSD X1, X6, X1     // t2 = p - hi
+	VMAXSD X10, X0, X0    // m1 = t1 > 0 ? t1 : 0 (NaN -> 0)
+	VMAXSD X0, X1, X0     // e = t2 > m1 ? t2 : m1 (NaN -> m1)
+	VMOVSD (DI)(BX*1), X2 // w
+	VMULSD X0, X2, X2     // w * e
+	VMULSD X0, X2, X0     // (w*e) * e
+	VADDSD X0, X3, X3     // t += term
+	ADDQ   $8, BX
+	CMPQ   BX, CX
+	JL     boxTailLoop
+	VADDSD X3, X8, X8 // sum += t, then one check
+
+boxDone:
+	VUCOMISD X9, X8
+	JA   boxExceeds
+	MOVB $0, ret+40(FP)
+	VZEROUPPER
+	RET
+
+boxExceeds:
+	MOVB $1, ret+40(FP)
+	VZEROUPPER
+	RET
+
 // func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 TEXT ·cpuid(SB), NOSPLIT, $0-24
 	MOVL leaf+0(FP), AX

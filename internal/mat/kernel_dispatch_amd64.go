@@ -74,6 +74,14 @@ func minRowsAVX2(p, w, rows *float64, dim, nRows int, cutoff float64, prune bool
 //go:noescape
 func headScreenAVX2(p, w, heads, rows *float64, nRows, rowStride int, thr float64, sums *float64) uint64
 
+// boxBoundExceedsAVX2 is BoxBoundExceeds: the blocked box lower-bound
+// screen over one bag's interleaved float32 lo/hi box, per-block threshold
+// check and tail association mirroring the scalar oracle in sketch.go.
+// Requires dim ≥ 1 and a box of BoxStride*dim float32s.
+//
+//go:noescape
+func boxBoundExceedsAVX2(p, w *float64, box *float32, dim int, thr float64) bool
+
 // firstBlockAVX2 is the dim ≥ KernelBlock arm of WeightedSqDistFirstBlock:
 // every concept's first-block sum against one row, survivors ≤ thrs[c]
 // reported in the mask. Requires nq ≥ 1 and a row of at least KernelBlock

@@ -27,3 +27,7 @@ func headScreenAVX2(p, w, heads, rows *float64, nRows, rowStride int, thr float6
 func firstBlockAVX2(pblk, wblk, row, thrs, out *float64, nq int) uint64 {
 	panic("mat: SIMD kernel dispatched in a build without assembly")
 }
+
+func boxBoundExceedsAVX2(p, w *float64, box *float32, dim int, thr float64) bool {
+	panic("mat: SIMD kernel dispatched in a build without assembly")
+}

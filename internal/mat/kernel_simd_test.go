@@ -284,6 +284,76 @@ func TestKernelSIMDEmptyAndTiny(t *testing.T) {
 	}
 }
 
+// TestBoxBoundSIMDBitIdentity drives the box-bound screen through both
+// implementations: random query geometry (NaN/±Inf/denormals included),
+// boxes both packed from real instance rows and raw-random (NaN and
+// inverted lo/hi included — the kernel's decision must agree on any bytes),
+// and thresholds sitting exactly on the scalar oracle's block-boundary
+// partial sums, where a one-ulp divergence would flip the strict-> abandon.
+func TestBoxBoundSIMDBitIdentity(t *testing.T) {
+	needAVX2(t)
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 600; iter++ {
+		dim := 1 + rng.Intn(21)
+		p := randKernelVec(rng, dim)
+		w := randKernelVec(rng, dim)
+		if iter%3 != 0 {
+			// The filter only arms on non-negative weights; keep most of the
+			// coverage there, magnitudes still varied.
+			for i := range w {
+				w[i] = math.Abs(w[i])
+			}
+		}
+		box := make([]float32, BoxStride*dim)
+		rep := make([]float32, dim)
+		if iter%4 == 0 {
+			// Raw-random box: NaN bounds, inverted lo/hi, huge magnitudes.
+			for i := range box {
+				f := randKernelVec(rng, 1)[0]
+				box[i] = float32(f)
+			}
+		} else {
+			n := 1 + rng.Intn(4)
+			rows := make([]float64, 0, n*dim)
+			for r := 0; r < n; r++ {
+				rows = append(rows, randKernelVec(rng, dim)...)
+			}
+			PackBagSketch(dim, rows, box, rep)
+		}
+		// Thresholds on every block boundary of the scalar accumulation: a
+		// prefix of whole blocks has no tail, so BoxBound on the prefix IS
+		// the exact partial sum the abandon check compares against.
+		thrs := []float64{math.Inf(1), math.Inf(-1), math.NaN(), 0}
+		for k := KernelBlock; k <= dim; k += KernelBlock {
+			s := BoxBound(p[:k], w[:k], box[:BoxStride*k])
+			thrs = append(thrs, s)
+			if !math.IsNaN(s) && !math.IsInf(s, 0) {
+				thrs = append(thrs, math.Nextafter(s, math.Inf(-1)), math.Nextafter(s, math.Inf(1)))
+			}
+		}
+		full := BoxBound(p, w, box)
+		thrs = append(thrs, full)
+		if !math.IsNaN(full) && !math.IsInf(full, 0) {
+			thrs = append(thrs, math.Nextafter(full, math.Inf(-1)), math.Nextafter(full, math.Inf(1)))
+		}
+		for _, thr := range thrs {
+			s := boxBoundExceedsScalar(p, w, box, thr)
+			a := boxBoundExceedsAVX2(&p[0], &w[0], &box[0], dim, thr)
+			if s != a {
+				t.Fatalf("BoxBoundExceeds(thr=%x) diverged: scalar %v avx2 %v\np=%v\nw=%v\nbox=%v",
+					math.Float64bits(thr), s, a, p, w, box)
+			}
+			var sd, ad bool
+			withKernel(false, func() { sd = BoxBoundExceeds(p, w, box, thr) })
+			withKernel(true, func() { ad = BoxBoundExceeds(p, w, box, thr) })
+			if sd != ad {
+				t.Fatalf("dispatched BoxBoundExceeds(thr=%x) diverged: scalar %v avx2 %v",
+					math.Float64bits(thr), sd, ad)
+			}
+		}
+	}
+}
+
 // TestKernelDispatchAPI covers SetKernel/Kernel and the env-style modes.
 func TestKernelDispatchAPI(t *testing.T) {
 	prev := Kernel()

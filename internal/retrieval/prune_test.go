@@ -1,0 +1,92 @@
+package retrieval
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Options.Recall = 1 routes the flat path through the sketch
+// filter and stays bit-identical to the exact scan — TopK and TopKMany,
+// single-block and sharded, with exclusions, across k. Fallback scorers
+// (no geometry) ignore Recall entirely.
+func TestQuickRecallOneMatchesExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(30)
+		n := 1 + r.Intn(50)
+		var db *Database
+		if r.Intn(2) == 0 {
+			db = randWeightedDB(t, r, n, dim, 4)
+		} else {
+			db = NewDatabaseSharded(1 + r.Intn(4))
+			fill := randWeightedDB(t, r, n, dim, 4)
+			for _, it := range fill.Items() {
+				if err := db.Add(it); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		naive, flat := randScorerPair(r, dim)
+		exclude := map[string]bool{}
+		for i := 0; i < db.Len(); i++ {
+			if r.Intn(6) == 0 {
+				exclude[db.Get(i).ID] = true
+			}
+		}
+		exact := Options{Exclude: exclude, Parallelism: 1 + r.Intn(8)}
+		pruned := exact
+		pruned.Recall = 1
+		for _, k := range []int{1, n / 2, n + 5} {
+			if k < 1 {
+				k = 1
+			}
+			if !reflect.DeepEqual(TopK(db, flat, k, pruned), TopK(db, flat, k, exact)) {
+				t.Logf("seed %d: pruned TopK(%d) diverged", seed, k)
+				return false
+			}
+			// Geometry-free scorers take the fallback scan; Recall is inert.
+			if !reflect.DeepEqual(TopK(db, naive, k, pruned), TopK(db, naive, k, exact)) {
+				t.Logf("seed %d: fallback TopK(%d) changed under Recall", seed, k)
+				return false
+			}
+		}
+		k := 1 + r.Intn(n)
+		scorers := []Scorer{flat, flat, naive}
+		if !reflect.DeepEqual(TopKMany(db, scorers[:2], k, pruned), TopKMany(db, scorers[:2], k, exact)) {
+			t.Logf("seed %d: pruned TopKMany diverged", seed)
+			return false
+		}
+		// A mixed batch falls back for everyone; Recall must stay inert there.
+		if !reflect.DeepEqual(TopKMany(db, scorers, k, pruned), TopKMany(db, scorers, k, exact)) {
+			t.Logf("seed %d: mixed-batch TopKMany changed under Recall", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Stats must expose the filter counters with the accounting invariant
+// (Screened = Admitted + Rejected), zero until a pruned scan runs.
+func TestPruneCountersInStats(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	db := randWeightedDB(t, r, 120, 8, 3)
+	_, flat := randScorerPair(r, 8)
+	if st := db.Stats(); st.PruneScreened != 0 {
+		t.Fatalf("counters nonzero before any pruned scan: %+v", st)
+	}
+	TopK(db, flat, 5, Options{Recall: 1})
+	TopKMany(db, []Scorer{flat, flat}, 5, Options{Recall: 1})
+	st := db.Stats()
+	if st.PruneScreened == 0 {
+		t.Fatal("pruned scans screened nothing")
+	}
+	if st.PruneAdmitted+st.PruneRejected != st.PruneScreened {
+		t.Fatalf("screened %d != admitted %d + rejected %d",
+			st.PruneScreened, st.PruneAdmitted, st.PruneRejected)
+	}
+}

@@ -108,6 +108,10 @@ type Database struct {
 	// seq numbers insertions globally so Items/Get present one insertion
 	// order across shards.
 	seq atomic.Uint64
+	// prune accumulates the candidate filter's admission counters across
+	// every pruned scan against this database (internally atomic; scan
+	// workers flush into it without any shard lock).
+	prune index.PruneStats
 }
 
 // Compaction policy: rebuilding a shard's flat block costs one pass over its
@@ -608,6 +612,13 @@ type Stats struct {
 	// Shards breaks the same counters down per shard; the totals above are
 	// exactly the column sums.
 	Shards []ShardStats
+	// PruneScreened, PruneAdmitted and PruneRejected are the candidate
+	// filter's cumulative admission counters across every pruned scan
+	// (Options.Recall > 0): bags that reached an armed filter, and how the
+	// box test split them. Screened = Admitted + Rejected.
+	PruneScreened int64
+	PruneAdmitted int64
+	PruneRejected int64
 }
 
 // Stats reports the size of the flat scoring indexes, per shard and in
@@ -632,6 +643,9 @@ func (db *Database) Stats() Stats {
 		st.DeadItems += ss.DeadItems
 		st.DeadInstances += ss.DeadInstances
 	}
+	st.PruneScreened = db.prune.Screened.Load()
+	st.PruneAdmitted = db.prune.Admitted.Load()
+	st.PruneRejected = db.prune.Rejected.Load()
 	return st
 }
 
@@ -648,6 +662,13 @@ type Options struct {
 	Exclude map[string]bool
 	// Parallelism bounds scan goroutines; 0 means runtime.NumCPU().
 	Parallelism int
+	// Recall enables the candidate-pruning tier for top-k scans on the flat
+	// path (index.Sharded.TopKPruned): 0 disables it, ≥ 1 screens bags with
+	// the conservative box bound (results bit-identical to the exact scan),
+	// values in (0, 1) tighten the bound by a calibrated slack for extra
+	// speed at a quantified recall. Rank and the fallback (non-flat) scan
+	// ignore it.
+	Recall float64
 }
 
 // query extracts the flat-scan geometry from a scorer, if it offers one with
@@ -685,6 +706,10 @@ func TopK(db *Database, s Scorer, k int, opts Options) []Result {
 		return nil
 	}
 	if q, ok := query(db, s); ok {
+		if opts.Recall > 0 {
+			return db.snapshot().TopKPruned(q, k, opts.Exclude, opts.Parallelism,
+				index.PruneOpts{Recall: opts.Recall, Stats: &db.prune})
+		}
 		return db.snapshot().TopK(q, k, opts.Exclude, opts.Parallelism)
 	}
 	views := db.views()
@@ -778,6 +803,10 @@ func TopKMany(db *Database, scorers []Scorer, k int, opts Options) [][]Result {
 		qs[i] = q
 	}
 	if allFlat {
+		if opts.Recall > 0 {
+			return db.snapshot().MultiTopKPruned(qs, k, opts.Exclude, opts.Parallelism,
+				index.PruneOpts{Recall: opts.Recall, Stats: &db.prune})
+		}
 		return db.snapshot().MultiTopK(qs, k, opts.Exclude, opts.Parallelism)
 	}
 	out := make([][]Result, len(scorers))

@@ -109,6 +109,11 @@ type QueryRequest struct {
 	// (neither consulting nor populating it). No effect when the server's
 	// database has no cache.
 	CacheBypass bool `json:"cache_bypass"`
+	// Recall overrides the server database's default candidate-pruning tier
+	// for this query's scan: ≤ 0 forces the plain exact scan, 1 the
+	// conservative (bit-identical) filter, values in (0, 1) the calibrated
+	// probabilistic one. Absent inherits the serve-time -recall default.
+	Recall *float64 `json:"recall"`
 }
 
 // ConceptGeometry is a trained concept's point and weights as carried over
@@ -134,6 +139,11 @@ type QueryResponse struct {
 	TrainMS  int64            `json:"train_ms"`
 	Concept  *ConceptGeometry `json:"concept,omitempty"`
 	Cache    string           `json:"cache,omitempty"`
+	// Prune is the scan's candidate-filter disposition: "filtered" (the
+	// conservative, bit-identical tier), "filtered@<r>" (the calibrated
+	// tier at recall r), or omitted when the query ran the plain exact
+	// scan.
+	Prune string `json:"prune,omitempty"`
 }
 
 // BatchQuery is one example-based entry of a /v1/retrieve/batch request:
@@ -159,6 +169,10 @@ type BatchRetrieveRequest struct {
 	Queries  []BatchQuery      `json:"queries"`
 	K        int               `json:"k"`
 	Exclude  []string          `json:"exclude"`
+	// Recall overrides the server database's default candidate-pruning tier
+	// for the batch's shared scan (see QueryRequest.Recall). It applies to
+	// every entry — the batch runs as one scan.
+	Recall *float64 `json:"recall"`
 }
 
 // BatchRetrieveResponse is the /v1/retrieve/batch reply: one ranking per
@@ -171,6 +185,9 @@ type BatchRetrieveResponse struct {
 	ScanMS     int64           `json:"scan_ms"`
 	TrainMS    int64           `json:"train_ms,omitempty"`
 	QueryCache []string        `json:"query_cache,omitempty"`
+	// Prune is the batch scan's candidate-filter disposition (see
+	// QueryResponse.Prune).
+	Prune string `json:"prune,omitempty"`
 }
 
 type errorBody struct {
@@ -227,10 +244,21 @@ type CacheStatsResponse struct {
 	WarmLoaded    int64 `json:"warm_loaded,omitempty"`
 }
 
+// PruneStatsResponse is the candidate-pruning block of /v1/stats: how many
+// bags the sketch tier screened since startup and how the screen split
+// (Screened = Admitted + Rejected). Rejected bags skipped the exact kernel
+// entirely — the filter's whole win.
+type PruneStatsResponse struct {
+	Screened int64 `json:"screened"`
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+}
+
 // StatsResponse is the /v1/stats reply: the size of the flat columnar
 // scoring indexes every query scans, plus the mutation-lifecycle counters
-// (tombstoned dead weight and journal depth), in total and per shard, and
-// the concept cache's counters when one is configured.
+// (tombstoned dead weight and journal depth), in total and per shard, the
+// concept cache's counters when one is configured, and the candidate-filter
+// counters once any pruned scan has run.
 type StatsResponse struct {
 	Images           int                  `json:"images"`
 	Instances        int                  `json:"instances"`
@@ -242,6 +270,7 @@ type StatsResponse struct {
 	WALMutations     int                  `json:"wal_mutations,omitempty"`
 	Shards           []ShardStatsResponse `json:"shards"`
 	Cache            *CacheStatsResponse  `json:"cache,omitempty"`
+	Prune            *PruneStatsResponse  `json:"prune,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -283,6 +312,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Bypassed:      st.Cache.Bypassed,
 			Evictions:     st.Cache.Evictions,
 			WarmLoaded:    st.Cache.WarmLoaded,
+		}
+	}
+	if st.Prune.Screened > 0 {
+		resp.Prune = &PruneStatsResponse{
+			Screened: st.Prune.Screened,
+			Admitted: st.Prune.Admitted,
+			Rejected: st.Prune.Rejected,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -449,8 +485,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.ExcludeExamples {
 		exclude = append(append([]string{}, req.Positives...), req.Negatives...)
 	}
-	hits := s.db.RetrieveExcluding(concept, k, exclude)
-	resp := QueryResponse{NegLogDD: concept.NegLogDD(), TrainMS: trainMS}
+	recall := s.db.Recall()
+	if req.Recall != nil {
+		recall = *req.Recall
+	}
+	hits := s.db.RetrieveExcluding(concept, k, exclude, milret.WithRecall(recall))
+	resp := QueryResponse{NegLogDD: concept.NegLogDD(), TrainMS: trainMS, Prune: pruneDisposition(recall)}
 	if outcome != milret.CacheDisabled {
 		resp.Cache = outcome.String()
 	}
@@ -565,8 +605,12 @@ func (s *Server) handleRetrieveBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	recall := s.db.Recall()
+	if req.Recall != nil {
+		recall = *req.Recall
+	}
 	start := time.Now()
-	rankings, err := s.db.RetrieveMany(concepts, k, req.Exclude)
+	rankings, err := s.db.RetrieveMany(concepts, k, req.Exclude, milret.WithRecall(recall))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
 		return
@@ -576,6 +620,7 @@ func (s *Server) handleRetrieveBatch(w http.ResponseWriter, r *http.Request) {
 		ScanMS:     time.Since(start).Milliseconds(),
 		TrainMS:    trainMS,
 		QueryCache: queryCache,
+		Prune:      pruneDisposition(recall),
 	}
 	for i, hits := range rankings {
 		rs := make([]QueryResult, 0, len(hits))
@@ -585,6 +630,21 @@ func (s *Server) handleRetrieveBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = rs
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// pruneDisposition renders the effective recall as the wire-visible filter
+// disposition: "" (plain exact scan) for recall ≤ 0, "filtered" for the
+// conservative bit-identical tier (recall ≥ 1), "filtered@<r>" for the
+// calibrated probabilistic tier.
+func pruneDisposition(recall float64) string {
+	switch {
+	case recall <= 0:
+		return ""
+	case recall >= 1:
+		return "filtered"
+	default:
+		return fmt.Sprintf("filtered@%g", recall)
+	}
 }
 
 func parseMode(s string) (milret.WeightMode, error) {

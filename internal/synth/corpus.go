@@ -30,19 +30,36 @@ func Scenes(seed int64) []Item {
 // ScenesN generates n images per scene category (for fast tests and scaled
 // benchmarks).
 func ScenesN(seed int64, n int) []Item {
-	var items []Item
+	items := make([]Item, 0, len(SceneCategories)*n)
+	ScenesEach(seed, n, func(it Item) error {
+		items = append(items, it)
+		return nil
+	})
+	return items
+}
+
+// ScenesEach streams n images per scene category to visit, one at a time,
+// without materializing the corpus: the caller holds at most one decoded
+// image, so arbitrarily large corpora build in O(1) memory. Each item is
+// bit-identical to the corresponding ScenesN item — per-image seeds depend
+// only on (seed, category, index), never on how many items are generated.
+// A non-nil error from visit stops the stream and is returned.
+func ScenesEach(seed int64, n int, visit func(Item) error) error {
 	for ci, cat := range SceneCategories {
 		gen := SceneGenerators[cat]
 		for i := 0; i < n; i++ {
 			r := rand.New(rand.NewSource(itemSeed(seed, ci, i)))
-			items = append(items, Item{
+			it := Item{
 				ID:    fmt.Sprintf("scene-%s-%03d", cat, i),
 				Label: cat,
 				Image: gen(r).ToRGBA(),
-			})
+			}
+			if err := visit(it); err != nil {
+				return err
+			}
 		}
 	}
-	return items
+	return nil
 }
 
 // Objects generates the full object corpus deterministically from the seed:
@@ -53,19 +70,32 @@ func Objects(seed int64) []Item {
 
 // ObjectsN generates n images per object category.
 func ObjectsN(seed int64, n int) []Item {
-	var items []Item
+	items := make([]Item, 0, len(ObjectCategories)*n)
+	ObjectsEach(seed, n, func(it Item) error {
+		items = append(items, it)
+		return nil
+	})
+	return items
+}
+
+// ObjectsEach streams n images per object category to visit without
+// materializing the corpus; see ScenesEach for the contract.
+func ObjectsEach(seed int64, n int, visit func(Item) error) error {
 	for ci, cat := range ObjectCategories {
 		gen := ObjectGenerators[cat]
 		for i := 0; i < n; i++ {
 			r := rand.New(rand.NewSource(itemSeed(seed, 100+ci, i)))
-			items = append(items, Item{
+			it := Item{
 				ID:    fmt.Sprintf("object-%s-%02d", cat, i),
 				Label: cat,
 				Image: gen(r).ToRGBA(),
-			})
+			}
+			if err := visit(it); err != nil {
+				return err
+			}
 		}
 	}
-	return items
+	return nil
 }
 
 // itemSeed derives a per-image seed so each image is independent of how

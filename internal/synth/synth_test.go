@@ -284,3 +284,58 @@ func TestObjectBackgroundsUniform(t *testing.T) {
 		}
 	}
 }
+
+// TestEachMatchesN pins the streaming/materialized equivalence the loadtest
+// corpus builder relies on: ScenesEach and ObjectsEach must visit exactly
+// the items ScenesN/ObjectsN return, in order, pixel for pixel.
+func TestEachMatchesN(t *testing.T) {
+	check := func(name string, batch []Item, each func(int64, int, func(Item) error) error, seed int64, n int) {
+		i := 0
+		err := each(seed, n, func(it Item) error {
+			if i >= len(batch) {
+				t.Fatalf("%s: stream longer than batch (%d items)", name, len(batch))
+			}
+			want := batch[i]
+			if it.ID != want.ID || it.Label != want.Label {
+				t.Fatalf("%s item %d: got %s/%s want %s/%s", name, i, it.ID, it.Label, want.ID, want.Label)
+			}
+			if !bytes.Equal(it.Image.Pix, want.Image.Pix) {
+				t.Fatalf("%s item %d (%s): pixels differ", name, i, it.ID)
+			}
+			i++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: unexpected error: %v", name, err)
+		}
+		if i != len(batch) {
+			t.Fatalf("%s: stream visited %d items, batch has %d", name, i, len(batch))
+		}
+	}
+	check("scenes", ScenesN(7, 3), ScenesEach, 7, 3)
+	check("objects", ObjectsN(7, 2), ObjectsEach, 7, 2)
+}
+
+// TestEachStopsOnError pins the early-exit contract: visit's error aborts
+// the stream immediately and is returned unchanged.
+func TestEachStopsOnError(t *testing.T) {
+	sentinel := errEarlyStop{}
+	seen := 0
+	err := ObjectsEach(1, 2, func(Item) error {
+		seen++
+		if seen == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if seen != 3 {
+		t.Fatalf("stream continued past error: %d visits", seen)
+	}
+}
+
+type errEarlyStop struct{}
+
+func (errEarlyStop) Error() string { return "stop" }

@@ -155,6 +155,15 @@ type Options struct {
 	// since-mutated examples is simply never hit again). Ignored when
 	// ConceptCacheMB is 0. See store.WriteCacheSidecar for the format.
 	ConceptCacheFile string
+	// Recall sets the database's default candidate-pruning tier for
+	// retrievals (see README "Candidate pruning"): 0 disables the filter
+	// (every retrieval is the plain exact scan), 1 screens bags with a
+	// conservative per-bag bounding-box bound — results stay bit-identical
+	// to the exact scan while bags that provably cannot enter the top-k are
+	// skipped without reading their rows — and values in (0, 1) tighten the
+	// bound by a calibrated slack for extra speed at a quantified recall.
+	// Overridable per call (WithRecall) and per query (QuerySpec.Recall).
+	Recall float64
 }
 
 func (o Options) toFeature() feature.Options {
@@ -203,6 +212,9 @@ type TrainOptions struct {
 type Database struct {
 	opts feature.Options
 	db   *retrieval.Database
+	// recall is the default candidate-pruning tier for retrievals
+	// (Options.Recall); immutable after construction.
+	recall float64
 	// flats retains the zero-copy stores backing this database when it was
 	// opened by LoadDatabase from flat files (one per adopted shard), so
 	// Close can release the memory mappings.
@@ -402,7 +414,7 @@ func NewDatabase(opts Options) (*Database, error) {
 			return nil, fmt.Errorf("milret: %w", err)
 		}
 	}
-	d := &Database{opts: fo, db: retrieval.NewDatabaseSharded(opts.Shards)}
+	d := &Database{opts: fo, db: retrieval.NewDatabaseSharded(opts.Shards), recall: opts.Recall}
 	if opts.ConceptCacheMB > 0 {
 		d.cache = qcache.New(int64(opts.ConceptCacheMB) << 20)
 		d.cacheFile = opts.ConceptCacheFile
@@ -413,6 +425,10 @@ func NewDatabase(opts Options) (*Database, error) {
 // ShardCount returns the number of shards the database spreads its images
 // over (≥ 1).
 func (d *Database) ShardCount() int { return d.db.ShardCount() }
+
+// Recall returns the database's default candidate-pruning tier
+// (Options.Recall); 0 means the filter is off by default.
+func (d *Database) Recall() float64 { return d.recall }
 
 // AddImage preprocesses img (any stdlib image; color is converted to gray
 // scale) and stores its bag under the unique id. The label is optional
@@ -773,19 +789,42 @@ type Result struct {
 	Distance float64
 }
 
+// RetrieveOption tunes one retrieval call.
+type RetrieveOption func(*retrieveConfig)
+
+type retrieveConfig struct{ recall float64 }
+
+// WithRecall overrides the database's default candidate-pruning tier
+// (Options.Recall) for one retrieval: r ≤ 0 forces the plain exact scan,
+// r ≥ 1 the conservative (bit-identical) filter, r in (0, 1) the calibrated
+// probabilistic one.
+func WithRecall(r float64) RetrieveOption {
+	return func(c *retrieveConfig) { c.recall = r }
+}
+
+// retrieveRecall resolves one call's effective recall: the database default
+// unless an option overrides it.
+func (d *Database) retrieveRecall(ropts []RetrieveOption) float64 {
+	cfg := retrieveConfig{recall: d.recall}
+	for _, o := range ropts {
+		o(&cfg)
+	}
+	return cfg.recall
+}
+
 // Retrieve returns the k best matches for the concept, nearest first.
-func (d *Database) Retrieve(c *Concept, k int) []Result {
-	return d.RetrieveExcluding(c, k, nil)
+func (d *Database) Retrieve(c *Concept, k int, ropts ...RetrieveOption) []Result {
+	return d.RetrieveExcluding(c, k, nil, ropts...)
 }
 
 // RetrieveExcluding is Retrieve with some image IDs (typically the training
 // examples) removed from consideration.
-func (d *Database) RetrieveExcluding(c *Concept, k int, exclude []string) []Result {
+func (d *Database) RetrieveExcluding(c *Concept, k int, exclude []string, ropts ...RetrieveOption) []Result {
 	ex := make(map[string]bool, len(exclude))
 	for _, id := range exclude {
 		ex[id] = true
 	}
-	top := retrieval.TopK(d.db, c.c, k, retrieval.Options{Exclude: ex})
+	top := retrieval.TopK(d.db, c.c, k, retrieval.Options{Exclude: ex, Recall: d.retrieveRecall(ropts)})
 	return convertResults(top)
 }
 
@@ -803,7 +842,11 @@ func (d *Database) RankAll(c *Concept) []Result {
 //
 // Every concept's dimensionality must match the database's; a nil concept
 // is an error. An empty database yields one empty ranking per concept.
-func (d *Database) RetrieveMany(concepts []*Concept, k int, exclude []string) ([][]Result, error) {
+func (d *Database) RetrieveMany(concepts []*Concept, k int, exclude []string, ropts ...RetrieveOption) ([][]Result, error) {
+	return d.retrieveMany(concepts, k, exclude, d.retrieveRecall(ropts))
+}
+
+func (d *Database) retrieveMany(concepts []*Concept, k int, exclude []string, recall float64) ([][]Result, error) {
 	if len(concepts) == 0 {
 		return nil, nil
 	}
@@ -827,7 +870,7 @@ func (d *Database) RetrieveMany(concepts []*Concept, k int, exclude []string) ([
 	for _, id := range exclude {
 		ex[id] = true
 	}
-	for i, rs := range retrieval.TopKMany(d.db, scorers, k, retrieval.Options{Exclude: ex}) {
+	for i, rs := range retrieval.TopKMany(d.db, scorers, k, retrieval.Options{Exclude: ex, Recall: recall}) {
 		out[i] = convertResults(rs)
 	}
 	return out, nil
@@ -839,6 +882,25 @@ type QuerySpec struct {
 	Positives []string
 	Negatives []string
 	Opts      TrainOptions
+	// Recall overrides the database's default candidate-pruning tier for
+	// this query's retrieval (see Options.Recall): 0 inherits the default,
+	// a negative value forces the plain exact scan, positive values select
+	// the tier directly (≥ 1 conservative, (0, 1) calibrated). Recall never
+	// enters the cache fingerprint — it changes how the scan runs, not what
+	// the trained concept is.
+	Recall float64
+}
+
+// specRecall resolves one spec's effective recall against the database
+// default.
+func (d *Database) specRecall(sp QuerySpec) float64 {
+	switch {
+	case sp.Recall < 0:
+		return 0
+	case sp.Recall > 0:
+		return sp.Recall
+	}
+	return d.recall
 }
 
 // QueryMany is the coalesced query pipeline: each spec's concept is
@@ -857,9 +919,32 @@ func (d *Database) QueryMany(specs []QuerySpec, k int, exclude []string) ([][]Re
 	if err != nil {
 		return nil, nil, err
 	}
-	rankings, err := d.RetrieveMany(concepts, k, exclude)
-	if err != nil {
-		return nil, nil, err
+	// Group specs by effective recall so each group still shares one batched
+	// scan; in the common case (no per-spec override) this is one group and
+	// one scan, exactly as before.
+	rankings := make([][]Result, len(specs))
+	var order []float64
+	groups := make(map[float64][]int)
+	for i := range specs {
+		r := d.specRecall(specs[i])
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], i)
+	}
+	for _, r := range order {
+		idxs := groups[r]
+		cs := make([]*Concept, len(idxs))
+		for j, i := range idxs {
+			cs[j] = concepts[i]
+		}
+		rs, err := d.retrieveMany(cs, k, exclude, r)
+		if err != nil {
+			return nil, nil, err
+		}
+		for j, i := range idxs {
+			rankings[i] = rs[j]
+		}
 	}
 	return rankings, outcomes, nil
 }
@@ -1348,6 +1433,20 @@ type Stats struct {
 	// Cache reports the concept cache's occupancy and traffic counters;
 	// nil when the cache is disabled (Options.ConceptCacheMB 0).
 	Cache *CacheStats
+	// Prune reports the candidate filter's cumulative admission counters
+	// across every pruned retrieval (Options.Recall, WithRecall,
+	// QuerySpec.Recall); all zero while no pruned scan has run.
+	Prune PruneStats
+}
+
+// PruneStats counts the candidate-pruning filter's admission decisions:
+// Screened bags reached an armed filter (a top-k cutoff existed), and each
+// was either Admitted to the exact scan or Rejected on its bounding-box
+// bound alone. Screened = Admitted + Rejected.
+type PruneStats struct {
+	Screened int64
+	Admitted int64
+	Rejected int64
 }
 
 // CacheStats snapshots the concept cache (see Options.ConceptCacheMB).
@@ -1406,6 +1505,11 @@ func (d *Database) Stats() Stats {
 		st.DeadInstances += row.DeadInstances
 		st.PendingMutations += row.PendingMutations
 		st.WALMutations += row.WALMutations
+	}
+	st.Prune = PruneStats{
+		Screened: s.PruneScreened,
+		Admitted: s.PruneAdmitted,
+		Rejected: s.PruneRejected,
 	}
 	if d.cache != nil {
 		cs := d.cache.Stats()

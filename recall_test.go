@@ -1,0 +1,141 @@
+package milret
+
+import (
+	"reflect"
+	"testing"
+
+	"milret/internal/synth"
+)
+
+// recallDB builds a database with the pruning default set, plus one exact
+// twin holding the identical corpus.
+func recallDB(t *testing.T, recall float64) (*Database, *Database) {
+	t.Helper()
+	pruned, err := NewDatabase(Options{Recall: recall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := testDB(t, 4, "car", "hammer", "camera")
+	want := map[string]bool{"car": true, "camera": true, "hammer": true}
+	for _, it := range synth.ObjectsN(9, 4) {
+		if !want[it.Label] {
+			continue
+		}
+		if err := pruned.AddImage(it.ID, it.Label, it.Image); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pruned, exact
+}
+
+// The conservative tier must be invisible end to end: a database with
+// Options.Recall 1 retrieves bit-identically to an exact one, through
+// Retrieve, RetrieveMany and QueryMany, and WithRecall/QuerySpec.Recall
+// overrides resolve as documented.
+func TestRecallOneEndToEndIdentical(t *testing.T) {
+	pruned, exact := recallDB(t, 1)
+	if pruned.Recall() != 1 {
+		t.Fatalf("Recall() = %v, want 1", pruned.Recall())
+	}
+	pos := idsOf(exact, "car", 2)
+	neg := idsNot(exact, "car", 1)
+	cp, err := pruned.Train(pos, neg, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := exact.Train(pos, neg, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 7
+	want := exact.Retrieve(ce, k)
+	if got := pruned.Retrieve(cp, k); !reflect.DeepEqual(got, want) {
+		t.Fatalf("pruned Retrieve diverged:\n got %+v\nwant %+v", got, want)
+	}
+	// Per-call override: pruning forced off retrieves the same results too
+	// (bit-identity means the override is also invisible in the output).
+	if got := pruned.Retrieve(cp, k, WithRecall(-1)); !reflect.DeepEqual(got, want) {
+		t.Fatalf("WithRecall(-1) diverged:\n got %+v\nwant %+v", got, want)
+	}
+	// The exact database can opt in per call.
+	if got := exact.Retrieve(ce, k, WithRecall(1)); !reflect.DeepEqual(got, want) {
+		t.Fatalf("WithRecall(1) on exact db diverged:\n got %+v\nwant %+v", got, want)
+	}
+
+	many, err := pruned.RetrieveMany([]*Concept{cp, cp}, k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rs := range many {
+		if !reflect.DeepEqual(rs, want) {
+			t.Fatalf("RetrieveMany[%d] diverged", i)
+		}
+	}
+
+	// QuerySpec.Recall: 0 inherits the default, negative forces exact,
+	// positive selects directly — all three must agree at the output here.
+	specs := []QuerySpec{
+		{Positives: pos, Negatives: neg},
+		{Positives: pos, Negatives: neg, Recall: -1},
+		{Positives: pos, Negatives: neg, Recall: 1},
+	}
+	rankings, _, err := pruned.QueryMany(specs, k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rs := range rankings {
+		if !reflect.DeepEqual(rs, want) {
+			t.Fatalf("QueryMany[%d] diverged:\n got %+v\nwant %+v", i, rs, want)
+		}
+	}
+
+	// Counters flowed: the pruned database screened bags, the invariant holds.
+	st := pruned.Stats()
+	if st.Prune.Screened == 0 {
+		t.Fatal("pruned database screened nothing")
+	}
+	if st.Prune.Admitted+st.Prune.Rejected != st.Prune.Screened {
+		t.Fatalf("stats invariant: screened %d != admitted %d + rejected %d",
+			st.Prune.Screened, st.Prune.Admitted, st.Prune.Rejected)
+	}
+	if got := exact.Stats().Prune.Screened; got == 0 {
+		// exact db ran one pruned scan via WithRecall(1) above
+		t.Fatalf("WithRecall(1) scan did not screen: %d", got)
+	}
+}
+
+// A database saved and reloaded keeps pruning working: sketches are rebuilt
+// from the flat block on load (no format change), so a loaded database with
+// Recall 1 still matches its exact twin bit for bit.
+func TestRecallSurvivesReload(t *testing.T) {
+	pruned, exact := recallDB(t, 1)
+	dir := t.TempDir()
+	path := dir + "/db.milret"
+	if err := pruned.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := pruned.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDatabase(path, Options{Recall: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	pos := idsOf(exact, "hammer", 2)
+	cl, err := loaded.Train(pos, nil, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := exact.Train(pos, nil, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exact.Retrieve(ce, 6)
+	if got := loaded.Retrieve(cl, 6); !reflect.DeepEqual(got, want) {
+		t.Fatalf("loaded pruned Retrieve diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if st := loaded.Stats(); st.Prune.Screened == 0 {
+		t.Fatal("loaded database screened nothing — sketches missing after load?")
+	}
+}
