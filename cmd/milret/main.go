@@ -67,6 +67,10 @@ func main() {
 		err = cmdEval(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "shard-serve":
+		err = cmdShardServe(os.Args[2:])
+	case "reshard":
+		err = cmdReshard(os.Args[2:])
 	case "loadtest":
 		err = cmdLoadtest(os.Args[2:])
 	default:
@@ -80,7 +84,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: milret <gen|build|query|eval|serve|loadtest> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: milret <gen|build|query|eval|serve|shard-serve|reshard|loadtest> [flags]")
 }
 
 func cmdServe(args []string) error {
@@ -92,11 +96,17 @@ func cmdServe(args []string) error {
 	cacheMB := fs.Int("concept-cache-mb", 64, "memory bound of the trained-concept LRU cache in MB; repeat /v1/query requests skip training and concurrent identical ones coalesce (0 disables)")
 	cacheFile := fs.String("concept-cache-file", "", `concept-cache sidecar path: hot trained concepts are persisted there on flush/shutdown and loaded on start, so a restarted replica answers repeat queries without retraining; "" defaults to <db>.ccache when the cache is enabled, "off" disables persistence`)
 	recall := fs.Float64("recall", 0, "default candidate-pruning tier for query scans: 0 disables the sketch filter, 1.0 enables the conservative bit-identical filter, values in (0,1) trade that fraction of recall for more pruning; per-request \"recall\" overrides")
+	topology := fs.String("topology", "", "coordinator mode: serve a topology file's partitions (local store paths and/or remote shard-serve addresses) as one database; -db is ignored")
 	applyKernel := kernelFlag(fs)
 	fs.Parse(args)
 
 	if err := applyKernel(); err != nil {
 		return err
+	}
+	if *topology != "" {
+		return serveTopology(*topology, *addr, *readOnly, serveTuning{
+			cacheMB: *cacheMB, recall: *recall, fastLoad: *fastLoad,
+		})
 	}
 	ccFile := resolveCacheFile(*cacheFile, *dbPath, *cacheMB)
 	db, err := milret.LoadDatabase(*dbPath, milret.Options{
@@ -159,6 +169,15 @@ var shutdownDrainTimeout = 10 * time.Second
 func serveUntilSignal(db *milret.Database, ln net.Listener, readOnly bool, sig <-chan os.Signal) error {
 	h := server.New(db)
 	h.ReadOnly = readOnly
+	return serveHandlerUntilSignal(h, ln, sig, db.Flush, db.Close)
+}
+
+// serveHandlerUntilSignal is serveUntilSignal generalized over the
+// handler and the backing resource: shard-serve mounts the RPC next to
+// the JSON surface, and serve -topology fronts a coordinator instead of
+// a database. flush runs after the drain (durability barrier), closeFn
+// last (release).
+func serveHandlerUntilSignal(h http.Handler, ln net.Listener, sig <-chan os.Signal, flush, closeFn func() error) error {
 	srv := &http.Server{
 		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
@@ -191,10 +210,10 @@ func serveUntilSignal(db *milret.Database, ln net.Listener, readOnly bool, sig <
 		}
 		<-errc // Serve has returned http.ErrServerClosed
 	}
-	if ferr := db.Flush(); err == nil {
+	if ferr := flush(); err == nil {
 		err = ferr
 	}
-	if cerr := db.Close(); err == nil {
+	if cerr := closeFn(); err == nil {
 		err = cerr
 	}
 	return err

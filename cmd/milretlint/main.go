@@ -1,5 +1,6 @@
 // milretlint is the multichecker for the milret analyzers
-// (internal/lint): guardcheck, durably, kernelpure, atomicfield.
+// (internal/lint): guardcheck, durably, kernelpure, atomicfield,
+// pkgdoc.
 //
 // It runs in two modes:
 //

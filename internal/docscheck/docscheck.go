@@ -1,0 +1,223 @@
+// Package docscheck keeps the repository's documentation honest: it
+// parses the markdown docs for intra-repo links, generated sections,
+// and CLI flag tables, so tests (and the CI docs job) can fail when a
+// link target disappears, when docs/API.md's route table drifts from
+// server.Routes(), or when a flag table stops matching what the built
+// `milret` binary actually registers. The checkers are pure functions
+// over file contents; the tests in this package apply them to the
+// repo's own docs.
+package docscheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"unicode"
+
+	"milret/internal/server"
+)
+
+// Link is one markdown link found in a file, split into the path part
+// and the #fragment (either may be empty, not both).
+type Link struct {
+	File     string // path the link was found in
+	Line     int    // 1-based line number
+	Target   string // path part, "" for a same-file #anchor link
+	Fragment string // anchor without the '#', "" when absent
+}
+
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^()\s]+)\)`)
+
+// Links extracts intra-repo markdown links from md, attributing them
+// to file. External schemes (http, https, mailto) are skipped, as are
+// fenced and indented code blocks — code examples legitimately contain
+// `a[i](x)`-shaped text that is not a link.
+func Links(file string, md []byte) []Link {
+	var out []Link
+	inFence := false
+	for i, line := range strings.Split(string(md), "\n") {
+		trimmed := strings.TrimLeft(line, " ")
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || strings.HasPrefix(line, "\t") || strings.HasPrefix(line, "    ") {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			out = append(out, Link{File: file, Line: i + 1, Target: path, Fragment: frag})
+		}
+	}
+	return out
+}
+
+// Slug converts a heading to its GitHub-style anchor: lowercased, with
+// backticks dropped, punctuation removed, and spaces turned into
+// hyphens.
+func Slug(heading string) string {
+	heading = strings.ToLower(strings.TrimSpace(heading))
+	var b strings.Builder
+	for _, r := range heading {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+var headingRE = regexp.MustCompile(`^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+// HeadingSlugs returns the anchor slugs of every markdown heading in
+// md (fenced code blocks excluded).
+func HeadingSlugs(md []byte) map[string]bool {
+	slugs := make(map[string]bool)
+	inFence := false
+	for _, line := range strings.Split(string(md), "\n") {
+		if strings.HasPrefix(strings.TrimLeft(line, " "), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		if m := headingRE.FindStringSubmatch(line); m != nil {
+			slugs[Slug(m[1])] = true
+		}
+	}
+	return slugs
+}
+
+// CheckLinks verifies every intra-repo link in the given files (paths
+// relative to root): the path part must exist on disk, and a #fragment
+// into a markdown file must name one of its heading anchors. It
+// returns one human-readable problem per broken link.
+func CheckLinks(root string, files []string) []string {
+	var problems []string
+	for _, rel := range files {
+		md, err := os.ReadFile(filepath.Join(root, rel))
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", rel, err))
+			continue
+		}
+		for _, l := range Links(rel, md) {
+			targetRel := rel // same-file anchor
+			if l.Target != "" {
+				targetRel = filepath.Join(filepath.Dir(rel), l.Target)
+				if _, err := os.Stat(filepath.Join(root, targetRel)); err != nil {
+					problems = append(problems, fmt.Sprintf("%s:%d: broken link %q: %v", l.File, l.Line, l.Target, err))
+					continue
+				}
+			}
+			if l.Fragment == "" {
+				continue
+			}
+			if !strings.HasSuffix(targetRel, ".md") {
+				continue // anchors into non-markdown files are not ours to judge
+			}
+			targetMD, err := os.ReadFile(filepath.Join(root, targetRel))
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("%s:%d: %v", l.File, l.Line, err))
+				continue
+			}
+			if !HeadingSlugs(targetMD)[l.Fragment] {
+				problems = append(problems, fmt.Sprintf("%s:%d: anchor #%s not found in %s", l.File, l.Line, l.Fragment, targetRel))
+			}
+		}
+	}
+	return problems
+}
+
+// Section extracts the body between `<!-- generated:name -->` and
+// `<!-- /generated:name -->` markers.
+func Section(md []byte, name string) (string, error) {
+	open := "<!-- generated:" + name + " -->"
+	close := "<!-- /generated:" + name + " -->"
+	text := string(md)
+	i := strings.Index(text, open)
+	if i < 0 {
+		return "", fmt.Errorf("marker %q not found", open)
+	}
+	rest := text[i+len(open):]
+	j := strings.Index(rest, close)
+	if j < 0 {
+		return "", fmt.Errorf("marker %q not found", close)
+	}
+	return strings.TrimSpace(rest[:j]), nil
+}
+
+// RouteTable renders the /v1 route table as the markdown body the
+// `generated:routes` section of docs/API.md must contain verbatim.
+func RouteTable(routes []server.Route) string {
+	var b strings.Builder
+	b.WriteString("| Route | Methods | Purpose |\n")
+	b.WriteString("| --- | --- | --- |\n")
+	for _, r := range routes {
+		fmt.Fprintf(&b, "| `%s` | %s | %s |\n", r.Pattern, strings.Join(r.Methods, ", "), r.Doc)
+	}
+	return strings.TrimSpace(b.String())
+}
+
+var (
+	subHeadingRE = regexp.MustCompile("^#{1,6} .*`milret ([a-z-]+)`")
+	flagRowRE    = regexp.MustCompile("^\\|\\s*`-([a-z-]+)`")
+	anyHeadingRE = regexp.MustCompile(`^#{1,6} `)
+)
+
+// FlagTables parses the CLI flag tables of a markdown document: under
+// each heading containing `milret <sub>`, rows of the form
+// "| `-flag` | ... |" contribute flag names until the next heading.
+// Subcommands whose section carries no flag rows are omitted.
+func FlagTables(md []byte) map[string][]string {
+	tables := make(map[string][]string)
+	current := ""
+	for _, line := range strings.Split(string(md), "\n") {
+		if m := subHeadingRE.FindStringSubmatch(line); m != nil {
+			current = m[1]
+			continue
+		}
+		if anyHeadingRE.MatchString(line) {
+			current = ""
+			continue
+		}
+		if current == "" {
+			continue
+		}
+		if m := flagRowRE.FindStringSubmatch(line); m != nil {
+			tables[current] = append(tables[current], m[1])
+		}
+	}
+	return tables
+}
+
+var helpFlagRE = regexp.MustCompile(`(?m)^  -([a-z-]+)`)
+
+// HelpFlags parses the flag names out of a flag.FlagSet's -help
+// output.
+func HelpFlags(help string) []string {
+	var out []string
+	for _, m := range helpFlagRE.FindAllStringSubmatch(help, -1) {
+		out = append(out, m[1])
+	}
+	return out
+}
+
+// UsageSubcommands parses the subcommand list out of the bare
+// `milret` usage line ("usage: milret <a|b|c> [flags]").
+func UsageSubcommands(usage string) []string {
+	i := strings.Index(usage, "<")
+	j := strings.Index(usage, ">")
+	if i < 0 || j < i {
+		return nil
+	}
+	return strings.Split(usage[i+1:j], "|")
+}

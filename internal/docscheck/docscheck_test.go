@@ -1,0 +1,220 @@
+package docscheck
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"milret/internal/server"
+)
+
+// repoRoot is where the checked docs live, relative to this package.
+const repoRoot = "../.."
+
+// docFiles are the repo docs the link checker covers. PAPERS.md and
+// SNIPPETS.md are excluded deliberately: they are externally generated
+// reference dumps carrying dangling artifact links we do not own.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md"}
+	docs, err := filepath.Glob(filepath.Join(repoRoot, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) < 3 {
+		t.Fatalf("expected at least ARCHITECTURE/API/OPERATIONS under docs/, found %d files", len(docs))
+	}
+	for _, d := range docs {
+		rel, err := filepath.Rel(repoRoot, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, rel)
+	}
+	return files
+}
+
+// TestRepoLinks fails on any intra-repo markdown link whose target
+// file or heading anchor does not exist.
+func TestRepoLinks(t *testing.T) {
+	for _, p := range CheckLinks(repoRoot, docFiles(t)) {
+		t.Error(p)
+	}
+}
+
+// TestREADMELinksAllDocs pins the acceptance criterion: README must
+// link to all three documentation files.
+func TestREADMELinksAllDocs(t *testing.T) {
+	md, err := os.ReadFile(filepath.Join(repoRoot, "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	linked := make(map[string]bool)
+	for _, l := range Links("README.md", md) {
+		linked[l.Target] = true
+	}
+	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/API.md", "docs/OPERATIONS.md"} {
+		if !linked[want] {
+			t.Errorf("README.md does not link to %s", want)
+		}
+	}
+}
+
+// TestAPIRouteTableMatchesServer regenerates the route table from
+// server.Routes() and requires docs/API.md's generated section to
+// match byte for byte — the doc cannot drift from the mux.
+func TestAPIRouteTableMatchesServer(t *testing.T) {
+	md, err := os.ReadFile(filepath.Join(repoRoot, "docs", "API.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Section(md, "routes")
+	if err != nil {
+		t.Fatalf("docs/API.md: %v", err)
+	}
+	want := RouteTable(server.Routes())
+	if got != want {
+		t.Errorf("docs/API.md generated:routes section is stale.\n--- doc ---\n%s\n--- server.Routes() ---\n%s\nRegenerate the section between the markers from the table above.", got, want)
+	}
+}
+
+// TestCLIFlagTablesMatchBinary builds cmd/milret and checks every
+// documented flag table (docs/API.md and README.md) against the flags
+// the binary actually registers — both directions: a documented flag
+// that was removed and a new flag left undocumented each fail. It also
+// requires docs/API.md to document every subcommand the binary's usage
+// line advertises.
+func TestCLIFlagTablesMatchBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the milret binary; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "milret")
+	build := exec.Command("go", "build", "-o", bin, "milret/cmd/milret")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// The bare binary prints "usage: milret <a|b|...> [flags]" and
+	// exits 2; that line names the subcommand universe.
+	usageOut, _ := exec.Command(bin).CombinedOutput()
+	subs := UsageSubcommands(string(usageOut))
+	if len(subs) == 0 {
+		t.Fatalf("could not parse subcommands from usage: %q", usageOut)
+	}
+
+	apiMD, err := os.ReadFile(filepath.Join(repoRoot, "docs", "API.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	apiTables := FlagTables(apiMD)
+	for _, sub := range subs {
+		if len(apiTables[sub]) == 0 {
+			t.Errorf("docs/API.md documents no flags for `milret %s`", sub)
+		}
+	}
+
+	binaryFlags := func(sub string) []string {
+		helpOut, _ := exec.Command(bin, sub, "-h").CombinedOutput()
+		flags := HelpFlags(string(helpOut))
+		if len(flags) == 0 {
+			t.Fatalf("milret %s -h listed no flags:\n%s", sub, helpOut)
+		}
+		sort.Strings(flags)
+		return flags
+	}
+
+	check := func(docName string, tables map[string][]string) {
+		for sub, documented := range tables {
+			sort.Strings(documented)
+			got := binaryFlags(sub)
+			if !reflect.DeepEqual(documented, got) {
+				t.Errorf("%s flag table for `milret %s` drifted:\n  documented: %v\n  binary:     %v", docName, sub, documented, got)
+			}
+		}
+	}
+	check("docs/API.md", apiTables)
+
+	readmeMD, err := os.ReadFile(filepath.Join(repoRoot, "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("README.md", FlagTables(readmeMD))
+}
+
+// --- parser unit tests -------------------------------------------------
+
+func TestLinksParsing(t *testing.T) {
+	md := []byte("See [arch](docs/ARCHITECTURE.md) and [ops](docs/OPERATIONS.md#resharding).\n" +
+		"External [go](https://go.dev) and [mail](mailto:x@y.z) are skipped.\n" +
+		"Same-file [anchor](#heading).\n" +
+		"```\ncode [not](a-link.md)\n```\n" +
+		"    indented [not](code.md) either\n" +
+		"![diagram](img/flow.png)\n")
+	got := Links("f.md", md)
+	want := []Link{
+		{File: "f.md", Line: 1, Target: "docs/ARCHITECTURE.md"},
+		{File: "f.md", Line: 1, Target: "docs/OPERATIONS.md", Fragment: "resharding"},
+		{File: "f.md", Line: 3, Fragment: "heading"},
+		{File: "f.md", Line: 8, Target: "img/flow.png"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Links:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSlug(t *testing.T) {
+	for in, want := range map[string]string{
+		"Resharding":        "resharding",
+		"GET /v1/healthz":   "get-v1healthz",
+		"`milret gen`":      "milret-gen",
+		"Kernel & batching": "kernel--batching",
+		"The perf gate":     "the-perf-gate",
+		"Shard RPC: the `MILRETR1` frame protocol": "shard-rpc-the-milretr1-frame-protocol",
+	} {
+		if got := Slug(in); got != want {
+			t.Errorf("Slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSectionExtraction(t *testing.T) {
+	md := []byte("x\n<!-- generated:routes -->\nBODY\nLINES\n<!-- /generated:routes -->\ny\n")
+	got, err := Section(md, "routes")
+	if err != nil || got != "BODY\nLINES" {
+		t.Errorf("Section = %q, %v", got, err)
+	}
+	if _, err := Section(md, "missing"); err == nil {
+		t.Error("Section found a marker that does not exist")
+	}
+	if _, err := Section([]byte("<!-- generated:x -->"), "x"); err == nil {
+		t.Error("Section accepted an unclosed marker")
+	}
+}
+
+func TestFlagTableParsing(t *testing.T) {
+	md := []byte("### `milret gen`\n\nText.\n\n| Flag | Default | Meaning |\n| --- | --- | --- |\n| `-kind` | `scenes` | corpus kind |\n| `-dir` | `corpus` | output |\n\n### Unrelated heading\n\n| `-not-a-flag` | x | outside any subcommand section |\n\n#### `milret reshard`\n| `-src` | | source |\n")
+	got := FlagTables(md)
+	want := map[string][]string{"gen": {"kind", "dir"}, "reshard": {"src"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("FlagTables = %v, want %v", got, want)
+	}
+}
+
+func TestHelpFlagsParsing(t *testing.T) {
+	help := "Usage of gen:\n  -dir string\n    \toutput directory (default \"corpus\")\n  -kind string\n    \tcorpus kind (default \"scenes\")\n  -per-category int\n    \timages per category\n"
+	got := HelpFlags(help)
+	want := []string{"dir", "kind", "per-category"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("HelpFlags = %v, want %v", got, want)
+	}
+}
+
+func TestUsageSubcommands(t *testing.T) {
+	got := UsageSubcommands("usage: milret <gen|build|serve> [flags]")
+	if !reflect.DeepEqual(got, []string{"gen", "build", "serve"}) {
+		t.Errorf("UsageSubcommands = %v", got)
+	}
+}

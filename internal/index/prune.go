@@ -53,6 +53,27 @@ type PruneOpts struct {
 	// Stats, when non-nil, accumulates the filter's admission counters
 	// (flushed once per scan worker, not per bag).
 	Stats *PruneStats
+	// Shared, when non-nil, replaces the scan's private cutoff with an
+	// externally owned one, so several partitions of one logical query —
+	// possibly in different processes — tighten a single bound. Values
+	// already published to it prune this scan; roots this scan publishes
+	// prune its peers. Independent of Recall: it applies to the plain
+	// exact scan too (early-abandon uses the same bound).
+	Shared *Cutoff
+	// CutoffSeed, when positive and finite, pre-tightens the cutoff before
+	// the scan starts. The caller asserts it is an upper bound on the
+	// global k-th best distance of the *whole* logical query (e.g. a bound
+	// published by a peer partition); a looser-than-necessary seed only
+	// weakens pruning. Zero (or any non-positive/non-finite value) seeds
+	// nothing.
+	CutoffSeed float64
+}
+
+// external reports whether the scan participates in a cross-partition
+// cutoff protocol, which forces the filtered scan path even when the
+// sketch filter itself is off.
+func (o PruneOpts) external() bool {
+	return o.Shared != nil || (o.CutoffSeed > 0 && !math.IsInf(o.CutoffSeed, 1))
 }
 
 // PruneStats counts candidate-filter admission decisions. Screened is the
@@ -262,6 +283,12 @@ func (sh Sharded) TopKPruned(q Query, k int, exclude map[string]bool, par int, o
 func topKFiltered(shards []Snapshot, q Query, k int, exclude map[string]bool, par int, opts PruneOpts) []Result {
 	filt := newPruneFilter(q, opts, shards)
 	shared := newSharedCutoff()
+	if opts.Shared != nil {
+		shared = &opts.Shared.c
+	}
+	if opts.CutoffSeed > 0 && !math.IsNaN(opts.CutoffSeed) {
+		shared.tighten(opts.CutoffSeed)
+	}
 	if filt != nil {
 		seedCutoff(shards, q, k, exclude, shared)
 	}

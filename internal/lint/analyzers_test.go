@@ -22,3 +22,14 @@ func TestKernelPure(t *testing.T) {
 func TestAtomicField(t *testing.T) {
 	linttest.Run(t, "testdata/src/atomicfield", lint.AtomicField)
 }
+
+func TestPkgDoc(t *testing.T) {
+	for _, dir := range []string{
+		"testdata/src/pkgdoc",     // topic headers only: no canonical doc
+		"testdata/src/pkgdocnone", // no package doc at all
+		"testdata/src/pkgdocok",   // canonical doc + topic header: clean
+		"testdata/src/pkgdocmain", // main package with a scenario opener: clean
+	} {
+		t.Run(dir, func(t *testing.T) { linttest.Run(t, dir, lint.PkgDoc) })
+	}
+}

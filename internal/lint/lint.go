@@ -76,6 +76,7 @@ func All() []*Analyzer {
 		Durably,
 		KernelPure,
 		AtomicField,
+		PkgDoc,
 	}
 }
 

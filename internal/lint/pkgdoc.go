@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// PkgDoc enforces the repo's package-documentation convention: every
+// package must carry a package doc comment on at least one non-test
+// file, and for library (non-main) packages at least one of those
+// comments must be the canonical `// Package <name> ...` form godoc
+// keys on. Extra file-level comments above other package clauses (the
+// per-topic headers on wal.go, sched.go, ...) are fine — the rule is
+// that the canonical entry point exists, not that it is alone.
+//
+// Main packages (commands, examples) are only required to have *a*
+// package doc; their openers conventionally read `Command <name> ...`
+// or describe the scenario directly.
+var PkgDoc = &Analyzer{
+	Name: "pkgdoc",
+	Doc:  "checks that every package has a package doc comment (canonical `Package <name>` form for libraries)",
+	Run:  runPkgDoc,
+}
+
+func runPkgDoc(pass *Pass) error {
+	// Only non-test files count: the doc belongs to the shipped
+	// package, and the external `_test` package variant (all files
+	// *_test.go) is exempt entirely.
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if !pass.InTestFile(f.Package) {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return pass.Fset.Position(files[i].Package).Filename <
+			pass.Fset.Position(files[j].Package).Filename
+	})
+
+	name := files[0].Name.Name
+	anyDoc, canonical := false, false
+	for _, f := range files {
+		if f.Doc == nil {
+			continue
+		}
+		anyDoc = true
+		if strings.HasPrefix(f.Doc.Text(), "Package "+name+" ") ||
+			strings.HasPrefix(f.Doc.Text(), "Package "+name+"\n") {
+			canonical = true
+		}
+	}
+
+	switch {
+	case !anyDoc:
+		pass.Reportf(files[0].Package, "package %s has no package doc comment on any file", name)
+	case name != "main" && !canonical:
+		pass.Reportf(files[0].Package, "package %s has file comments but no canonical `Package %s ...` doc comment", name, name)
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+// The frobnication pipeline: a topic header that never introduces the
+// package itself, so godoc has no canonical entry point.
+package pkgdocfix // want `no canonical .Package pkgdocfix \.\.\.. doc comment`
+
+func frob() int { return 1 }
+
+var _ = frob

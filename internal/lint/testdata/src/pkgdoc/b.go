@@ -1,0 +1,5 @@
+package pkgdocfix
+
+func nicate() int { return 2 }
+
+var _ = nicate

@@ -1,0 +1,6 @@
+// Scenario-style opener: main packages (commands, examples) are not
+// required to use the `Package main` form — any package doc satisfies
+// the check.
+package main
+
+func main() {}

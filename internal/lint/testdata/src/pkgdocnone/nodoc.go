@@ -1,0 +1,5 @@
+package pkgdocnone // want `package pkgdocnone has no package doc comment`
+
+func quux() int { return 3 }
+
+var _ = quux

@@ -1,0 +1,6 @@
+// Package pkgdocokay has the canonical doc comment godoc keys on.
+package pkgdocokay
+
+func ok() int { return 4 }
+
+var _ = ok

@@ -1,0 +1,8 @@
+// The topic header idiom: a second file may open with a subject-matter
+// comment (like wal.go or sched.go do) without disturbing the canonical
+// doc in doc.go.
+package pkgdocokay
+
+func alsoOK() int { return 5 }
+
+var _ = alsoOK

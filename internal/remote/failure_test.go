@@ -1,0 +1,371 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"milret"
+	"milret/internal/retrieval"
+	"milret/internal/store"
+)
+
+// twoShardFixture reshards a small store two ways and returns the shard
+// databases plus the reference and the insertion-order IDs.
+func twoShardFixture(t *testing.T) (ref, s0, s1 *milret.Database, ids []string) {
+	t.Helper()
+	dir := t.TempDir()
+	src, ids := buildStore(t, dir)
+	dst := filepath.Join(dir, "sharded.milret")
+	if err := milret.Reshard(src, dst, 2); err != nil {
+		t.Fatal(err)
+	}
+	open := func(p string) *milret.Database {
+		db, err := milret.LoadDatabase(p, milret.Options{VerifyOnLoad: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		return db
+	}
+	return open(src), open(store.ShardPath(dst, 0)), open(store.ShardPath(dst, 1)), ids
+}
+
+// TestPartialPolicyOnTimeout hangs one partition past the RPC deadline
+// mid-scan: "fail" must refuse with ErrUnavailable, "degrade" must
+// answer exactly the reachable partitions' merged ranking and count the
+// degradation.
+func TestPartialPolicyOnTimeout(t *testing.T) {
+	ref, s0, _, ids := twoShardFixture(t)
+
+	// Partition 0 answers normally; partition 1 blocks until the client
+	// hangs up.
+	mux := http.NewServeMux()
+	mux.Handle(RPCPath, NewShardServer(s0))
+	healthy := httptest.NewServer(mux)
+	defer healthy.Close()
+	release := make(chan struct{})
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer hung.Close()
+	defer close(release) // un-hang handlers so the graceful Close above can finish
+
+	concept, err := ref.Train(ids[:2], ids[2:3], milret.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mkTopo := func(partial string) *Topology {
+		return &Topology{
+			Partitions: []PartitionSpec{
+				{Name: "up", Addr: healthy.URL},
+				{Name: "down", Addr: hung.URL},
+			},
+			Partial:      partial,
+			RPCTimeoutMS: 200,
+			Retries:      0,
+		}
+	}
+
+	t.Run("fail", func(t *testing.T) {
+		coord, err := NewCoordinator(mkTopo(PartialFail), CoordinatorOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer coord.Close()
+		_, err = coord.Retrieve(context.Background(), concept, 5, nil, 0)
+		if !errors.Is(err, milret.ErrUnavailable) {
+			t.Fatalf("Retrieve with a hung partition: %v, want ErrUnavailable", err)
+		}
+		if n := coord.degraded.Load(); n != 0 {
+			t.Errorf("fail policy counted %d degraded queries", n)
+		}
+	})
+
+	t.Run("degrade", func(t *testing.T) {
+		coord, err := NewCoordinator(mkTopo(PartialDegrade), CoordinatorOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer coord.Close()
+		got, err := coord.Retrieve(context.Background(), concept, ref.Len(), nil, 0)
+		if err != nil {
+			t.Fatalf("degrade policy refused: %v", err)
+		}
+		// The degraded answer must be exactly the reachable partition's
+		// images, in the global ranking order.
+		var want []milret.Result
+		for _, r := range ref.RankAllExcluding(concept, nil) {
+			if retrieval.ShardIndexFor(r.ID, 2) == 0 {
+				want = append(want, r)
+			}
+		}
+		wantIdentical(t, "degraded topk", got, want)
+		if n := coord.degraded.Load(); n != 1 {
+			t.Errorf("degraded counter = %d, want 1", n)
+		}
+		st := coord.Stats()
+		if st.DegradedQueries != 1 {
+			t.Errorf("stats DegradedQueries = %d", st.DegradedQueries)
+		}
+		var down *milret.PartitionStats
+		for i := range st.Partitions {
+			if st.Partitions[i].Name == "down" {
+				down = &st.Partitions[i]
+			}
+		}
+		if down == nil || down.Healthy || down.LastError == "" {
+			t.Errorf("down partition row = %+v, want unhealthy with an error", down)
+		}
+	})
+}
+
+// truncatingProxy forwards shard RPCs to target, tearing exactly one
+// response frame in half each time torn is armed.
+func truncatingProxy(t *testing.T, target string, torn *atomic.Bool) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := http.Post(target+RPCPath, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		frame, err := io.ReadAll(resp.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		if torn.CompareAndSwap(true, false) {
+			frame = frame[:len(frame)/2]
+		}
+		w.Write(frame)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestTornFrameIsTransportFailure tears response frames mid-wire: the
+// CRC/truncation check must surface a retryable transport failure (not
+// a garbage answer), and recovery must be seamless once frames flow
+// whole again.
+func TestTornFrameIsTransportFailure(t *testing.T) {
+	ref, s0, s1, ids := twoShardFixture(t)
+
+	mkShard := func(db *milret.Database) *httptest.Server {
+		mux := http.NewServeMux()
+		mux.Handle(RPCPath, NewShardServer(db))
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	direct0 := mkShard(s0)
+	var torn atomic.Bool
+	proxied1 := truncatingProxy(t, mkShard(s1).URL, &torn)
+
+	topo := &Topology{
+		Partitions: []PartitionSpec{
+			{Name: "p0", Addr: direct0.URL},
+			{Name: "p1", Addr: proxied1.URL},
+		},
+		RPCTimeoutMS: 2000,
+		Retries:      0,
+	}
+	coord, err := NewCoordinator(topo, CoordinatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	concept, err := ref.Train(ids[:2], nil, milret.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.RetrieveExcluding(concept, 8, nil)
+
+	torn.Store(true)
+	_, err = coord.Retrieve(context.Background(), concept, 8, nil, 0)
+	if !errors.Is(err, milret.ErrUnavailable) {
+		t.Fatalf("torn frame: %v, want ErrUnavailable", err)
+	}
+
+	got, err := coord.Retrieve(context.Background(), concept, 8, nil, 0)
+	if err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+	wantIdentical(t, "post-recovery topk", got, want)
+
+	// With a retry budget the same tear self-heals inside one call: the
+	// first attempt tears, the retry succeeds.
+	retrying := NewClient(proxied1.URL, time.Second, 3, time.Millisecond)
+	torn.Store(true)
+	if _, err := retrying.Ping(context.Background()); err != nil {
+		t.Fatalf("retrying ping through a healing proxy: %v", err)
+	}
+}
+
+// TestStaleCutoffKeepsBitIdentity delays one partition so its cutoff
+// lands after every other scan already merged: staleness must only
+// weaken pruning, never change the answer.
+func TestStaleCutoffKeepsBitIdentity(t *testing.T) {
+	ref, s0, s1, ids := twoShardFixture(t)
+
+	fast := http.NewServeMux()
+	fast.Handle(RPCPath, NewShardServer(s0))
+	fastSrv := httptest.NewServer(fast)
+	defer fastSrv.Close()
+
+	slow := NewShardServer(s1)
+	slowSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(80 * time.Millisecond) // answer late, within the deadline
+		slow.ServeHTTP(w, r)
+	}))
+	defer slowSrv.Close()
+
+	topo := &Topology{
+		Partitions: []PartitionSpec{
+			{Name: "fast", Addr: fastSrv.URL},
+			{Name: "slow", Addr: slowSrv.URL},
+		},
+		RPCTimeoutMS: 5000,
+	}
+	coord, err := NewCoordinator(topo, CoordinatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	for seed := 0; seed < 3; seed++ {
+		concept, err := ref.Train(ids[seed:seed+2], ids[seed+5:seed+6], milret.TrainOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, recall := range []float64{0, 1.0} {
+			got, err := coord.Retrieve(context.Background(), concept, 6, nil, recall)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantIdentical(t, "stale-cutoff topk", got, ref.RetrieveExcluding(concept, 6, nil, milret.WithRecall(recall)))
+		}
+	}
+}
+
+// TestKillAndRestartUnderTraffic kills a shard server mid-stream of
+// concurrent queries and restarts it on the same address: every query
+// must either answer bit-identically or refuse with ErrUnavailable —
+// never a wrong answer — and the coordinator must recover by itself.
+func TestKillAndRestartUnderTraffic(t *testing.T) {
+	ref, s0, s1, ids := twoShardFixture(t)
+
+	mux0 := http.NewServeMux()
+	mux0.Handle(RPCPath, NewShardServer(s0))
+	srv0 := httptest.NewServer(mux0)
+	defer srv0.Close()
+
+	// Partition 1 listens on a fixed port we control, so it can die and
+	// come back at the same address.
+	mux1 := http.NewServeMux()
+	mux1.Handle(RPCPath, NewShardServer(s1))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv1 := &http.Server{Handler: mux1}
+	go srv1.Serve(ln)
+
+	topo := &Topology{
+		Partitions: []PartitionSpec{
+			{Name: "p0", Addr: srv0.URL},
+			{Name: "p1", Addr: "http://" + addr},
+		},
+		Partial:      PartialFail,
+		RPCTimeoutMS: 1000,
+		Retries:      0,
+	}
+	coord, err := NewCoordinator(topo, CoordinatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	concept, err := ref.Train(ids[:2], ids[4:5], milret.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.RetrieveExcluding(concept, 7, nil)
+
+	var (
+		stop     atomic.Bool
+		okCount  atomic.Int64
+		errCount atomic.Int64
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				got, err := coord.Retrieve(context.Background(), concept, 7, nil, 0)
+				if err != nil {
+					if !errors.Is(err, milret.ErrUnavailable) {
+						t.Errorf("query failed with a non-availability error: %v", err)
+						return
+					}
+					errCount.Add(1)
+					continue
+				}
+				okCount.Add(1)
+				wantIdentical(t, "under-churn topk", got, want)
+			}
+		}()
+	}
+
+	time.Sleep(50 * time.Millisecond) // let some healthy traffic through
+	srv1.Close()                      // kill partition 1 mid-stream
+	time.Sleep(150 * time.Millisecond)
+
+	// Restart at the same address.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	srv2 := &http.Server{Handler: mux1}
+	go srv2.Serve(ln2)
+	defer srv2.Close()
+	time.Sleep(150 * time.Millisecond)
+
+	stop.Store(true)
+	wg.Wait()
+	if okCount.Load() == 0 {
+		t.Error("no query ever succeeded")
+	}
+	if errCount.Load() == 0 {
+		t.Error("the outage was never observed (test too lenient to mean anything)")
+	}
+
+	// After the restart a fresh query must succeed and match exactly.
+	got, err := coord.Retrieve(context.Background(), concept, 7, nil, 0)
+	if err != nil {
+		t.Fatalf("after restart: %v", err)
+	}
+	wantIdentical(t, "post-restart topk", got, want)
+}

@@ -1,0 +1,429 @@
+package remote
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"milret"
+	"milret/internal/store"
+	"milret/internal/synth"
+)
+
+// fastOpts keeps featurization cheap: resolution 6 / 9 regions is the
+// smallest supported geometry and the tests only care about determinism,
+// not retrieval quality.
+var fastOpts = milret.Options{Resolution: 6, Regions: 9}
+
+// buildStore featurizes a small object corpus into a flat store at
+// dir/src.milret and returns its path plus the image IDs in insertion
+// order.
+func buildStore(t *testing.T, dir string) (string, []string) {
+	t.Helper()
+	db, err := milret.NewDatabase(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, it := range synth.ObjectsN(9, 2) {
+		if err := db.AddImage(it.ID, it.Label, it.Image); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, it.ID)
+	}
+	src := filepath.Join(dir, "src.milret")
+	if err := db.Save(src); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	return src, ids
+}
+
+// cluster is a 4-partition topology over a resharded copy of one store:
+// two partitions opened locally by the coordinator, two served by real
+// shard servers over HTTP, plus an in-process reference database holding
+// the identical data.
+type cluster struct {
+	ref      *milret.Database
+	coord    *Coordinator
+	topo     *Topology
+	shardDBs []*milret.Database
+	servers  []*httptest.Server
+	ids      []string
+}
+
+func (cl *cluster) close() {
+	cl.coord.Close()
+	for _, s := range cl.servers {
+		if s != nil {
+			s.Close()
+		}
+	}
+	for _, db := range cl.shardDBs {
+		db.Close()
+	}
+	cl.ref.Close()
+}
+
+// startCluster builds the store, reshards it 4 ways and wires the
+// topology: partitions 0-1 local paths, partitions 2-3 remote servers.
+func startCluster(t *testing.T, partial string) *cluster {
+	t.Helper()
+	dir := t.TempDir()
+	src, ids := buildStore(t, dir)
+	dst := filepath.Join(dir, "sharded.milret")
+	if err := milret.Reshard(src, dst, 4); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := milret.LoadDatabase(src, milret.Options{VerifyOnLoad: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &cluster{ref: ref, ids: ids}
+	t.Cleanup(cl.close)
+
+	parts := make([]PartitionSpec, 4)
+	for i := 0; i < 4; i++ {
+		p := store.ShardPath(dst, i)
+		if i < 2 {
+			parts[i] = PartitionSpec{Name: names4[i], Path: p}
+			continue
+		}
+		sdb, err := milret.LoadDatabase(p, milret.Options{VerifyOnLoad: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.shardDBs = append(cl.shardDBs, sdb)
+		mux := http.NewServeMux()
+		mux.Handle(RPCPath, NewShardServer(sdb))
+		srv := httptest.NewServer(mux)
+		cl.servers = append(cl.servers, srv)
+		parts[i] = PartitionSpec{Name: names4[i], Addr: srv.URL}
+	}
+	cl.topo = &Topology{Partitions: parts, Partial: partial}
+	cl.coord, err = NewCoordinator(cl.topo, CoordinatorOptions{
+		ConceptCacheMB: 8,
+		Local:          milret.Options{VerifyOnLoad: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+var names4 = []string{"p0", "p1", "p2", "p3"}
+
+// trainRef trains a concept on the reference database from a
+// deterministic example split.
+func trainRef(t *testing.T, cl *cluster, seed int) (*milret.Concept, []string, []string) {
+	t.Helper()
+	pos := []string{cl.ids[seed%len(cl.ids)], cl.ids[(seed+7)%len(cl.ids)]}
+	neg := []string{cl.ids[(seed+19)%len(cl.ids)]}
+	c, err := cl.ref.Train(pos, neg, milret.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, pos, neg
+}
+
+func wantIdentical(t *testing.T, what string, got, want []milret.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		limit := len(got)
+		if len(want) > limit {
+			limit = len(want)
+		}
+		for i := 0; i < limit; i++ {
+			var g, w milret.Result
+			if i < len(got) {
+				g = got[i]
+			}
+			if i < len(want) {
+				w = want[i]
+			}
+			if g != w {
+				t.Fatalf("%s: rank %d differs:\n  distributed: %+v\n  in-process:  %+v", what, i, g, w)
+			}
+		}
+		t.Fatalf("%s: lengths differ: distributed %d, in-process %d", what, len(got), len(want))
+	}
+}
+
+// TestCoordinatorTopKBitIdentical is the tentpole property: a 4-way
+// distributed top-k (mixed local/remote partitions, live shared cutoff)
+// returns the exact result list — IDs, labels and float bits — of a
+// single-process scan over the same data, across concepts, depths and
+// pruning tiers.
+func TestCoordinatorTopKBitIdentical(t *testing.T) {
+	cl := startCluster(t, PartialFail)
+	ctx := context.Background()
+	for seed := 0; seed < 5; seed++ {
+		concept, pos, neg := trainRef(t, cl, seed)
+		exclude := append(append([]string{}, pos...), neg...)
+		for _, k := range []int{1, 5, 12, cl.ref.Len(), cl.ref.Len() + 10} {
+			for _, recall := range []float64{0, 1.0} {
+				got, err := cl.coord.Retrieve(ctx, concept, k, exclude, recall)
+				if err != nil {
+					t.Fatalf("seed %d k %d recall %g: %v", seed, k, recall, err)
+				}
+				want := cl.ref.RetrieveExcluding(concept, k, exclude, milret.WithRecall(recall))
+				wantIdentical(t, "topk", got, want)
+			}
+		}
+	}
+}
+
+// TestCoordinatorRankBitIdentical checks the exhaustive ranking path
+// (opRank, no cutoff) against the in-process full ranking.
+func TestCoordinatorRankBitIdentical(t *testing.T) {
+	cl := startCluster(t, PartialFail)
+	concept, pos, neg := trainRef(t, cl, 3)
+	exclude := append(append([]string{}, pos...), neg...)
+	got, err := cl.coord.RankAll(context.Background(), concept, exclude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdentical(t, "rank", got, cl.ref.RankAllExcluding(concept, exclude))
+	if len(got) != cl.ref.Len()-len(exclude) {
+		t.Fatalf("ranking covers %d images, want %d", len(got), cl.ref.Len()-len(exclude))
+	}
+}
+
+// TestCoordinatorBatchBitIdentical checks the batched multi-concept
+// path against the in-process batched scan.
+func TestCoordinatorBatchBitIdentical(t *testing.T) {
+	cl := startCluster(t, PartialFail)
+	var concepts []*milret.Concept
+	var exclude []string
+	for seed := 0; seed < 3; seed++ {
+		c, pos, neg := trainRef(t, cl, seed)
+		concepts = append(concepts, c)
+		exclude = append(exclude, pos...)
+		exclude = append(exclude, neg...)
+	}
+	got, err := cl.coord.RetrieveBatch(context.Background(), concepts, 9, exclude, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cl.ref.RetrieveMany(concepts, 9, exclude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batch answered %d lists, want %d", len(got), len(want))
+	}
+	for i := range want {
+		wantIdentical(t, "batch list", got[i], want[i])
+	}
+}
+
+// TestCoordinatorTrainingBitIdentical checks that a concept trained on
+// the coordinator — examples fetched over the wire from the partitions
+// that own them — carries the exact float bits of one trained where the
+// data lives.
+func TestCoordinatorTrainingBitIdentical(t *testing.T) {
+	cl := startCluster(t, PartialFail)
+	pos := []string{cl.ids[2], cl.ids[11], cl.ids[23]}
+	neg := []string{cl.ids[5], cl.ids[17]}
+	want, err := cl.ref.Train(pos, neg, milret.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, outcome, err := cl.coord.TrainCachedContext(context.Background(), pos, neg, milret.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Point(), want.Point()) || !reflect.DeepEqual(got.Weights(), want.Weights()) {
+		t.Fatal("coordinator-trained concept differs from reference")
+	}
+	// The coordinator trains through its own cache: the same examples
+	// again must hit, with the identical concept.
+	again, outcome2, err := cl.coord.TrainCachedContext(context.Background(), pos, neg, milret.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome2 == outcome && outcome2 != milret.CacheHit {
+		t.Errorf("second training outcome = %v, want a cache hit (first was %v)", outcome2, outcome)
+	}
+	if !reflect.DeepEqual(again.Point(), want.Point()) {
+		t.Fatal("cached concept differs")
+	}
+	// Unknown examples are a caller error, not a transport failure.
+	if _, _, err := cl.coord.TrainCachedContext(context.Background(), []string{"no-such-image"}, nil, milret.TrainOptions{}); err == nil {
+		t.Fatal("training on an unknown example succeeded")
+	}
+}
+
+// TestCoordinatorMutations routes deletes and relabels by placement,
+// mirrors them onto the reference and re-checks bit-identity including
+// tombstones.
+func TestCoordinatorMutations(t *testing.T) {
+	cl := startCluster(t, PartialFail)
+	ctx := context.Background()
+	concept, pos, neg := trainRef(t, cl, 1)
+	exclude := append(append([]string{}, pos...), neg...)
+
+	// Delete a handful of images spread across partitions (skipping the
+	// training examples so the concept stays valid on the reference).
+	skip := map[string]bool{}
+	for _, id := range exclude {
+		skip[id] = true
+	}
+	deleted := 0
+	for _, id := range cl.ids {
+		if skip[id] || deleted >= 6 {
+			continue
+		}
+		if err := cl.coord.DeleteImage(id); err != nil {
+			t.Fatalf("delete %s: %v", id, err)
+		}
+		if err := cl.ref.DeleteImage(id); err != nil {
+			t.Fatalf("reference delete %s: %v", id, err)
+		}
+		deleted++
+	}
+	if cl.coord.Len() != cl.ref.Len() {
+		t.Fatalf("coordinator Len %d, reference %d", cl.coord.Len(), cl.ref.Len())
+	}
+
+	// A relabel must land on the owner and read back through Label.
+	target := pos[0]
+	if err := cl.coord.UpdateImage(target, "relabelled", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.ref.UpdateImage(target, "relabelled", nil); err != nil {
+		t.Fatal(err)
+	}
+	if label, ok, err := cl.coord.Label(target); err != nil || !ok || label != "relabelled" {
+		t.Fatalf("Label(%s) = %q, %v, %v", target, label, ok, err)
+	}
+	if _, ok, err := cl.coord.Label("no-such-image"); err != nil || ok {
+		t.Fatalf("Label(missing) = %v, %v", ok, err)
+	}
+
+	// Deleting a deleted image is a not-found verdict, not a transport
+	// failure.
+	if err := cl.coord.DeleteImage(cl.ids[0]); err == nil {
+		t.Fatal("double delete succeeded")
+	} else if ok := IsNotFound(err); !ok && cl.coord.owner(cl.ids[0]).remote() {
+		t.Fatalf("double delete on remote partition: %v (want not-found verdict)", err)
+	}
+
+	// Post-mutation scans stay bit-identical, tombstones and all.
+	got, err := cl.coord.Retrieve(ctx, concept, 10, exclude, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdentical(t, "post-mutation topk", got, cl.ref.RetrieveExcluding(concept, 10, exclude))
+
+	// The image listing covers exactly the live set.
+	infos, err := cl.coord.Images()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != cl.ref.Len() {
+		t.Fatalf("Images lists %d, reference holds %d", len(infos), cl.ref.Len())
+	}
+}
+
+// TestCoordinatorStats checks the merged stats tree and the partition
+// health block.
+func TestCoordinatorStats(t *testing.T) {
+	cl := startCluster(t, PartialDegrade)
+	st := cl.coord.Stats()
+	refSt := cl.ref.Stats()
+	if st.Images != refSt.Images || st.Instances != refSt.Instances || st.Dim != refSt.Dim {
+		t.Fatalf("merged totals (%d images, %d instances, dim %d) != reference (%d, %d, %d)",
+			st.Images, st.Instances, st.Dim, refSt.Images, refSt.Instances, refSt.Dim)
+	}
+	if st.PartialPolicy != PartialDegrade {
+		t.Errorf("PartialPolicy = %q", st.PartialPolicy)
+	}
+	if len(st.Partitions) != 4 {
+		t.Fatalf("Partitions = %d rows", len(st.Partitions))
+	}
+	sum := 0
+	for i, p := range st.Partitions {
+		if p.Name != names4[i] {
+			t.Errorf("partition %d name %q", i, p.Name)
+		}
+		if !p.Healthy {
+			t.Errorf("partition %q unhealthy: %s", p.Name, p.LastError)
+		}
+		sum += p.Images
+	}
+	if sum != refSt.Images {
+		t.Errorf("partition image counts sum to %d, want %d", sum, refSt.Images)
+	}
+	if st.Cache == nil {
+		t.Error("coordinator cache stats missing")
+	}
+	if status, err := cl.coord.Verification(); status != milret.VerifyVerified || err != nil {
+		t.Errorf("Verification = %v, %v", status, err)
+	}
+}
+
+// TestSharedCutoffValues sanity-checks the piggybacked bound the shard
+// returns: the k-th best distance on a full list, +Inf on a short one.
+func TestSharedCutoffValues(t *testing.T) {
+	cl := startCluster(t, PartialFail)
+	concept, pos, neg := trainRef(t, cl, 2)
+	cli := NewClient(cl.servers[0].URL, 0, 0, 0)
+	geo := Geometry{Point: concept.Point(), Weights: concept.Weights()}
+	exclude := append(append([]string{}, pos...), neg...)
+
+	resp, err := cli.TopK(context.Background(), TopKRequest{K: 3, Concept: geo, Exclude: exclude})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("shard returned %d results", len(resp.Results))
+	}
+	if resp.Cutoff != resp.Results[2].Distance {
+		t.Errorf("cutoff %v != 3rd distance %v", resp.Cutoff, resp.Results[2].Distance)
+	}
+	short, err := cli.TopK(context.Background(), TopKRequest{K: 10000, Concept: geo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(short.Cutoff, 1) {
+		t.Errorf("short list cutoff %v, want +Inf", short.Cutoff)
+	}
+}
+
+// TestClientBareHostPort pins the address normalization: a topology
+// may name partitions as bare "host:port" and the client must still
+// form a valid RPC URL (http assumed).
+func TestClientBareHostPort(t *testing.T) {
+	cl := startCluster(t, PartialFail)
+	bare := strings.TrimPrefix(cl.servers[0].URL, "http://")
+	cli := NewClient(bare, 0, 0, 0)
+	if cli.Addr() != "http://"+bare {
+		t.Errorf("Addr() = %q, want %q", cli.Addr(), "http://"+bare)
+	}
+	if _, err := cli.Ping(context.Background()); err != nil {
+		t.Fatalf("Ping over bare host:port addr: %v", err)
+	}
+}
+
+// TestReshardedClusterMatchesDirectShards confirms the placement
+// contract: every image the coordinator routes is actually live on the
+// partition the hash names.
+func TestReshardedClusterMatchesDirectShards(t *testing.T) {
+	cl := startCluster(t, PartialFail)
+	for _, id := range cl.ids {
+		label, ok, err := cl.coord.Label(id)
+		if err != nil || !ok {
+			t.Fatalf("Label(%s) via owner: %v, %v", id, ok, err)
+		}
+		wantLabel, _ := cl.ref.Label(id)
+		if label != wantLabel {
+			t.Errorf("Label(%s) = %q, want %q", id, label, wantLabel)
+		}
+	}
+}

@@ -152,8 +152,12 @@ func NewDatabaseSharded(nShards int) *Database {
 // ShardCount returns the number of shards (≥ 1).
 func (db *Database) ShardCount() int { return len(db.shards) }
 
-// shardIndexFor returns the shard an ID hashes to among n shards.
-func shardIndexFor(id string, n int) int {
+// ShardIndexFor returns the shard an ID hashes to among n shards. It is
+// THE placement function: in-process shard routing, per-shard WAL
+// routing, the resharding tool, and the distribution coordinator's
+// mutation/fetch routing must all agree on it, so it is exported rather
+// than re-derived. Changing it invalidates every multi-shard store.
+func ShardIndexFor(id string, n int) int {
 	if n == 1 {
 		return 0
 	}
@@ -161,6 +165,9 @@ func shardIndexFor(id string, n int) int {
 	h.Write([]byte(id))
 	return int(h.Sum32() % uint32(n))
 }
+
+// shardIndexFor is the internal spelling of ShardIndexFor.
+func shardIndexFor(id string, n int) int { return ShardIndexFor(id, n) }
 
 // ShardFor returns the index of the shard that holds (or would hold) the
 // given item ID — the placement function, exposed so persistence can route
@@ -669,6 +676,18 @@ type Options struct {
 	// speed at a quantified recall. Rank and the fallback (non-flat) scan
 	// ignore it.
 	Recall float64
+	// Cutoff, when non-nil, shares one top-k bound across several
+	// partitions of the same logical query (possibly in other processes):
+	// bounds published by peers prune this scan, and roots this scan
+	// publishes prune its peers. Flat-path TopK only; Rank, TopKMany and
+	// the fallback scan ignore it (their merges need every partition's
+	// candidates regardless).
+	Cutoff *index.Cutoff
+	// CutoffSeed, when positive, pre-tightens the top-k cutoff before the
+	// scan starts. The caller asserts it upper-bounds the global k-th best
+	// distance of the whole logical query; a stale (too-loose) seed only
+	// weakens pruning. Flat-path TopK only.
+	CutoffSeed float64
 }
 
 // query extracts the flat-scan geometry from a scorer, if it offers one with
@@ -706,9 +725,18 @@ func TopK(db *Database, s Scorer, k int, opts Options) []Result {
 		return nil
 	}
 	if q, ok := query(db, s); ok {
+		popts := index.PruneOpts{
+			Recall:     opts.Recall,
+			Shared:     opts.Cutoff,
+			CutoffSeed: opts.CutoffSeed,
+		}
 		if opts.Recall > 0 {
-			return db.snapshot().TopKPruned(q, k, opts.Exclude, opts.Parallelism,
-				index.PruneOpts{Recall: opts.Recall, Stats: &db.prune})
+			popts.Stats = &db.prune
+		}
+		if opts.Recall > 0 || popts.Shared != nil || popts.CutoffSeed > 0 {
+			// TopKPruned with Recall ≤ 0 arms no sketch filter; it is the
+			// plain exact scan plus the externally shared/seeded cutoff.
+			return db.snapshot().TopKPruned(q, k, opts.Exclude, opts.Parallelism, popts)
 		}
 		return db.snapshot().TopK(q, k, opts.Exclude, opts.Parallelism)
 	}

@@ -46,6 +46,7 @@ import (
 	"bytes"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"image"
 	"image/png"
@@ -56,9 +57,9 @@ import (
 	"milret"
 )
 
-// Server serves a database over HTTP, including its mutation lifecycle.
+// Server serves a Backend over HTTP, including its mutation lifecycle.
 type Server struct {
-	db  *milret.Database
+	db  Backend
 	mux *http.ServeMux
 	// MaxK bounds a single query's result size (default 1000).
 	MaxK int
@@ -69,15 +70,20 @@ type Server struct {
 	ReadOnly bool
 }
 
-// New builds a server around the database.
+// New builds a server around a directly opened database.
 func New(db *milret.Database) *Server {
-	s := &Server{db: db, mux: http.NewServeMux(), MaxK: 1000, MaxBatchConcepts: 64}
-	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
-	s.mux.HandleFunc("/v1/images", s.handleImages)
-	s.mux.HandleFunc("/v1/images/", s.handleImage)
-	s.mux.HandleFunc("/v1/query", s.handleQuery)
-	s.mux.HandleFunc("/v1/retrieve/batch", s.handleRetrieveBatch)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return NewBackend(localDB{db})
+}
+
+// NewBackend builds a server around any Backend — a local database or a
+// distribution coordinator. Routes come from the route table (Routes),
+// so the registered surface and the documented surface are the same
+// list.
+func NewBackend(b Backend) *Server {
+	s := &Server{db: b, mux: http.NewServeMux(), MaxK: 1000, MaxBatchConcepts: 64}
+	for _, rt := range routeTable {
+		s.mux.HandleFunc(rt.Pattern, rt.handler(s))
+	}
 	return s
 }
 
@@ -271,6 +277,23 @@ type StatsResponse struct {
 	Shards           []ShardStatsResponse `json:"shards"`
 	Cache            *CacheStatsResponse  `json:"cache,omitempty"`
 	Prune            *PruneStatsResponse  `json:"prune,omitempty"`
+	// Partitions, PartialPolicy and DegradedQueries appear when the
+	// server fronts a distribution coordinator: per-partition health as
+	// of the last probe, the configured behavior when a partition is
+	// down ("fail" or "degrade"), and how many queries were answered
+	// without an unreachable partition under "degrade".
+	Partitions      []PartitionStatsResponse `json:"partitions,omitempty"`
+	PartialPolicy   string                   `json:"partial_policy,omitempty"`
+	DegradedQueries int64                    `json:"degraded_queries,omitempty"`
+}
+
+// PartitionStatsResponse is one topology partition's row in /v1/stats.
+type PartitionStatsResponse struct {
+	Name      string `json:"name"`
+	Addr      string `json:"addr,omitempty"`
+	Healthy   bool   `json:"healthy"`
+	LastError string `json:"last_error,omitempty"`
+	Images    int    `json:"images"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -321,6 +344,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Rejected: st.Prune.Rejected,
 		}
 	}
+	if len(st.Partitions) > 0 {
+		resp.Partitions = make([]PartitionStatsResponse, len(st.Partitions))
+		for i, p := range st.Partitions {
+			resp.Partitions[i] = PartitionStatsResponse{
+				Name:      p.Name,
+				Addr:      p.Addr,
+				Healthy:   p.Healthy,
+				LastError: p.LastError,
+				Images:    p.Images,
+			}
+		}
+		resp.PartialPolicy = st.PartialPolicy
+		resp.DegradedQueries = st.DegradedQueries
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -329,12 +366,26 @@ func (s *Server) handleImages(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET only"})
 		return
 	}
-	infos := make([]ImageInfo, 0, s.db.Len())
-	for _, id := range s.db.IDs() {
-		label, _ := s.db.Label(id)
-		infos = append(infos, ImageInfo{ID: id, Label: label})
+	infos, err := s.db.Images()
+	if err != nil {
+		writeJSON(w, errStatus(err, http.StatusInternalServerError), errorBody{err.Error()})
+		return
+	}
+	if infos == nil {
+		infos = []ImageInfo{}
 	}
 	writeJSON(w, http.StatusOK, infos)
+}
+
+// errStatus maps a backend failure to its HTTP status: an unreachable
+// partition (milret.ErrUnavailable) is a serving failure — 503, so load
+// balancers rotate away — while anything else keeps the handler's
+// fallback (usually a client error).
+func errStatus(err error, fallback int) int {
+	if errors.Is(err, milret.ErrUnavailable) {
+		return http.StatusServiceUnavailable
+	}
+	return fallback
 }
 
 // UpdateImageRequest is the PUT /v1/images/{id} body. Label replaces the
@@ -349,7 +400,11 @@ func (s *Server) handleImage(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/v1/images/")
 	switch r.Method {
 	case http.MethodGet:
-		label, ok := s.db.Label(id)
+		label, ok, err := s.db.Label(id)
+		if err != nil {
+			writeJSON(w, errStatus(err, http.StatusInternalServerError), errorBody{err.Error()})
+			return
+		}
 		if !ok {
 			writeJSON(w, http.StatusNotFound, errorBody{fmt.Sprintf("no image %q", id)})
 			return
@@ -390,7 +445,7 @@ func (s *Server) handleDeleteImage(w http.ResponseWriter, r *http.Request, id st
 		return
 	}
 	if err := s.db.DeleteImage(id); err != nil {
-		writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
+		writeJSON(w, errStatus(err, http.StatusNotFound), errorBody{err.Error()})
 		return
 	}
 	s.ack(w, map[string]any{"deleted": id, "images": s.db.Len()})
@@ -419,12 +474,15 @@ func (s *Server) handleUpdateImage(w http.ResponseWriter, r *http.Request, id st
 			return
 		}
 	}
-	if _, ok := s.db.Label(id); !ok {
+	if _, ok, err := s.db.Label(id); err != nil {
+		writeJSON(w, errStatus(err, http.StatusInternalServerError), errorBody{err.Error()})
+		return
+	} else if !ok {
 		writeJSON(w, http.StatusNotFound, errorBody{fmt.Sprintf("no image %q", id)})
 		return
 	}
 	if err := s.db.UpdateImage(id, req.Label, img); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		writeJSON(w, errStatus(err, http.StatusBadRequest), errorBody{err.Error()})
 		return
 	}
 	s.ack(w, ImageInfo{ID: id, Label: req.Label})
@@ -474,9 +532,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			// The client is gone; nobody reads this reply. 499-style bail.
 			return
 		}
-		// Unknown example IDs are client errors; anything else would be a
-		// server bug surfaced as 500 by the JSON encoder below.
-		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		// Unknown example IDs are client errors (400); an unreachable
+		// example owner in a topology is a serving failure (503).
+		writeJSON(w, errStatus(err, http.StatusBadRequest), errorBody{err.Error()})
 		return
 	}
 	trainMS := time.Since(start).Milliseconds()
@@ -489,7 +547,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Recall != nil {
 		recall = *req.Recall
 	}
-	hits := s.db.RetrieveExcluding(concept, k, exclude, milret.WithRecall(recall))
+	hits, err := s.db.Retrieve(r.Context(), concept, k, exclude, recall)
+	if err != nil {
+		writeJSON(w, errStatus(err, http.StatusBadRequest), errorBody{err.Error()})
+		return
+	}
 	resp := QueryResponse{NegLogDD: concept.NegLogDD(), TrainMS: trainMS, Prune: pruneDisposition(recall)}
 	if outcome != milret.CacheDisabled {
 		resp.Cache = outcome.String()
@@ -590,7 +652,7 @@ func (s *Server) handleRetrieveBatch(w http.ResponseWriter, r *http.Request) {
 				return // client gone; see handleQuery
 			}
 			// TrainMany identifies the failing query by index.
-			writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+			writeJSON(w, errStatus(err, http.StatusBadRequest), errorBody{err.Error()})
 			return
 		}
 		trainMS = time.Since(trainStart).Milliseconds()
@@ -610,9 +672,9 @@ func (s *Server) handleRetrieveBatch(w http.ResponseWriter, r *http.Request) {
 		recall = *req.Recall
 	}
 	start := time.Now()
-	rankings, err := s.db.RetrieveMany(concepts, k, req.Exclude, milret.WithRecall(recall))
+	rankings, err := s.db.RetrieveBatch(r.Context(), concepts, k, req.Exclude, recall)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		writeJSON(w, errStatus(err, http.StatusBadRequest), errorBody{err.Error()})
 		return
 	}
 	resp := BatchRetrieveResponse{

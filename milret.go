@@ -42,6 +42,7 @@ import (
 	"milret/internal/eval"
 	"milret/internal/feature"
 	"milret/internal/gray"
+	"milret/internal/index"
 	"milret/internal/mat"
 	"milret/internal/mil"
 	"milret/internal/optimize"
@@ -647,11 +648,22 @@ func (d *Database) TrainCached(positiveIDs, negativeIDs []string, opts TrainOpti
 // force-closed request context releases its handler immediately instead
 // of stranding it behind someone else's training run.
 func (d *Database) TrainCachedContext(ctx context.Context, positiveIDs, negativeIDs []string, opts TrainOptions) (*Concept, CacheOutcome, error) {
-	mode, err := opts.Mode.toCore()
+	ds, err := d.dataset(positiveIDs, negativeIDs)
 	if err != nil {
 		return nil, CacheDisabled, err
 	}
-	ds, err := d.dataset(positiveIDs, negativeIDs)
+	return trainDataset(ctx, d.cache, ds, opts)
+}
+
+// trainDataset runs one training request — assembled examples plus
+// options — through an optional concept cache. It is the seam between
+// the in-process path (TrainCachedContext, which resolves example IDs
+// against this database) and the distributed path (TrainBags, which
+// receives example bags fetched from remote shard owners): both funnel
+// here, so a coordinator's cache and a shard's cache fingerprint
+// identically and a concept trained either way is bit-identical.
+func trainDataset(ctx context.Context, cache *qcache.Cache, ds *mil.Dataset, opts TrainOptions) (*Concept, CacheOutcome, error) {
+	mode, err := opts.Mode.toCore()
 	if err != nil {
 		return nil, CacheDisabled, err
 	}
@@ -665,14 +677,14 @@ func (d *Database) TrainCachedContext(ctx context.Context, positiveIDs, negative
 	}
 	train := func() (*core.Concept, error) { return core.Train(ds, cfg) }
 	switch {
-	case d.cache == nil:
+	case cache == nil:
 		concept, err := train()
 		if err != nil {
 			return nil, CacheDisabled, err
 		}
 		return &Concept{c: concept}, CacheDisabled, nil
 	case opts.BypassCache:
-		d.cache.NoteBypass()
+		cache.NoteBypass()
 		concept, err := train()
 		if err != nil {
 			return nil, CacheBypassed, err
@@ -680,7 +692,7 @@ func (d *Database) TrainCachedContext(ctx context.Context, positiveIDs, negative
 		return &Concept{c: concept}, CacheBypassed, nil
 	}
 	key := trainFingerprint(ds, mode, cfg)
-	concept, qout, err := d.cache.DoContext(ctx, key, train)
+	concept, qout, err := cache.DoContext(ctx, key, train)
 	out := CacheMiss
 	switch qout {
 	case qcache.Hit:
@@ -792,7 +804,11 @@ type Result struct {
 // RetrieveOption tunes one retrieval call.
 type RetrieveOption func(*retrieveConfig)
 
-type retrieveConfig struct{ recall float64 }
+type retrieveConfig struct {
+	recall float64
+	cutoff *index.Cutoff
+	seed   float64
+}
 
 // WithRecall overrides the database's default candidate-pruning tier
 // (Options.Recall) for one retrieval: r ≤ 0 forces the plain exact scan,
@@ -802,14 +818,37 @@ func WithRecall(r float64) RetrieveOption {
 	return func(c *retrieveConfig) { c.recall = r }
 }
 
-// retrieveRecall resolves one call's effective recall: the database default
-// unless an option overrides it.
-func (d *Database) retrieveRecall(ropts []RetrieveOption) float64 {
+// WithSharedCutoff threads an externally owned top-k bound through one
+// retrieval, so several partitions of the same logical query — this
+// database among them — tighten a single cutoff (see index.Cutoff). Used
+// by the distribution coordinator for its local partitions; bounds
+// published by remote partitions prune this scan and vice versa.
+func WithSharedCutoff(c *index.Cutoff) RetrieveOption {
+	return func(cfg *retrieveConfig) { cfg.cutoff = c }
+}
+
+// WithCutoffSeed pre-tightens the top-k cutoff before the scan starts.
+// The caller asserts d upper-bounds the k-th best distance of the whole
+// logical query this scan is a partition of; a stale (too-loose) seed
+// only weakens pruning, never correctness. Non-positive seeds are
+// ignored.
+func WithCutoffSeed(d float64) RetrieveOption {
+	return func(cfg *retrieveConfig) { cfg.seed = d }
+}
+
+// resolveRetrieve folds the options over the database defaults.
+func (d *Database) resolveRetrieve(ropts []RetrieveOption) retrieveConfig {
 	cfg := retrieveConfig{recall: d.recall}
 	for _, o := range ropts {
 		o(&cfg)
 	}
-	return cfg.recall
+	return cfg
+}
+
+// retrieveRecall resolves one call's effective recall: the database default
+// unless an option overrides it.
+func (d *Database) retrieveRecall(ropts []RetrieveOption) float64 {
+	return d.resolveRetrieve(ropts).recall
 }
 
 // Retrieve returns the k best matches for the concept, nearest first.
@@ -824,13 +863,34 @@ func (d *Database) RetrieveExcluding(c *Concept, k int, exclude []string, ropts 
 	for _, id := range exclude {
 		ex[id] = true
 	}
-	top := retrieval.TopK(d.db, c.c, k, retrieval.Options{Exclude: ex, Recall: d.retrieveRecall(ropts)})
+	cfg := d.resolveRetrieve(ropts)
+	top := retrieval.TopK(d.db, c.c, k, retrieval.Options{
+		Exclude:    ex,
+		Recall:     cfg.recall,
+		Cutoff:     cfg.cutoff,
+		CutoffSeed: cfg.seed,
+	})
 	return convertResults(top)
 }
 
 // RankAll returns the full database ranking for the concept.
 func (d *Database) RankAll(c *Concept) []Result {
-	return convertResults(retrieval.Rank(d.db, c.c, retrieval.Options{}))
+	return d.RankAllExcluding(c, nil)
+}
+
+// RankAllExcluding is RankAll with some image IDs removed from the
+// ranking — the exhaustive-scan counterpart of RetrieveExcluding, used
+// by the shard RPC so a distributed rank honors the same exclusions as
+// a distributed top-k.
+func (d *Database) RankAllExcluding(c *Concept, exclude []string) []Result {
+	var ex map[string]bool
+	if len(exclude) > 0 {
+		ex = make(map[string]bool, len(exclude))
+		for _, id := range exclude {
+			ex[id] = true
+		}
+	}
+	return convertResults(retrieval.Rank(d.db, c.c, retrieval.Options{Exclude: ex}))
 }
 
 // RetrieveMany returns the k best matches for each of several concepts,
@@ -1437,6 +1497,18 @@ type Stats struct {
 	// across every pruned retrieval (Options.Recall, WithRecall,
 	// QuerySpec.Recall); all zero while no pruned scan has run.
 	Prune PruneStats
+	// Partitions describes the partitions behind a distribution
+	// coordinator (internal/remote), in topology order; nil for a
+	// directly opened database.
+	Partitions []PartitionStats
+	// PartialPolicy is the coordinator's configured behavior when a
+	// partition is down: "fail" (queries error) or "degrade" (queries
+	// answer from the reachable partitions). Empty for a directly opened
+	// database.
+	PartialPolicy string
+	// DegradedQueries counts queries answered without one or more
+	// unreachable partitions under the "degrade" policy.
+	DegradedQueries int64
 }
 
 // PruneStats counts the candidate-pruning filter's admission decisions:
